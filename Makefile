@@ -1,0 +1,40 @@
+# Common targets for the ib12x reproduction.
+
+GO ?= go
+
+.PHONY: all build test vet bench reproduce extra examples clean
+
+all: vet test build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+	gofmt -l .
+
+# One testing.B benchmark per paper figure, plus ablations.
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerate every figure of the paper (takes a few minutes: class-B NAS).
+reproduce:
+	$(GO) run ./cmd/reproduce -fig all
+
+# The beyond-the-paper supplementary tables.
+extra:
+	$(GO) run ./cmd/reproduce -fig headline -extra
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/stencil
+	$(GO) run ./examples/multirail
+	$(GO) run ./examples/alltoall
+	$(GO) run ./examples/onesided
+	$(GO) run ./examples/faults
+
+clean:
+	$(GO) clean ./...

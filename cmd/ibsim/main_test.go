@@ -1,0 +1,44 @@
+package main
+
+import (
+	"testing"
+
+	"ib12x/internal/core"
+)
+
+func TestParsePolicy(t *testing.T) {
+	cases := map[string]core.Kind{
+		"original": core.Original, "orig": core.Original,
+		"binding": core.Binding, "rr": core.RoundRobin,
+		"round-robin": core.RoundRobin, "striping": core.EvenStriping,
+		"weighted": core.WeightedStriping, "EPC": core.EPC, "epc": core.EPC,
+	}
+	for in, want := range cases {
+		got, err := parsePolicy(in)
+		if err != nil || got != want {
+			t.Errorf("parsePolicy(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parsePolicy("bogus"); err == nil {
+		t.Error("bogus policy accepted")
+	}
+}
+
+func TestParseSizes(t *testing.T) {
+	got, err := parseSizes("1024, 2048,4096", "unibw")
+	if err != nil || len(got) != 3 || got[1] != 2048 {
+		t.Errorf("parseSizes = %v, %v", got, err)
+	}
+	if _, err := parseSizes("12,-5", "unibw"); err == nil {
+		t.Error("negative size accepted")
+	}
+	if _, err := parseSizes("abc", "unibw"); err == nil {
+		t.Error("non-numeric size accepted")
+	}
+	// Defaults differ per test type.
+	lat, _ := parseSizes("", "latency")
+	bw, _ := parseSizes("", "unibw")
+	if lat[0] != 1 || bw[0] != 1024 {
+		t.Errorf("default sweeps: lat starts %d, bw starts %d", lat[0], bw[0])
+	}
+}

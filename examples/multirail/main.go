@@ -1,0 +1,54 @@
+// Multirail: explores how bandwidth scales across the three rail axes the
+// unified design supports — QPs per port, ports per HCA, and HCAs per node
+// (paper §3.1 and the "future combinations" of §4.1). The sweep reports the
+// uni-directional peak for each configuration under EPC.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ib12x/internal/bench"
+	"ib12x/internal/core"
+)
+
+func main() {
+	sizes := []int{1 << 20}
+	fmt.Println("uni-directional peak at 1MB under EPC (MB/s):")
+	fmt.Println()
+
+	fmt.Println("QPs per port (1 HCA, 1 port — the paper's experiment):")
+	for _, qps := range []int{1, 2, 4, 8} {
+		bw := measure(bench.Setup{QPs: qps, Policy: core.EPC}, sizes)
+		fmt.Printf("  %2d QP/port: %7.0f  %s\n", qps, bw, bar(bw))
+	}
+
+	fmt.Println("Ports per HCA (4 QPs each — engaging the dual-port HCA):")
+	for _, ports := range []int{1, 2} {
+		bw := measure(bench.Setup{QPs: 4, Ports: ports, Policy: core.EPC}, sizes)
+		fmt.Printf("  %2d port(s):  %7.0f  %s\n", ports, bw, bar(bw))
+	}
+
+	fmt.Println("HCAs per node (dual-port, 4 QPs each — toward the GX+ limit):")
+	for _, hcas := range []int{1, 2} {
+		bw := measure(bench.Setup{QPs: 4, Ports: 2, HCAs: hcas, Policy: core.EPC}, sizes)
+		fmt.Printf("  %2d HCA(s):   %7.0f  %s\n", hcas, bw, bar(bw))
+	}
+}
+
+func measure(s bench.Setup, sizes []int) float64 {
+	v, err := bench.UniBandwidth(s, sizes, 64, 10, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return v[0]
+}
+
+func bar(bw float64) string {
+	n := int(bw / 150)
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = '#'
+	}
+	return string(out)
+}

@@ -1,0 +1,83 @@
+// Stencil: a 2-D halo exchange — the communication pattern the paper's
+// conclusions single out as future work ("we plan to study the impact of
+// these policies on other communication types like stencil communication").
+//
+// Four single-process nodes form a 2x2 process grid. Each iteration every
+// rank exchanges halos with its torus neighbours using Sendrecv (blocking,
+// so EPC stripes the large faces), then "computes" a modeled interior
+// update. Every exchange crosses a 12x link with one connection active at a
+// time — exactly the regime where the blocking-transfer policies separate.
+// The example sweeps the scheduling policies.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ib12x/internal/core"
+	"ib12x/internal/mpi"
+	"ib12x/internal/sim"
+)
+
+const (
+	gridX, gridY = 2, 2      // process grid (must multiply to Nodes*PPN)
+	haloBytes    = 512 << 10 // one face of a 3-D subdomain, 512 KB
+	iterations   = 30
+	computeTime  = 400 * sim.Microsecond // interior update per iteration
+)
+
+func main() {
+	for _, setup := range []struct {
+		policy core.Kind
+		qps    int
+	}{
+		{core.Original, 1},
+		{core.RoundRobin, 4},
+		{core.EvenStriping, 4},
+		{core.EPC, 4},
+	} {
+		cfg := mpi.Config{
+			Nodes:        4,
+			ProcsPerNode: 1,
+			QPsPerPort:   setup.qps,
+			Policy:       setup.policy,
+		}
+		var worst sim.Time
+		_, err := mpi.Run(cfg, func(c *mpi.Comm) {
+			rank := c.Rank()
+			px, py := rank%gridX, rank/gridX
+			// Torus neighbours.
+			left := py*gridX + (px-1+gridX)%gridX
+			right := py*gridX + (px+1)%gridX
+			up := ((py-1+gridY)%gridY)*gridX + px
+			down := ((py+1)%gridY)*gridX + px
+
+			send := make([]byte, haloBytes)
+			recv := make([]byte, haloBytes)
+			c.Barrier()
+			t0 := c.Time()
+			for it := 0; it < iterations; it++ {
+				// East-west exchange, then north-south.
+				c.Sendrecv(right, 1, send, left, 1, recv)
+				c.Sendrecv(left, 2, send, right, 2, recv)
+				c.Sendrecv(down, 3, send, up, 3, recv)
+				c.Sendrecv(up, 4, send, down, 4, recv)
+				c.Compute(computeTime)
+			}
+			el := []int64{int64(c.Time() - t0)}
+			c.AllreduceInt64(el, mpi.Max)
+			if rank == 0 {
+				worst = sim.Time(el[0])
+			}
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		name := setup.policy.String()
+		if setup.policy == core.Original {
+			name = "original"
+		}
+		fmt.Printf("%-16s %dQP/port: %8.2f ms for %d iterations (%.1f us/iter)\n",
+			name, setup.qps, worst.Millis(), iterations, worst.Micros()/iterations)
+	}
+}

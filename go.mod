@@ -1,0 +1,3 @@
+module ib12x
+
+go 1.22

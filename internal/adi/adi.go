@@ -1,0 +1,213 @@
+// Package adi is the Abstract Device Interface layer of the MPI design
+// (paper §3, Figure 2): it implements the eager and rendezvous protocols,
+// MPI tag matching with an unexpected queue, the communication marker that
+// classifies each transfer as {blocking, non-blocking, collective}, the
+// completion filter (per-rank progress engine), and the communication
+// scheduler that maps messages onto rails via a core.Policy.
+//
+// One Endpoint exists per MPI rank. Everything an Endpoint does is driven
+// from its rank's simulated process: CPU costs (header processing,
+// descriptor posting, completion reaping, eager copies) are charged to the
+// rank by sleeping its proc, exactly where MVAPICH would burn host cycles.
+package adi
+
+import (
+	"errors"
+	"fmt"
+
+	"ib12x/internal/core"
+)
+
+// Tag/source wildcards (MPI_ANY_SOURCE / MPI_ANY_TAG).
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// Context identifiers separating point-to-point from collective traffic;
+// the separate collective context is what lets the communication marker
+// recognise collective transfers at the ADI layer (paper §3.3).
+const (
+	CtxPt2Pt      = 0
+	CtxCollective = 1
+)
+
+// ErrTruncated reports a message longer than the posted receive buffer.
+var ErrTruncated = errors.New("adi: message truncated (receive buffer too small)")
+
+// Status describes a completed receive.
+type Status struct {
+	Source int
+	Tag    int
+	Count  int // received bytes
+	Err    error
+}
+
+// Request is a pending or completed communication operation.
+type Request struct {
+	ep   *Endpoint
+	send bool
+	done bool
+
+	// Matching fields (receive side) / envelope fields (send side).
+	peer  int // destination (send) or source selector (recv; AnySource ok)
+	tag   int
+	ctxID int
+
+	class core.Class
+	data  []byte // send payload or recv buffer (nil = synthetic)
+	n     int    // send size or recv capacity
+
+	status Status
+
+	// Rendezvous send state.
+	writesLeft int
+	mrKey      uint32
+
+	// Atomic result (FetchAtomic requests).
+	atomicOld uint64
+}
+
+// AtomicOld reports the pre-operation value of a completed atomic request.
+func (r *Request) AtomicOld() uint64 { return r.atomicOld }
+
+// Done reports whether the operation has completed.
+func (r *Request) Done() bool { return r.done }
+
+// Status returns the receive status; meaningful once Done.
+func (r *Request) Status() Status { return r.status }
+
+// envKind discriminates protocol envelopes.
+type envKind int
+
+const (
+	envEager envKind = iota
+	envRTS
+	envCTS
+	envFIN
+	envDone       // RGET: receiver finished reading; sender may complete
+	envPut        // one-sided: message-based put (intra-node path)
+	envAccum      // one-sided: accumulate (always message-based)
+	envGetReq     // one-sided: message-based get request
+	envGetResp    // one-sided: get response
+	envAtomicReq  // one-sided: message-based atomic request
+	envAtomicResp // one-sided: atomic response with the old value
+	envCredit     // explicit flow-control credit return
+)
+
+func (k envKind) String() string {
+	switch k {
+	case envEager:
+		return "EAGER"
+	case envRTS:
+		return "RTS"
+	case envCTS:
+		return "CTS"
+	case envFIN:
+		return "FIN"
+	case envDone:
+		return "DONE"
+	case envPut:
+		return "PUT"
+	case envAccum:
+		return "ACCUM"
+	case envGetReq:
+		return "GET_REQ"
+	case envGetResp:
+		return "GET_RESP"
+	case envAtomicReq:
+		return "ATOMIC_REQ"
+	case envAtomicResp:
+		return "ATOMIC_RESP"
+	case envCredit:
+		return "CREDIT"
+	default:
+		return fmt.Sprintf("envKind(%d)", int(k))
+	}
+}
+
+// envelope is the protocol header carried with every transfer. Eager data
+// and RTS envelopes are sequenced per connection so MPI's non-overtaking
+// matching order survives multi-rail delivery reordering; CTS and FIN are
+// targeted at specific requests and need no sequencing.
+type envelope struct {
+	kind  envKind
+	src   int
+	tag   int
+	ctxID int
+	size  int
+	seq   uint64
+	class core.Class // sender-side marker class (RTS; drives RGET striping)
+	data  []byte     // owned eager payload (nil = synthetic)
+	shm   bool       // arrived via the shared-memory channel
+
+	// Request references: stand-ins for the request identifiers MVAPICH
+	// embeds in its control messages.
+	sreq *Request
+	rreq *Request
+
+	rkey uint32 // CTS: receiver's buffer key; RTS (RGET): sender's buffer key
+	xfer int    // CTS: bytes the receiver will accept
+
+	// One-sided fields.
+	winID int
+	off   int
+	accOp AccOp
+
+	// Atomic operands and result.
+	arg1, arg2, old uint64
+	atomicCAS       bool
+
+	// credits piggybacks returned flow-control credits on any channel
+	// message (envCredit carries them alone).
+	credits int
+}
+
+// matches reports whether a posted receive (r) matches an inbound envelope.
+func matches(r *Request, env *envelope) bool {
+	if r.ctxID != env.ctxID {
+		return false
+	}
+	if r.peer != AnySource && r.peer != env.src {
+		return false
+	}
+	if r.tag != AnyTag && r.tag != env.tag {
+		return false
+	}
+	return true
+}
+
+// RndvProto selects the rendezvous data-transfer engine.
+type RndvProto int
+
+// Rendezvous protocol variants (both existed in MVAPICH):
+const (
+	// RndvWrite: receiver grants its buffer via CTS; sender RDMA-writes
+	// (RPUT, the paper's protocol).
+	RndvWrite RndvProto = iota
+	// RndvRead: sender exposes its buffer in the RTS; receiver
+	// RDMA-reads (RGET). Saves the CTS flight at the cost of read
+	// round-trip latency; the scheduling policies stripe the reads.
+	RndvRead
+)
+
+// Stats counts protocol activity on one endpoint.
+type Stats struct {
+	EagerSent      int64
+	RendezvousSent int64
+	StripesSent    int64
+	StripesRead    int64
+	ShmemSent      int64
+	UnexpectedHits int64
+	CtrlMsgs       int64
+	CreditStalls   int64 // channel messages deferred on empty credit pools
+	CreditUpdates  int64 // explicit credit-return messages sent
+}
+
+// classIsValid guards the marker input.
+func classIsValid(c core.Class) bool {
+	return c == core.Blocking || c == core.NonBlocking || c == core.Collective
+}
+
+// park reason used by the progress engine while blocked on events.
+const whyWaitReq = "adi: waiting for request completion"

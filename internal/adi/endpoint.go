@@ -1,0 +1,545 @@
+package adi
+
+import (
+	"fmt"
+
+	"ib12x/internal/core"
+	"ib12x/internal/ib"
+	"ib12x/internal/model"
+	"ib12x/internal/shmem"
+	"ib12x/internal/sim"
+	"ib12x/internal/trace"
+)
+
+// srqPrepost is the number of receive WRs kept posted on an endpoint's SRQ.
+const srqPrepost = 128
+
+// Conn is the per-peer connection state of an endpoint: either a set of
+// rails (QPs spread over ports and HCAs) or a shared-memory link.
+type Conn struct {
+	peer  int
+	rails []*ib.QP    // inter-node rails; nil for intra-node peers
+	sh    *shmem.Link // outbound shared-memory link; nil for inter-node
+	sched core.ConnState
+
+	sendSeq     uint64
+	recvSeqNext uint64
+	ooo         map[uint64]*envelope // sequenced envelopes arrived early
+	ctrlRR      int                  // round-robin cursor for control messages
+
+	// Credit-based flow control (inter-node conns only): every channel
+	// message consumes one of the peer's preposted receives; the peer
+	// returns credits piggybacked or, when half the pool is owed, via an
+	// explicit envCredit message (itself credit-exempt).
+	credits     int
+	owed        int // credits to return to the peer
+	creditQueue []pendingEnvelope
+}
+
+// pendingEnvelope is a channel message stalled on an empty credit pool.
+type pendingEnvelope struct {
+	rail     int
+	env      *envelope
+	data     []byte
+	wireN    int
+	onPosted func()
+}
+
+// ctrlRail picks the rail for the next RTS/CTS/FIN. Control messages are
+// latency-critical: cycling them across rails keeps them from queueing
+// behind bulk RDMA writes on any one QP (head-of-line blocking would stall
+// the peer's rendezvous pipeline).
+func (c *Conn) ctrlRail() int {
+	r := c.ctrlRR % len(c.rails)
+	c.ctrlRR = (r + 1) % len(c.rails)
+	return r
+}
+
+// Rails reports the number of rails of this connection (0 for shmem).
+func (c *Conn) Rails() int { return len(c.rails) }
+
+// Endpoint is the ADI-layer object of one MPI rank.
+type Endpoint struct {
+	Rank int
+
+	eng    *sim.Engine
+	m      *model.Params
+	realm  *ib.Realm
+	policy core.Policy
+	rndv   RndvProto
+
+	cq    *ib.CQ
+	srq   *ib.SRQ
+	conns []*Conn
+	qpIdx map[int]*ib.QP // QPN -> rail QP (for backlog retry on completion)
+
+	proc    *sim.Proc
+	idle    sim.Waiter
+	shmemIn sim.Queue[shmem.Msg]
+
+	recvQ      []*Request  // posted, unmatched receives (post order)
+	unexpected []*envelope // arrived, unmatched eager/RTS (arrival order)
+
+	wrID       uint64
+	onComplete map[uint64]func()
+	onAtomic   map[uint64]*Request     // atomic WRs awaiting their old value
+	backlog    map[*ib.QP][]deferredWR // WRs deferred on ErrSQFull, per rail
+	windows    map[int]*winInfo        // exposed RMA windows
+	nextCtx    int                     // next free matching-context id
+	tr         *trace.Recorder         // optional protocol event recorder
+
+	stats Stats
+}
+
+// newEndpoint wires the passive state; connections are added by the World
+// builder.
+func newEndpoint(rank int, eng *sim.Engine, m *model.Params, realm *ib.Realm, policy core.Policy, rndv RndvProto, nranks int) *Endpoint {
+	ep := &Endpoint{
+		Rank:       rank,
+		eng:        eng,
+		m:          m,
+		realm:      realm,
+		policy:     policy,
+		rndv:       rndv,
+		cq:         realm.NewCQ(),
+		srq:        realm.NewSRQ(),
+		conns:      make([]*Conn, nranks),
+		qpIdx:      make(map[int]*ib.QP),
+		onComplete: make(map[uint64]func()),
+		onAtomic:   make(map[uint64]*Request),
+		backlog:    make(map[*ib.QP][]deferredWR),
+	}
+	ep.cq.SetNotify(func() { ep.wake() })
+	for i := 0; i < srqPrepost; i++ {
+		ep.srq.PostRecv(ib.RecvWR{})
+	}
+	return ep
+}
+
+// Attach binds the endpoint to its rank's simulated process. It must be
+// called (once) from inside that proc before any communication.
+func (ep *Endpoint) Attach(p *sim.Proc) {
+	if ep.proc != nil {
+		panic("adi: endpoint already attached")
+	}
+	ep.proc = p
+}
+
+// Stats returns a copy of the endpoint's protocol counters.
+func (ep *Endpoint) Stats() Stats { return ep.stats }
+
+// Policy returns the scheduling policy in force.
+func (ep *Endpoint) Policy() core.Policy { return ep.policy }
+
+// Now reports the current virtual time.
+func (ep *Endpoint) Now() sim.Time { return ep.eng.Now() }
+
+// Compute charges d of modeled computation to the rank.
+func (ep *Endpoint) Compute(d sim.Time) { ep.proc.Sleep(d) }
+
+// ChargeCopy charges the cost of copying n bytes at the host memcpy rate
+// (used by the datatype pack/unpack layer).
+func (ep *Endpoint) ChargeCopy(n int) {
+	ep.charge(sim.TransferTime(int64(n), ep.m.EagerCopyRate))
+}
+
+// Conn returns the connection to a peer (nil for self).
+func (ep *Endpoint) Conn(peer int) *Conn { return ep.conns[peer] }
+
+// wake readies the rank if it is parked waiting for progress.
+func (ep *Endpoint) wake() { ep.idle.WakeAll() }
+
+// trace records a protocol event when a recorder is attached.
+func (ep *Endpoint) trace(kind trace.Kind, peer, bytes, rail int) {
+	ep.tr.Record(ep.eng.Now(), kind, ep.Rank, peer, bytes, rail)
+}
+
+// charge burns CPU time on the rank's proc.
+func (ep *Endpoint) charge(d sim.Time) {
+	if d > 0 {
+		ep.proc.Sleep(d)
+	}
+}
+
+// ---- posting ----
+
+// PostSend starts a send of n bytes (data may be nil for synthetic payloads)
+// to peer with the given tag and context. class is the communication
+// marker's classification. The returned request is already complete for
+// eager-size messages (buffered-send semantics).
+func (ep *Endpoint) PostSend(peer, tag, ctxID int, class core.Class, data []byte, n int) *Request {
+	if peer < 0 || peer >= len(ep.conns) {
+		panic(fmt.Sprintf("adi: rank %d PostSend to invalid peer %d", ep.Rank, peer))
+	}
+	if !classIsValid(class) {
+		panic("adi: invalid communication class")
+	}
+	if data != nil && len(data) < n {
+		panic("adi: send buffer shorter than count")
+	}
+	req := &Request{ep: ep, send: true, peer: peer, tag: tag, ctxID: ctxID, class: class, data: data, n: n}
+	if peer == ep.Rank {
+		ep.sendSelf(req)
+		return req
+	}
+	conn := ep.conns[peer]
+	if conn.sh != nil {
+		ep.sendShmem(conn, req)
+		return req
+	}
+	if n < ep.m.RendezvousThreshold {
+		ep.sendEager(conn, req)
+	} else {
+		ep.sendRTS(conn, req)
+	}
+	return req
+}
+
+// PostRecv posts a receive of up to n bytes from src (AnySource allowed)
+// with the given tag (AnyTag allowed) and context.
+func (ep *Endpoint) PostRecv(src, tag, ctxID int, buf []byte, n int) *Request {
+	if buf != nil && len(buf) < n {
+		panic("adi: receive buffer shorter than count")
+	}
+	req := &Request{ep: ep, peer: src, tag: tag, ctxID: ctxID, data: buf, n: n}
+	// Unexpected queue first, in arrival order (MPI matching rule).
+	for i, env := range ep.unexpected {
+		if matches(req, env) {
+			ep.unexpected = append(ep.unexpected[:i], ep.unexpected[i+1:]...)
+			ep.stats.UnexpectedHits++
+			ep.consumeUnexpected(req, env)
+			return req
+		}
+	}
+	ep.recvQ = append(ep.recvQ, req)
+	return req
+}
+
+// sendSelf loops a message back to the sending rank through the normal
+// matching path: the payload is buffered (one copy charge) and matched
+// against posted receives or parked on the unexpected queue. All sizes are
+// buffered — a self-send never blocks, as in MPICH's self device.
+func (ep *Endpoint) sendSelf(req *Request) {
+	env := &envelope{
+		kind: envEager, src: ep.Rank, tag: req.tag, ctxID: req.ctxID, size: req.n,
+	}
+	if req.data != nil {
+		env.data = make([]byte, req.n)
+		copy(env.data, req.data[:req.n])
+		ep.charge(sim.TransferTime(int64(req.n), ep.m.EagerCopyRate))
+	}
+	req.status = Status{Source: ep.Rank, Tag: req.tag, Count: req.n}
+	req.done = true
+	ep.handleMatchable(env)
+}
+
+// consumeUnexpected completes or advances a receive matched from the
+// unexpected queue.
+func (ep *Endpoint) consumeUnexpected(req *Request, env *envelope) {
+	switch env.kind {
+	case envEager:
+		ep.deliverEager(req, env)
+	case envRTS:
+		ep.matchRTS(req, env)
+	default:
+		panic("adi: unexpected queue held a " + env.kind.String())
+	}
+}
+
+// Iprobe reports whether a matching message has arrived but not been
+// received, without consuming it.
+func (ep *Endpoint) Iprobe(src, tag, ctxID int) (bool, Status) {
+	probe := &Request{peer: src, tag: tag, ctxID: ctxID}
+	for _, env := range ep.unexpected {
+		if matches(probe, env) {
+			return true, Status{Source: env.src, Tag: env.tag, Count: env.size}
+		}
+	}
+	return false, Status{}
+}
+
+// ---- progress engine (the "completion filter" of Figure 2) ----
+
+// progressOnce handles at most one pending event, charging its CPU costs,
+// and reports whether anything was handled.
+func (ep *Endpoint) progressOnce() bool {
+	if cqe, ok := ep.cq.Poll(); ok {
+		ep.charge(ep.m.CPUCompletion)
+		if cqe.Op == ib.OpRecv {
+			ep.srq.PostRecv(ib.RecvWR{}) // replenish the prepost pool
+			env, ok := cqe.Ctx.(*envelope)
+			if !ok {
+				panic("adi: inbound completion without envelope")
+			}
+			conn := ep.conns[env.src]
+			if conn != nil && conn.sh == nil {
+				ep.creditArrived(conn, env.credits)
+				if env.kind == envCredit {
+					return true
+				}
+				ep.consumedRecv(conn)
+			}
+			ep.inbound(env)
+		} else {
+			if req := ep.onAtomic[cqe.WRID]; req != nil {
+				delete(ep.onAtomic, cqe.WRID)
+				req.atomicOld = cqe.AtomicOld
+				req.done = true
+			} else if cb := ep.onComplete[cqe.WRID]; cb != nil {
+				delete(ep.onComplete, cqe.WRID)
+				cb()
+			}
+			ep.drainBacklog(cqe.QPN)
+		}
+		return true
+	}
+	if msg, ok := ep.shmemIn.TryGet(); ok {
+		env, ok2 := msg.Ctx.(*envelope)
+		if !ok2 {
+			panic("adi: shmem message without envelope")
+		}
+		env.data = msg.Data // payload rides the channel, not the envelope
+		ep.inbound(env)
+		return true
+	}
+	return false
+}
+
+// Progress drains all currently pending events without blocking.
+func (ep *Endpoint) Progress() {
+	for ep.progressOnce() {
+	}
+}
+
+// Wait blocks the rank until the request completes, driving progress.
+func (ep *Endpoint) Wait(req *Request) Status {
+	for !req.done {
+		if !ep.progressOnce() {
+			ep.idle.Wait(ep.proc, whyWaitReq)
+		}
+	}
+	return req.status
+}
+
+// WaitAll blocks until every request completes.
+func (ep *Endpoint) WaitAll(reqs []*Request) {
+	for _, r := range reqs {
+		ep.Wait(r)
+	}
+}
+
+// Test drives one round of progress and reports whether req is complete.
+func (ep *Endpoint) Test(req *Request) bool {
+	ep.Progress()
+	return req.done
+}
+
+// WaitAnyProgress blocks the rank until at least one progress event is
+// handled (used by Waitany-style loops).
+func (ep *Endpoint) WaitAnyProgress() {
+	if !ep.progressOnce() {
+		ep.idle.Wait(ep.proc, whyWaitReq)
+		ep.progressOnce()
+	}
+}
+
+// NextCtx reports the next free matching-context id on this endpoint.
+func (ep *Endpoint) NextCtx() int {
+	if ep.nextCtx < 2 {
+		ep.nextCtx = 2 // 0 and 1 belong to MPI_COMM_WORLD
+	}
+	return ep.nextCtx
+}
+
+// ReserveCtx marks context ids below bound as used.
+func (ep *Endpoint) ReserveCtx(bound int) {
+	if bound > ep.nextCtx {
+		ep.nextCtx = bound
+	}
+}
+
+// inbound routes a protocol envelope, enforcing per-connection sequencing
+// for eager and RTS envelopes.
+func (ep *Endpoint) inbound(env *envelope) {
+	switch env.kind {
+	case envCTS:
+		ep.handleCTS(env)
+		return
+	case envFIN:
+		ep.handleFIN(env)
+		return
+	case envDone:
+		ep.handleDone(env)
+		return
+	}
+	conn := ep.conns[env.src]
+	if env.seq != conn.recvSeqNext {
+		if conn.ooo == nil {
+			conn.ooo = make(map[uint64]*envelope)
+		}
+		conn.ooo[env.seq] = env
+		return
+	}
+	ep.dispatchSequenced(env)
+	conn.recvSeqNext++
+	for {
+		next, ok := conn.ooo[conn.recvSeqNext]
+		if !ok {
+			break
+		}
+		delete(conn.ooo, conn.recvSeqNext)
+		ep.dispatchSequenced(next)
+		conn.recvSeqNext++
+	}
+}
+
+// sendEnvelope transmits a channel message (anything carried by an OpSend:
+// eager data, RTS/CTS/FIN/DONE, message-based RMA), consuming one credit
+// and piggybacking any owed credits. With the pool empty the message waits
+// in the connection's credit queue.
+func (ep *Endpoint) sendEnvelope(conn *Conn, rail int, env *envelope, data []byte, wireN int, onPosted func()) {
+	if conn.credits <= 0 {
+		ep.stats.CreditStalls++
+		conn.creditQueue = append(conn.creditQueue, pendingEnvelope{rail, env, data, wireN, onPosted})
+		return
+	}
+	conn.credits--
+	env.credits += conn.owed
+	conn.owed = 0
+	ep.post(conn, rail, ib.SendWR{
+		WRID: ep.nextWRID(nil), Op: ib.OpSend,
+		Data: data, N: wireN,
+		Signaled: true, Ctx: env,
+	}, onPosted)
+}
+
+// creditArrived books returned credits and drains any stalled messages.
+func (ep *Endpoint) creditArrived(conn *Conn, n int) {
+	if n <= 0 {
+		return
+	}
+	conn.credits += n
+	for len(conn.creditQueue) > 0 && conn.credits > 0 {
+		pe := conn.creditQueue[0]
+		conn.creditQueue = conn.creditQueue[1:]
+		ep.sendEnvelope(conn, pe.rail, pe.env, pe.data, pe.wireN, pe.onPosted)
+	}
+}
+
+// consumedRecv accounts one processed inbound channel message and returns
+// credits explicitly once half the pool is owed and no reverse traffic has
+// carried them back.
+func (ep *Endpoint) consumedRecv(conn *Conn) {
+	conn.owed++
+	if conn.owed < ep.m.EagerCredits/2 {
+		return
+	}
+	env := &envelope{kind: envCredit, src: ep.Rank, credits: conn.owed}
+	conn.owed = 0
+	ep.charge(ep.m.CPUPostWQE + ep.m.DoorbellTime)
+	// Credit messages are exempt from flow control: the receiver reserves
+	// prepost slack for them (srqPrepost exceeds the credit pool).
+	ep.post(conn, conn.ctrlRail(), ib.SendWR{
+		WRID: ep.nextWRID(nil), Op: ib.OpSend,
+		N: ep.m.CtrlMsgBytes, Signaled: true, Ctx: env,
+	}, nil)
+	ep.stats.CreditUpdates++
+}
+
+// dispatchSequenced routes an in-sequence envelope: matched two-sided
+// traffic or a one-sided operation applied at this target.
+func (ep *Endpoint) dispatchSequenced(env *envelope) {
+	switch env.kind {
+	case envPut, envAccum, envGetReq, envAtomicReq:
+		ep.charge(ep.m.CPUHeaderProc)
+		ep.handleRMA(env)
+	case envGetResp:
+		ep.charge(ep.m.CPUHeaderProc)
+		ep.handleGetResp(env)
+	case envAtomicResp:
+		ep.charge(ep.m.CPUHeaderProc)
+		ep.handleAtomicResp(env)
+	default:
+		ep.handleMatchable(env)
+	}
+}
+
+// handleMatchable processes an in-sequence eager or RTS envelope.
+func (ep *Endpoint) handleMatchable(env *envelope) {
+	ep.charge(ep.m.CPUHeaderProc)
+	for i, req := range ep.recvQ {
+		if matches(req, env) {
+			ep.recvQ = append(ep.recvQ[:i], ep.recvQ[i+1:]...)
+			switch env.kind {
+			case envEager:
+				ep.deliverEager(req, env)
+			case envRTS:
+				ep.matchRTS(req, env)
+			}
+			return
+		}
+	}
+	ep.unexpected = append(ep.unexpected, env)
+}
+
+// deferredWR is a work request awaiting send-queue space, with a callback
+// fired when it finally reaches the hardware.
+type deferredWR struct {
+	wr       ib.SendWR
+	onPosted func()
+}
+
+// drainBacklog retries WRs deferred on a full send queue, preserving their
+// per-rail FIFO order.
+func (ep *Endpoint) drainBacklog(qpn int) {
+	qp, ok := ep.qpIdx[qpn]
+	if !ok {
+		return
+	}
+	q := ep.backlog[qp]
+	for len(q) > 0 {
+		if err := qp.PostSend(q[0].wr); err == ib.ErrSQFull {
+			break
+		} else if err != nil {
+			panic(fmt.Sprintf("adi: backlog repost failed: %v", err))
+		}
+		if q[0].onPosted != nil {
+			q[0].onPosted()
+		}
+		q = q[1:]
+	}
+	if len(q) == 0 {
+		delete(ep.backlog, qp)
+	} else {
+		ep.backlog[qp] = q
+	}
+}
+
+// post sends a WR on a rail, deferring it on backpressure. onPosted runs
+// when the WR actually reaches the hardware — immediately on the fast path.
+func (ep *Endpoint) post(conn *Conn, rail int, wr ib.SendWR, onPosted func()) {
+	qp := conn.rails[rail]
+	if q := ep.backlog[qp]; len(q) > 0 {
+		ep.backlog[qp] = append(q, deferredWR{wr, onPosted})
+		return
+	}
+	if err := qp.PostSend(wr); err == ib.ErrSQFull {
+		ep.backlog[qp] = append(ep.backlog[qp], deferredWR{wr, onPosted})
+		return
+	} else if err != nil {
+		panic(fmt.Sprintf("adi: PostSend failed: %v", err))
+	}
+	if onPosted != nil {
+		onPosted()
+	}
+}
+
+// nextWRID allocates a work-request identifier with an optional completion
+// callback.
+func (ep *Endpoint) nextWRID(cb func()) uint64 {
+	ep.wrID++
+	if cb != nil {
+		ep.onComplete[ep.wrID] = cb
+	}
+	return ep.wrID
+}

@@ -1,0 +1,374 @@
+package adi
+
+import (
+	"ib12x/internal/core"
+	"ib12x/internal/ib"
+	"ib12x/internal/sim"
+	"ib12x/internal/trace"
+)
+
+// One-sided (RMA) support, following the multi-rail one-sided design of the
+// authors' companion work (Vishnu et al., HiPC 2005): direct RDMA for
+// inter-node Put/Get — striped across rails by the scheduling policies —
+// and two-sided emulation for intra-node targets and for Accumulate (which
+// needs the target CPU to apply the operation), exactly as MVAPICH did.
+
+// AccOp is an accumulate operator applied at the target.
+type AccOp int
+
+// Accumulate operators over little-endian int64 elements.
+const (
+	AccReplace AccOp = iota
+	AccSum
+	AccMax
+	AccMin
+)
+
+// winInfo is the endpoint-side state of an exposed memory window.
+type winInfo struct {
+	buf       []byte
+	n         int
+	mr        *ib.MR
+	processed int64 // message-based ops applied at this target
+	w         sim.Waiter
+}
+
+// RegisterWindow exposes buf (may be nil for synthetic windows) of n bytes
+// as RMA window id and returns the rkey peers use for RDMA access. Window
+// ids must be allocated symmetrically across ranks (the mpi layer's
+// collective WinCreate guarantees this).
+func (ep *Endpoint) RegisterWindow(id int, buf []byte, n int) uint32 {
+	if ep.windows == nil {
+		ep.windows = make(map[int]*winInfo)
+	}
+	if _, dup := ep.windows[id]; dup {
+		panic("adi: window id already registered")
+	}
+	mr := ep.realm.RegisterMR(buf, n)
+	ep.windows[id] = &winInfo{buf: buf, n: n, mr: mr}
+	return mr.RKey
+}
+
+// UnregisterWindow tears the window down.
+func (ep *Endpoint) UnregisterWindow(id int) {
+	win, ok := ep.windows[id]
+	if !ok {
+		return
+	}
+	ep.realm.DeregisterMR(win.mr)
+	delete(ep.windows, id)
+}
+
+// WindowProcessed reports how many message-based RMA ops have been applied
+// to the local window so far.
+func (ep *Endpoint) WindowProcessed(id int) int64 { return ep.windows[id].processed }
+
+// WaitWindowOps blocks until at least `total` message-based ops have been
+// applied to the local window (cumulative across epochs).
+func (ep *Endpoint) WaitWindowOps(id int, total int64) {
+	win := ep.windows[id]
+	for win.processed < total {
+		if !ep.progressOnce() {
+			ep.idle.Wait(ep.proc, "adi: waiting for window ops")
+		}
+	}
+}
+
+// PutBulk writes n bytes into the target's window at byte offset off.
+// Inter-node targets take striped RDMA writes per the policy (class is the
+// communication-marker input); intra-node targets and self use copy/message
+// paths. The returned request completes when remote placement is
+// guaranteed. `counted` reports whether the op must be counted toward the
+// fence's message-based expectation at the target.
+func (ep *Endpoint) PutBulk(peer, winID int, rkey uint32, off int, data []byte, n int, class core.Class) (req *Request, counted bool) {
+	req = &Request{ep: ep, send: true, peer: peer, n: n}
+	if peer == ep.Rank {
+		win := ep.windows[winID]
+		if win.buf != nil && data != nil {
+			copy(win.buf[off:off+n], data[:n])
+		}
+		req.done = true
+		return req, false
+	}
+	conn := ep.conns[peer]
+	if conn.sh != nil {
+		ep.sendRMAMsg(conn, &envelope{
+			kind: envPut, src: ep.Rank, size: n, winID: winID, off: off,
+		}, data, n)
+		req.done = true
+		return req, true
+	}
+	// RDMA path: plan stripes; the request completes when all writes ack
+	// (ack implies remote placement under RC).
+	plan := ep.policy.PlanBulk(class, n, len(conn.rails), &conn.sched)
+	req.writesLeft = len(plan)
+	for _, s := range plan {
+		var chunk []byte
+		if data != nil {
+			chunk = data[s.Off : s.Off+s.N]
+		}
+		ep.charge(ep.m.CPUPostWQE + ep.m.DoorbellTime)
+		wrid := ep.nextWRID(func() {
+			req.writesLeft--
+			if req.writesLeft == 0 {
+				req.done = true
+			}
+		})
+		ep.post(conn, s.Rail, ib.SendWR{
+			WRID: wrid, Op: ib.OpRDMAWrite,
+			Data: chunk, N: s.N, RKey: rkey, RemoteOff: off + s.Off,
+			Signaled: true,
+		}, nil)
+		ep.stats.StripesSent++
+		ep.trace(trace.KindRMA, peer, s.N, s.Rail)
+	}
+	return req, false
+}
+
+// GetBulk reads n bytes from the target's window at byte offset off into
+// buf. Inter-node targets use striped RDMA reads; intra-node targets a
+// request/response message pair.
+func (ep *Endpoint) GetBulk(peer, winID int, rkey uint32, off int, buf []byte, n int, class core.Class) *Request {
+	req := &Request{ep: ep, peer: peer, n: n}
+	if peer == ep.Rank {
+		win := ep.windows[winID]
+		if win.buf != nil && buf != nil {
+			copy(buf[:n], win.buf[off:off+n])
+		}
+		req.done = true
+		return req
+	}
+	conn := ep.conns[peer]
+	if conn.sh != nil {
+		req.data = buf
+		ep.sendRMAMsg(conn, &envelope{
+			kind: envGetReq, src: ep.Rank, size: n, winID: winID, off: off, rreq: req,
+		}, nil, 0)
+		return req
+	}
+	plan := ep.policy.PlanBulk(class, n, len(conn.rails), &conn.sched)
+	req.writesLeft = len(plan)
+	for _, s := range plan {
+		var chunk []byte
+		if buf != nil {
+			chunk = buf[s.Off : s.Off+s.N]
+		}
+		ep.charge(ep.m.CPUPostWQE + ep.m.DoorbellTime)
+		wrid := ep.nextWRID(func() {
+			req.writesLeft--
+			if req.writesLeft == 0 {
+				req.done = true
+			}
+		})
+		ep.post(conn, s.Rail, ib.SendWR{
+			WRID: wrid, Op: ib.OpRDMARead,
+			Data: chunk, N: s.N, RKey: rkey, RemoteOff: off + s.Off,
+			Signaled: true,
+		}, nil)
+		ep.stats.StripesRead++
+		ep.trace(trace.KindRMA, peer, s.N, s.Rail)
+	}
+	return req
+}
+
+// AccumulateSend applies op element-wise (int64 lanes) at the target's
+// window. Always message-based: the target CPU performs the combine during
+// its progress. Returns whether the op counts toward fence expectations.
+func (ep *Endpoint) AccumulateSend(peer, winID int, off int, data []byte, n int, op AccOp) bool {
+	if peer == ep.Rank {
+		applyAccumulate(ep.windows[winID], off, data, n, op)
+		return false // self ops apply synchronously; not fence-counted
+	}
+	conn := ep.conns[peer]
+	ep.sendRMAMsg(conn, &envelope{
+		kind: envAccum, src: ep.Rank, size: n, winID: winID, off: off, accOp: op,
+	}, data, n)
+	return true
+}
+
+// FetchAtomic performs an 8-byte remote read-modify-write at the target's
+// window offset: fetch-and-add (cas=false; arg1 = addend) or
+// compare-and-swap (cas=true; arg1 = comparand, arg2 = replacement). The
+// returned request completes with the pre-operation value. Inter-node
+// targets use the HCA's atomic engine; intra-node and self use the
+// message path, which the event serialization makes equally atomic.
+func (ep *Endpoint) FetchAtomic(peer, winID int, rkey uint32, off int, cas bool, arg1, arg2 uint64) *Request {
+	req := &Request{ep: ep, peer: peer, n: 8}
+	if peer == ep.Rank {
+		req.atomicOld = applyAtomic(ep.windows[winID], off, cas, arg1, arg2)
+		req.done = true
+		return req
+	}
+	conn := ep.conns[peer]
+	if conn.sh != nil {
+		ep.sendRMAMsg(conn, &envelope{
+			kind: envAtomicReq, src: ep.Rank, size: 8, winID: winID, off: off,
+			atomicCAS: cas, arg1: arg1, arg2: arg2, rreq: req,
+		}, nil, 0)
+		return req
+	}
+	op := ib.OpAtomicFAdd
+	if cas {
+		op = ib.OpAtomicCAS
+	}
+	ep.charge(ep.m.CPUPostWQE + ep.m.DoorbellTime)
+	wrid := ep.nextWRIDAtomic(req)
+	ep.post(conn, conn.ctrlRail(), ib.SendWR{
+		WRID: wrid, Op: op, N: 8,
+		RKey: rkey, RemoteOff: off,
+		CompareAdd: arg1, Swap: arg2,
+		Signaled: true,
+	}, nil)
+	return req
+}
+
+// nextWRIDAtomic registers a completion callback that captures the atomic
+// result from the CQE (callbacks registered with nextWRID do not see it).
+func (ep *Endpoint) nextWRIDAtomic(req *Request) uint64 {
+	ep.wrID++
+	ep.onAtomic[ep.wrID] = req
+	return ep.wrID
+}
+
+// applyAtomic executes the read-modify-write on a local window.
+func applyAtomic(win *winInfo, off int, cas bool, arg1, arg2 uint64) uint64 {
+	if win.buf == nil {
+		return 0
+	}
+	old := leU64(win.buf[off:])
+	next := old + arg1
+	if cas {
+		next = old
+		if old == arg1 {
+			next = arg2
+		}
+	}
+	putLeU64(win.buf[off:], next)
+	return old
+}
+
+// sendRMAMsg ships a message-based RMA envelope (put/accumulate/get
+// request) with an owned payload copy over the conn's transport.
+func (ep *Endpoint) sendRMAMsg(conn *Conn, env *envelope, data []byte, n int) {
+	if data != nil {
+		env.data = make([]byte, n)
+		copy(env.data, data[:n])
+		ep.charge(sim.TransferTime(int64(n), ep.m.EagerCopyRate))
+	}
+	env.seq = conn.sendSeq
+	conn.sendSeq++
+	if conn.sh != nil {
+		env.shm = true
+		senderDone := conn.sh.Send(env.data, n, env)
+		if d := senderDone - ep.eng.Now(); d > 0 {
+			ep.proc.Sleep(d)
+		}
+		ep.stats.ShmemSent++
+		return
+	}
+	ep.charge(ep.m.CPUHeaderProc + ep.m.CPUPostWQE + ep.m.DoorbellTime)
+	rail := ep.policy.PickEager(core.NonBlocking, n, len(conn.rails), &conn.sched)
+	ep.sendEnvelope(conn, rail, env, env.data, n+ep.m.MPIHeaderBytes, nil)
+	ep.stats.EagerSent++
+}
+
+// handleRMA processes an inbound sequenced RMA envelope at the target.
+func (ep *Endpoint) handleRMA(env *envelope) {
+	win, ok := ep.windows[env.winID]
+	if !ok {
+		panic("adi: RMA op for unknown window")
+	}
+	switch env.kind {
+	case envPut:
+		if win.buf != nil && env.data != nil {
+			copy(win.buf[env.off:env.off+env.size], env.data[:env.size])
+		}
+		ep.charge(sim.TransferTime(int64(env.size), ep.m.EagerCopyRate))
+		win.processed++
+		win.w.WakeAll()
+	case envAccum:
+		applyAccumulate(win, env.off, env.data, env.size, env.accOp)
+		ep.charge(sim.TransferTime(int64(env.size), ep.m.EagerCopyRate))
+		win.processed++
+		win.w.WakeAll()
+	case envGetReq:
+		// Reply with the requested bytes; the requester's request pointer
+		// rides along.
+		var payload []byte
+		if win.buf != nil {
+			payload = win.buf[env.off : env.off+env.size]
+		}
+		conn := ep.conns[env.src]
+		resp := &envelope{kind: envGetResp, src: ep.Rank, size: env.size, rreq: env.rreq}
+		ep.sendRMAMsg(conn, resp, payload, env.size)
+	case envAtomicReq:
+		old := applyAtomic(win, env.off, env.atomicCAS, env.arg1, env.arg2)
+		conn := ep.conns[env.src]
+		resp := &envelope{kind: envAtomicResp, src: ep.Rank, size: 8, rreq: env.rreq, old: old}
+		ep.sendRMAMsg(conn, resp, nil, 0)
+	}
+}
+
+// handleAtomicResp completes a message-based atomic at the requester.
+func (ep *Endpoint) handleAtomicResp(env *envelope) {
+	req := env.rreq
+	req.atomicOld = env.old
+	req.done = true
+}
+
+// handleGetResp completes a message-based Get at the requester.
+func (ep *Endpoint) handleGetResp(env *envelope) {
+	req := env.rreq
+	if req.data != nil && env.data != nil {
+		copy(req.data[:env.size], env.data[:env.size])
+	}
+	ep.charge(sim.TransferTime(int64(env.size), ep.m.EagerCopyRate))
+	req.done = true
+}
+
+// applyAccumulate combines data into the window at byte offset off over
+// little-endian int64 lanes (AccReplace copies bytes).
+func applyAccumulate(win *winInfo, off int, data []byte, n int, op AccOp) {
+	if win.buf == nil || data == nil {
+		return
+	}
+	dst := win.buf[off : off+n]
+	if op == AccReplace {
+		copy(dst, data[:n])
+		return
+	}
+	for i := 0; i+8 <= n; i += 8 {
+		a := int64(leU64(dst[i:]))
+		b := int64(leU64(data[i:]))
+		var r int64
+		switch op {
+		case AccSum:
+			r = a + b
+		case AccMax:
+			r = a
+			if b > a {
+				r = b
+			}
+		case AccMin:
+			r = a
+			if b < a {
+				r = b
+			}
+		}
+		putLeU64(dst[i:], uint64(r))
+	}
+}
+
+func leU64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}
+
+func putLeU64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}

@@ -1,0 +1,250 @@
+package adi
+
+import (
+	"ib12x/internal/ib"
+	"ib12x/internal/sim"
+	"ib12x/internal/trace"
+)
+
+// ---- eager protocol (size < RendezvousThreshold) ----
+
+// sendEager copies the payload into a bounce buffer and ships it whole on
+// the rail the policy picks. The request completes immediately (buffered
+// send semantics, as in MVAPICH).
+func (ep *Endpoint) sendEager(conn *Conn, req *Request) {
+	env := &envelope{
+		kind: envEager, src: ep.Rank, tag: req.tag, ctxID: req.ctxID,
+		size: req.n, seq: conn.sendSeq,
+	}
+	conn.sendSeq++
+	if req.data != nil {
+		env.data = make([]byte, req.n)
+		copy(env.data, req.data[:req.n])
+		ep.charge(sim.TransferTime(int64(req.n), ep.m.EagerCopyRate))
+	}
+	rail := ep.policy.PickEager(req.class, req.n, len(conn.rails), &conn.sched)
+	ep.charge(ep.m.CPUHeaderProc + ep.m.CPUPostWQE + ep.m.DoorbellTime)
+	ep.trace(trace.KindEager, req.peer, req.n, rail)
+	req.status = Status{Source: ep.Rank, Tag: req.tag, Count: req.n}
+	// Buffered-send semantics: the request completes as soon as the
+	// descriptor reaches the hardware. If the send queue is full or the
+	// credit pool is empty, it completes when the stall drains (so a Wait
+	// keeps progress alive).
+	ep.sendEnvelope(conn, rail, env, env.data, req.n+ep.m.MPIHeaderBytes, func() { req.done = true })
+	ep.stats.EagerSent++
+}
+
+// deliverEager completes a matched receive from an eager envelope.
+func (ep *Endpoint) deliverEager(req *Request, env *envelope) {
+	n := env.size
+	if n > req.n {
+		n = req.n
+		req.status.Err = ErrTruncated
+	}
+	if req.data != nil && env.data != nil {
+		copy(req.data[:n], env.data[:n])
+	}
+	rate := ep.m.EagerCopyRate
+	if env.shm {
+		rate = ep.m.ShmemRate
+	}
+	ep.charge(sim.TransferTime(int64(n), rate))
+	req.status.Source = env.src
+	req.status.Tag = env.tag
+	req.status.Count = n
+	req.done = true
+	ep.trace(trace.KindDeliver, env.src, n, -1)
+}
+
+// ---- rendezvous protocol (RTS / CTS / RDMA write / FIN) ----
+
+// sendRTS begins a rendezvous transfer: a control message announces the
+// send. Under RndvWrite the data waits for the receiver's CTS; under
+// RndvRead the RTS itself carries the sender's buffer key and class so the
+// receiver can pull.
+func (ep *Endpoint) sendRTS(conn *Conn, req *Request) {
+	env := &envelope{
+		kind: envRTS, src: ep.Rank, tag: req.tag, ctxID: req.ctxID,
+		size: req.n, seq: conn.sendSeq, sreq: req, class: req.class,
+	}
+	conn.sendSeq++
+	if ep.rndv == RndvRead {
+		mr := ep.realm.RegisterMR(req.data, req.n)
+		req.mrKey = mr.RKey
+		env.rkey = mr.RKey
+	}
+	conn.sched.Outstanding++
+	ep.charge(ep.m.CPUHeaderProc + ep.m.CPUPostWQE + ep.m.DoorbellTime)
+	ep.trace(trace.KindRTS, req.peer, req.n, -1)
+	ep.sendEnvelope(conn, conn.ctrlRail(), env, nil, ep.m.CtrlMsgBytes, nil)
+	ep.stats.RendezvousSent++
+	ep.stats.CtrlMsgs++
+}
+
+// matchRTS routes a matched RTS to the rendezvous engine in force.
+func (ep *Endpoint) matchRTS(req *Request, env *envelope) {
+	if ep.rndv == RndvRead {
+		ep.startRead(req, env)
+		return
+	}
+	ep.sendCTS(req, env)
+}
+
+// startRead runs at the receiver under RndvRead: it pulls the sender's
+// buffer with RDMA reads striped per the policy (using the sender's marker
+// class, carried in the RTS) and then releases the sender with a DONE
+// control message.
+func (ep *Endpoint) startRead(req *Request, env *envelope) {
+	xfer := env.size
+	if xfer > req.n {
+		xfer = req.n
+		req.status.Err = ErrTruncated
+	}
+	req.status.Source = env.src
+	req.status.Tag = env.tag
+	req.status.Count = xfer
+
+	conn := ep.conns[env.src]
+	plan := ep.policy.PlanBulk(env.class, xfer, len(conn.rails), &conn.sched)
+	req.writesLeft = len(plan)
+	sreq := env.sreq
+	for _, s := range plan {
+		var chunk []byte
+		if req.data != nil {
+			chunk = req.data[s.Off : s.Off+s.N]
+		}
+		ep.charge(ep.m.CPUPostWQE + ep.m.DoorbellTime)
+		wrid := ep.nextWRID(func() {
+			req.writesLeft--
+			if req.writesLeft == 0 {
+				ep.finishRead(conn, req, sreq)
+			}
+		})
+		ep.post(conn, s.Rail, ib.SendWR{
+			WRID: wrid, Op: ib.OpRDMARead,
+			Data: chunk, N: s.N, RKey: env.rkey, RemoteOff: s.Off,
+			Signaled: true,
+		}, nil)
+		ep.stats.StripesRead++
+		ep.trace(trace.KindStripeRead, env.src, s.N, s.Rail)
+	}
+}
+
+// finishRead completes the receive and releases the sender.
+func (ep *Endpoint) finishRead(conn *Conn, req, sreq *Request) {
+	done := &envelope{kind: envDone, src: ep.Rank, sreq: sreq}
+	ep.charge(ep.m.CPUHeaderProc + ep.m.CPUPostWQE + ep.m.DoorbellTime)
+	ep.sendEnvelope(conn, conn.ctrlRail(), done, nil, ep.m.CtrlMsgBytes, nil)
+	ep.stats.CtrlMsgs++
+	req.done = true
+}
+
+// handleDone runs at the sender under RndvRead: the receiver has pulled
+// everything, so the registration is released and the send completes.
+func (ep *Endpoint) handleDone(env *envelope) {
+	req := env.sreq
+	ep.conns[env.src].sched.Outstanding--
+	ep.charge(ep.m.CPUHeaderProc)
+	if mr, ok := ep.realm.LookupMR(req.mrKey); ok {
+		ep.realm.DeregisterMR(mr)
+	}
+	req.status = Status{Source: ep.Rank, Tag: req.tag, Count: req.n}
+	req.done = true
+}
+
+// sendCTS runs at the receiver when an RTS matches a posted receive: it
+// registers the destination buffer and grants the sender an RDMA target.
+func (ep *Endpoint) sendCTS(req *Request, env *envelope) {
+	xfer := env.size
+	if xfer > req.n {
+		xfer = req.n
+		req.status.Err = ErrTruncated
+	}
+	mr := ep.realm.RegisterMR(req.data, xfer)
+	req.mrKey = mr.RKey
+	req.status.Source = env.src
+	req.status.Tag = env.tag
+	req.status.Count = xfer
+
+	cts := &envelope{kind: envCTS, src: ep.Rank, sreq: env.sreq, rreq: req, rkey: mr.RKey, xfer: xfer}
+	conn := ep.conns[env.src]
+	ep.charge(ep.m.CPUHeaderProc + ep.m.CPUPostWQE + ep.m.DoorbellTime)
+	ep.trace(trace.KindCTS, env.src, xfer, -1)
+	ep.sendEnvelope(conn, conn.ctrlRail(), cts, nil, ep.m.CtrlMsgBytes, nil)
+	ep.stats.CtrlMsgs++
+}
+
+// handleCTS runs at the sender: the communication scheduler consults the
+// policy — with the marker's class — and issues the RDMA write stripes.
+func (ep *Endpoint) handleCTS(env *envelope) {
+	sreq := env.sreq
+	conn := ep.conns[env.src]
+	ep.charge(ep.m.CPUHeaderProc)
+	plan := ep.policy.PlanBulk(sreq.class, env.xfer, len(conn.rails), &conn.sched)
+	sreq.writesLeft = len(plan)
+	rreq, rkey := env.rreq, env.rkey
+	for _, s := range plan {
+		var chunk []byte
+		if sreq.data != nil {
+			chunk = sreq.data[s.Off : s.Off+s.N]
+		}
+		ep.charge(ep.m.CPUPostWQE + ep.m.DoorbellTime)
+		wrid := ep.nextWRID(func() {
+			sreq.writesLeft--
+			if sreq.writesLeft == 0 {
+				ep.finishRendezvous(conn, sreq, rreq)
+			}
+		})
+		ep.post(conn, s.Rail, ib.SendWR{
+			WRID: wrid, Op: ib.OpRDMAWrite,
+			Data: chunk, N: s.N, RKey: rkey, RemoteOff: s.Off,
+			Signaled: true, Ctx: nil,
+		}, nil)
+		ep.stats.StripesSent++
+		ep.trace(trace.KindStripeWrite, env.src, s.N, s.Rail)
+	}
+}
+
+// finishRendezvous runs at the sender when the last stripe completes: the
+// FIN control message releases the receiver, and the send request is done.
+func (ep *Endpoint) finishRendezvous(conn *Conn, sreq, rreq *Request) {
+	fin := &envelope{kind: envFIN, src: ep.Rank, rreq: rreq}
+	ep.charge(ep.m.CPUHeaderProc + ep.m.CPUPostWQE + ep.m.DoorbellTime)
+	ep.sendEnvelope(conn, conn.ctrlRail(), fin, nil, ep.m.CtrlMsgBytes, nil)
+	ep.stats.CtrlMsgs++
+	ep.trace(trace.KindFIN, conn.peer, 0, -1)
+	conn.sched.Outstanding--
+	sreq.status = Status{Source: ep.Rank, Tag: sreq.tag, Count: sreq.n}
+	sreq.done = true
+}
+
+// handleFIN runs at the receiver: data is in place, the buffer registration
+// is released, the receive completes.
+func (ep *Endpoint) handleFIN(env *envelope) {
+	req := env.rreq
+	ep.charge(ep.m.CPUHeaderProc)
+	if mr, ok := ep.realm.LookupMR(req.mrKey); ok {
+		ep.realm.DeregisterMR(mr)
+	}
+	req.done = true
+}
+
+// ---- shared-memory path ----
+
+// sendShmem ships any size message over the intra-node channel: the send
+// completes when the copy into the shared buffer does.
+func (ep *Endpoint) sendShmem(conn *Conn, req *Request) {
+	env := &envelope{
+		kind: envEager, src: ep.Rank, tag: req.tag, ctxID: req.ctxID,
+		size: req.n, seq: conn.sendSeq, shm: true,
+	}
+	conn.sendSeq++
+	senderDone := conn.sh.Send(req.data, req.n, env)
+	if d := senderDone - ep.eng.Now(); d > 0 {
+		ep.proc.Sleep(d)
+	}
+	ep.stats.ShmemSent++
+	ep.trace(trace.KindShmem, req.peer, req.n, -1)
+	req.status = Status{Source: ep.Rank, Tag: req.tag, Count: req.n}
+	req.done = true
+}

@@ -1,0 +1,137 @@
+package adi
+
+import (
+	"bytes"
+	"testing"
+
+	"ib12x/internal/core"
+	"ib12x/internal/sim"
+)
+
+func TestRGetRendezvousDelivers(t *testing.T) {
+	const n = 256 * 1024
+	payload := fill(n, 4)
+	got := make([]byte, n)
+	w := run(t, spec2x1(4), Options{Policy: core.EPC, Rndv: RndvRead},
+		func(ep *Endpoint) {
+			req := ep.PostSend(1, 3, CtxPt2Pt, core.Blocking, payload, n)
+			ep.Wait(req)
+		},
+		func(ep *Endpoint) {
+			st := ep.Wait(ep.PostRecv(0, 3, CtxPt2Pt, got, n))
+			if st.Count != n || st.Err != nil {
+				t.Errorf("status = %+v", st)
+			}
+		})
+	if !bytes.Equal(got, payload) {
+		t.Error("RGET payload corrupted")
+	}
+	// The receiver issues the stripes under RGET.
+	if s := w.Endpoints[1].Stats(); s.StripesRead != 4 {
+		t.Errorf("receiver StripesRead = %d, want 4 (EPC blocking → striped reads)", s.StripesRead)
+	}
+	if s := w.Endpoints[0].Stats(); s.StripesSent != 0 {
+		t.Errorf("sender StripesSent = %d, want 0 under RGET", s.StripesSent)
+	}
+}
+
+func TestRGetUsesSenderClassForStriping(t *testing.T) {
+	// A non-blocking send under EPC must not be striped even when the
+	// receiver drives the transfer: the class rides the RTS.
+	const n = 64 * 1024
+	w := run(t, spec2x1(4), Options{Policy: core.EPC, Rndv: RndvRead},
+		func(ep *Endpoint) {
+			ep.Wait(ep.PostSend(1, 0, CtxPt2Pt, core.NonBlocking, nil, n))
+		},
+		func(ep *Endpoint) {
+			ep.Wait(ep.PostRecv(0, 0, CtxPt2Pt, nil, n))
+		})
+	if s := w.Endpoints[1].Stats(); s.StripesRead != 1 {
+		t.Errorf("StripesRead = %d, want 1 (non-blocking class carried in RTS)", s.StripesRead)
+	}
+}
+
+func TestRGetUnexpectedRTS(t *testing.T) {
+	const n = 128 * 1024
+	payload := fill(n, 7)
+	got := make([]byte, n)
+	run(t, spec2x1(2), Options{Policy: core.EvenStriping, Rndv: RndvRead},
+		func(ep *Endpoint) {
+			ep.Wait(ep.PostSend(1, 5, CtxPt2Pt, core.Blocking, payload, n))
+		},
+		func(ep *Endpoint) {
+			ep.Compute(300 * sim.Microsecond) // RTS lands unexpected
+			ep.Progress()
+			ep.Wait(ep.PostRecv(0, 5, CtxPt2Pt, got, n))
+		})
+	if !bytes.Equal(got, payload) {
+		t.Error("unexpected-path RGET corrupted")
+	}
+}
+
+func TestRGetTruncation(t *testing.T) {
+	const sendN, recvN = 64 * 1024, 24 * 1024
+	payload := fill(sendN, 9)
+	got := make([]byte, recvN)
+	run(t, spec2x1(2), Options{Policy: core.EPC, Rndv: RndvRead},
+		func(ep *Endpoint) {
+			ep.Wait(ep.PostSend(1, 0, CtxPt2Pt, core.Blocking, payload, sendN))
+		},
+		func(ep *Endpoint) {
+			st := ep.Wait(ep.PostRecv(0, 0, CtxPt2Pt, got, recvN))
+			if st.Err != ErrTruncated || st.Count != recvN {
+				t.Errorf("status = %+v", st)
+			}
+		})
+	if !bytes.Equal(got, payload[:recvN]) {
+		t.Error("truncated RGET wrong prefix")
+	}
+}
+
+func TestRGetOrderingMixedSizes(t *testing.T) {
+	sizes := []int{512, 64 * 1024, 512, 32 * 1024}
+	run(t, spec2x1(4), Options{Policy: core.RoundRobin, Rndv: RndvRead},
+		func(ep *Endpoint) {
+			var reqs []*Request
+			for i, n := range sizes {
+				reqs = append(reqs, ep.PostSend(1, 8, CtxPt2Pt, core.NonBlocking, fill(n, byte(i)), n))
+			}
+			ep.WaitAll(reqs)
+		},
+		func(ep *Endpoint) {
+			for i, n := range sizes {
+				got := make([]byte, n)
+				ep.Wait(ep.PostRecv(0, 8, CtxPt2Pt, got, n))
+				if !bytes.Equal(got, fill(n, byte(i))) {
+					t.Errorf("message %d out of order under RGET", i)
+				}
+			}
+		})
+}
+
+func TestRGetPerformanceComparableToRPut(t *testing.T) {
+	// Both protocols move the same bytes; RGET trades the CTS flight for
+	// read round trips. Peak bandwidth should land within ~15%.
+	elapsed := func(r RndvProto) sim.Time {
+		var end sim.Time
+		run(t, spec2x1(4), Options{Policy: core.EPC, Rndv: r},
+			func(ep *Endpoint) {
+				var reqs []*Request
+				for i := 0; i < 16; i++ {
+					reqs = append(reqs, ep.PostSend(1, 0, CtxPt2Pt, core.NonBlocking, nil, 1<<20))
+				}
+				ep.WaitAll(reqs)
+			},
+			func(ep *Endpoint) {
+				for i := 0; i < 16; i++ {
+					ep.Wait(ep.PostRecv(0, 0, CtxPt2Pt, nil, 1<<20))
+				}
+				end = ep.Now()
+			})
+		return end
+	}
+	put, get := elapsed(RndvWrite), elapsed(RndvRead)
+	if d := float64(get-put) / float64(put); d > 0.15 || d < -0.15 {
+		t.Errorf("RGET (%v) deviates from RPUT (%v) by %.0f%%", get, put, d*100)
+	}
+}

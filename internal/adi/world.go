@@ -1,0 +1,164 @@
+package adi
+
+import (
+	"ib12x/internal/core"
+	"ib12x/internal/ib"
+	"ib12x/internal/model"
+	"ib12x/internal/shmem"
+	"ib12x/internal/sim"
+	"ib12x/internal/topo"
+	"ib12x/internal/trace"
+)
+
+// Options configures world construction.
+type Options struct {
+	// Policy selects a built-in scheduling policy kind. Ignored if
+	// PolicyImpl is set.
+	Policy core.Kind
+	// PolicyImpl overrides the policy with a custom implementation.
+	PolicyImpl core.Policy
+	// MinStripe overrides the model's minimum stripe size (bytes).
+	MinStripe int
+	// BindRail, if set, chooses the bound rail per (rank, peer)
+	// connection — the knob behind the binding policy. Defaults to rail 0.
+	BindRail func(rank, peer int) int
+	// SQDepth overrides the per-QP send queue depth (default 128).
+	SQDepth int
+	// Rndv selects the rendezvous protocol (default RndvWrite, the
+	// paper's RPUT; RndvRead is the MVAPICH RGET variant).
+	Rndv RndvProto
+	// Trace, when non-nil, receives every rank's protocol events.
+	Trace *trace.Recorder
+	// FaultEvery injects a deterministic transmission error on every N-th
+	// chunk of every port (0 = error-free fabric). Lost chunks pay the RC
+	// retransmit timeout; payloads still arrive intact.
+	FaultEvery int64
+}
+
+// World is a fully wired simulated MPI job: hardware topology plus one
+// endpoint per rank, all connections established.
+type World struct {
+	Eng       *sim.Engine
+	M         *model.Params
+	Cluster   *topo.Cluster
+	Realm     *ib.Realm
+	Endpoints []*Endpoint
+}
+
+// NewWorld builds the cluster hardware and wires every process pair:
+// shared-memory links within a node, `spec.Rails()` QP rails between nodes.
+func NewWorld(eng *sim.Engine, m *model.Params, spec topo.Spec, opt Options) *World {
+	cluster := topo.Build(spec, m)
+	realm := ib.NewRealm(eng, m)
+
+	policy := opt.PolicyImpl
+	if policy == nil {
+		minStripe := opt.MinStripe
+		if minStripe == 0 {
+			minStripe = m.MinStripe
+		}
+		policy = core.New(opt.Policy, minStripe)
+	}
+
+	w := &World{Eng: eng, M: m, Cluster: cluster, Realm: realm}
+	if opt.FaultEvery > 0 {
+		for _, node := range cluster.Nodes {
+			for _, port := range node.Ports() {
+				port.ErrorEvery = opt.FaultEvery
+			}
+		}
+	}
+	n := spec.Size()
+	for r := 0; r < n; r++ {
+		ep := newEndpoint(r, eng, m, realm, policy, opt.Rndv, n)
+		ep.tr = opt.Trace
+		w.Endpoints = append(w.Endpoints, ep)
+	}
+
+	bind := opt.BindRail
+	if bind == nil {
+		bind = func(rank, peer int) int { return 0 }
+	}
+
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			epi, epj := w.Endpoints[i], w.Endpoints[j]
+			ci := &Conn{peer: j, sched: core.ConnState{Bound: bind(i, j)}, credits: m.EagerCredits}
+			cj := &Conn{peer: i, sched: core.ConnState{Bound: bind(j, i)}, credits: m.EagerCredits}
+			if cluster.SameNode(i, j) {
+				ci.sh = shmem.New(eng, m)
+				cj.sh = shmem.New(eng, m)
+				ci.sh.SetDeliver(shmemSink(epj))
+				cj.sh.SetDeliver(shmemSink(epi))
+			} else {
+				portsI := cluster.PortsOf(i)
+				portsJ := cluster.PortsOf(j)
+				for r := 0; r < spec.Rails(); r++ {
+					pidx := r / spec.QPsPerPort
+					qpi := realm.NewQP(ib.QPConfig{Port: portsI[pidx], CQ: epi.cq, SRQ: epi.srq, SQDepth: opt.SQDepth})
+					qpj := realm.NewQP(ib.QPConfig{Port: portsJ[pidx], CQ: epj.cq, SRQ: epj.srq, SQDepth: opt.SQDepth})
+					if err := ib.Connect(qpi, qpj); err != nil {
+						panic(err)
+					}
+					ci.rails = append(ci.rails, qpi)
+					cj.rails = append(cj.rails, qpj)
+					epi.qpIdx[qpi.QPN] = qpi
+					epj.qpIdx[qpj.QPN] = qpj
+				}
+			}
+			epi.conns[j] = ci
+			epj.conns[i] = cj
+		}
+	}
+	return w
+}
+
+// shmemSink delivers an intra-node message into an endpoint's inbox and
+// wakes its rank.
+func shmemSink(ep *Endpoint) func(shmem.Msg) {
+	return func(msg shmem.Msg) {
+		ep.shmemIn.Put(msg)
+		ep.wake()
+	}
+}
+
+// Spawn starts one simulated process per rank running body and returns the
+// procs. body runs with the endpoint already attached.
+func (w *World) Spawn(name string, body func(ep *Endpoint)) []*sim.Proc {
+	procs := make([]*sim.Proc, len(w.Endpoints))
+	for i, ep := range w.Endpoints {
+		ep := ep
+		procs[i] = w.Eng.Spawn(procName(name, ep.Rank), func(p *sim.Proc) {
+			ep.Attach(p)
+			body(ep)
+		})
+	}
+	return procs
+}
+
+func procName(base string, rank int) string {
+	return base + "/rank" + itoa(rank)
+}
+
+// itoa avoids pulling strconv into the hot path for a two-digit rank.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

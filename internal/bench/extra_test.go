@@ -1,0 +1,173 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"ib12x/internal/core"
+)
+
+func TestCollectiveKindString(t *testing.T) {
+	want := map[CollKind]string{
+		CollBcast: "Bcast", CollAllgather: "Allgather",
+		CollAllreduce: "Allreduce", CollAlltoall: "Alltoall",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q", int(k), k.String())
+		}
+	}
+}
+
+func TestCollectiveSweepsRun(t *testing.T) {
+	for _, kind := range []CollKind{CollBcast, CollAllgather, CollAllreduce, CollAlltoall} {
+		v, err := Collective(kind, Setup{QPs: 2, Policy: core.EPC, PPN: 2}, []int{4096, 65536}, 3, 1)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if v[0] <= 0 || v[1] <= v[0] {
+			t.Errorf("%v: times %v not positive/increasing", kind, v)
+		}
+	}
+}
+
+func TestCollectiveTableComplete(t *testing.T) {
+	tbl, err := CollectiveTable(CollBcast, quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.Format()
+	if !strings.Contains(out, "Bcast") || !strings.Contains(out, "EPC 4QP") {
+		t.Errorf("table incomplete:\n%s", out)
+	}
+}
+
+func TestStencilPolicySeparation(t *testing.T) {
+	// On a 4-node torus with one active connection per link, blocking
+	// halo exchanges separate the striping policies from the rest.
+	orig, err := Stencil(Setup{QPs: 1, Policy: core.Original, Nodes: 4}, 512<<10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epc, err := Stencil(Setup{QPs: 4, Policy: core.EPC, Nodes: 4}, 512<<10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epc >= 0.9*orig {
+		t.Errorf("stencil: EPC %.0fus/iter not clearly faster than original %.0fus/iter", epc, orig)
+	}
+}
+
+func TestScalingTableShape(t *testing.T) {
+	tbl, err := ScalingTable(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epc := tbl.Get("EPC 4QP")
+	orig := tbl.Get("original (1 QP/port)")
+	if epc == nil || orig == nil {
+		t.Fatal("missing series")
+	}
+	for _, nodes := range []int{2, 4, 8, 16} {
+		e, ok1 := epc.At(nodes)
+		o, ok2 := orig.At(nodes)
+		if !ok1 || !ok2 {
+			t.Fatalf("missing node count %d", nodes)
+		}
+		// A ring exchange is per-link traffic: EPC stays ahead at every
+		// scale (each link carries one blocking transfer per direction).
+		if e >= o {
+			t.Errorf("%d nodes: EPC %.0fus not faster than original %.0fus", nodes, e, o)
+		}
+	}
+}
+
+func TestRendezvousProtocolsComparable(t *testing.T) {
+	tbl, err := RendezvousTable(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	put := tbl.Get("RPUT (sender writes)")
+	get := tbl.Get("RGET (receiver reads)")
+	if put == nil || get == nil {
+		t.Fatal("missing series")
+	}
+	pv, _ := put.At(1 << 20)
+	gv, _ := get.At(1 << 20)
+	if d := (gv - pv) / pv; d > 0.15 || d < -0.15 {
+		t.Errorf("RGET %.0f vs RPUT %.0f MB/s at 1MB: should be within 15%%", gv, pv)
+	}
+}
+
+func TestNoDegradationTable(t *testing.T) {
+	tbl, err := NoDegradationTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := tbl.Get("original (1 QP/port)")
+	epc := tbl.Get("EPC 4QP")
+	for i := 0; i < 3; i++ {
+		o, ok1 := orig.At(i)
+		e, ok2 := epc.At(i)
+		if !ok1 || !ok2 {
+			t.Fatalf("missing row %d", i)
+		}
+		if e > 1.02*o {
+			t.Errorf("row %d: EPC %.4fs degrades over original %.4fs", i, e, o)
+		}
+	}
+}
+
+func TestOversubscriptionTableShape(t *testing.T) {
+	tbl, err := OversubscriptionTable(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tbl.Get("bisection exchange")
+	if s == nil {
+		t.Fatal("missing series")
+	}
+	v1, _ := s.At(1)
+	v4, _ := s.At(4)
+	v8, _ := s.At(8)
+	if !(v1 < v4 && v4 < v8) {
+		t.Errorf("times not increasing with oversubscription: 1:1=%.0f 4:1=%.0f 8:1=%.0f", v1, v4, v8)
+	}
+	// 8:1 should cost several times the 1:1 exchange.
+	if v8 < 3*v1 {
+		t.Errorf("8:1 (%.0f) not ≥ 3x 1:1 (%.0f)", v8, v1)
+	}
+}
+
+func TestHCAGenerationTable(t *testing.T) {
+	tbl, err := HCAGenerationTable(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := func(series string, n int) float64 {
+		s := tbl.Get(series)
+		if s == nil {
+			t.Fatalf("missing series %q", series)
+		}
+		v, ok := s.At(n)
+		if !ok {
+			t.Fatalf("missing %d in %q", n, series)
+		}
+		return v
+	}
+	// The 8x PCIe generation peaks well below the 12x GX+ part, and its
+	// host interface caps multi-QP gains (the paper's motivation).
+	pcieBest := at("8x PCIe EPC 2QP", 1<<20)
+	gxBest := at("12x GX+ EPC 4QP", 1<<20)
+	if pcieBest >= 1600 {
+		t.Errorf("8x PCIe peak = %.0f MB/s, should stay below ~1.5 GB/s", pcieBest)
+	}
+	if gxBest < 1.7*pcieBest {
+		t.Errorf("12x (%.0f) should lead 8x (%.0f) by well over 1.7x", gxBest, pcieBest)
+	}
+	// Multi-QP still helps the 8x part a little (2 engines), but the bus cap binds.
+	pcieOrig := at("8x PCIe original", 1<<20)
+	if pcieBest < pcieOrig {
+		t.Errorf("8x EPC (%.0f) below its original (%.0f)", pcieBest, pcieOrig)
+	}
+}

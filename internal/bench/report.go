@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"ib12x/internal/adi"
+	"ib12x/internal/sim"
+)
+
+// Report formats a post-run hardware utilization summary for every node of
+// a world: send/receive engine utilization, lane occupancy, scheduler load,
+// GX+ bus traffic, and the per-rank protocol counters.
+func Report(w *adi.World, end sim.Time) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "run length: %v (virtual)\n", end)
+	for _, node := range w.Cluster.Nodes {
+		fmt.Fprintf(&b, "node %d: GX+ %.1f%% utilized, %d MB moved\n",
+			node.ID, 100*node.Bus.Utilization(end), node.Bus.Bytes()>>20)
+		for _, port := range node.Ports() {
+			fmt.Fprintf(&b, "  port %s: %d WQEs, %d acks, tx %d MB, rx %d MB, rnr-waits %d\n",
+				port.Name, port.WQEs, port.Acks, port.TxBytes>>20, port.RxBytes>>20, port.RnrWaits)
+			fmt.Fprintf(&b, "    send engines: ")
+			for i := range port.SendEngines {
+				fmt.Fprintf(&b, "%5.1f%% ", 100*port.SendEngines[i].Utilization(end))
+			}
+			fmt.Fprintf(&b, "\n    recv engines: ")
+			for i := range port.RecvEngines {
+				fmt.Fprintf(&b, "%5.1f%% ", 100*port.RecvEngines[i].Utilization(end))
+			}
+			fmt.Fprintf(&b, "\n    tx lane %5.1f%%   rx lane %5.1f%%   scheduler %5.1f%%\n",
+				100*laneUtil(port.TX.Busy(), end),
+				100*laneUtil(port.RX.Busy(), end),
+				100*port.Sched.Utilization(end))
+		}
+	}
+	for _, ep := range w.Endpoints {
+		s := ep.Stats()
+		fmt.Fprintf(&b, "rank %d: eager %d, rendezvous %d, stripes w/r %d/%d, shmem %d, ctrl %d, unexpected %d\n",
+			ep.Rank, s.EagerSent, s.RendezvousSent, s.StripesSent, s.StripesRead, s.ShmemSent, s.CtrlMsgs, s.UnexpectedHits)
+	}
+	return b.String()
+}
+
+func laneUtil(busy, end sim.Time) float64 {
+	if end <= 0 {
+		return 0
+	}
+	return float64(busy) / float64(end)
+}

@@ -1,0 +1,370 @@
+// Package core implements the paper's primary contribution: communication
+// scheduling of MPI messages over multiple rails — multiple QPs per port,
+// multiple ports, multiple HCAs — on the IBM 12x InfiniBand HCA.
+//
+// It provides the communication-pattern classes recognised by the ADI-layer
+// communication marker (§3.3), the scheduling policies studied in §3.2
+// (binding, round robin, even striping) plus the proposed EPC policy, and
+// the stripe planner that divides rendezvous messages across rails.
+package core
+
+import "fmt"
+
+// Class is the communication pattern of a message, as determined by the
+// communication marker in the ADI layer (paper §3.3). EPC dispatches on it.
+type Class int
+
+// Communication classes.
+const (
+	// Blocking is point-to-point blocking communication: one message
+	// outstanding between the pair, so intra-message parallelism
+	// (striping) is the only way to engage several DMA engines.
+	Blocking Class = iota
+	// NonBlocking is point-to-point non-blocking communication: a window
+	// of outstanding messages supplies inter-message parallelism, so
+	// placing each whole message on the next rail avoids per-stripe costs.
+	NonBlocking
+	// Collective marks transfers issued from inside a collective
+	// algorithm. The calls are non-blocking, but each algorithm step
+	// completes before the next begins, so per-peer concurrency is ~1 and
+	// striping is again what fills the engines (§3.2.2).
+	Collective
+)
+
+func (c Class) String() string {
+	switch c {
+	case Blocking:
+		return "blocking"
+	case NonBlocking:
+		return "non-blocking"
+	case Collective:
+		return "collective"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Stripe is one piece of a bulk-transfer plan: N bytes at offset Off of the
+// message, carried on rail Rail.
+type Stripe struct {
+	Rail int
+	Off  int
+	N    int
+}
+
+// ConnState is the per-connection scheduling state a policy may read and
+// update: the round-robin cursor, the bound rail, and the live
+// outstanding-transfer count the ADI layer maintains.
+type ConnState struct {
+	// RR is the round-robin cursor: index of the next rail to use.
+	RR int
+	// Bound is the rail a binding policy pins this connection to.
+	Bound int
+	// Outstanding is the number of bulk transfers currently in flight on
+	// this connection (maintained by the ADI layer; consumed by the
+	// adaptive policy).
+	Outstanding int
+}
+
+// Policy decides rail placement for a connection's messages.
+//
+// PickEager places a message that travels whole (below the striping
+// threshold). PlanBulk returns the stripe plan for a message at or above
+// the threshold; plans cover the message exactly, in offset order.
+type Policy interface {
+	// Name is the policy's display name as used in the paper's figures.
+	Name() string
+	PickEager(c Class, size, rails int, st *ConnState) int
+	PlanBulk(c Class, size, rails int, st *ConnState) []Stripe
+}
+
+// Kind enumerates the built-in policies.
+type Kind int
+
+// Built-in policy kinds. Original is the default single-rail MVAPICH
+// configuration the paper compares against (1 QP per port, rail 0).
+const (
+	Original Kind = iota
+	Binding
+	RoundRobin
+	EvenStriping
+	WeightedStriping
+	EPC
+	// Adaptive is an extension beyond the paper: instead of the ADI
+	// marker it inspects the connection's live outstanding-transfer
+	// count — stripe when the pipeline is empty (nothing else will fill
+	// the engines), round-robin whole messages when it is deep. EPC with
+	// the marker approximates this statically; Adaptive measures it.
+	Adaptive
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Original:
+		return "original"
+	case Binding:
+		return "binding"
+	case RoundRobin:
+		return "round robin"
+	case EvenStriping:
+		return "even striping"
+	case WeightedStriping:
+		return "weighted striping"
+	case EPC:
+		return "EPC"
+	case Adaptive:
+		return "adaptive"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// New returns a policy instance of the given kind with the given minimum
+// stripe size (bytes). Weighted striping takes equal weights; use
+// NewWeighted for explicit ones.
+func New(k Kind, minStripe int) Policy {
+	switch k {
+	case Original:
+		return bindingPolicy{name: "original"}
+	case Binding:
+		return bindingPolicy{name: "binding"}
+	case RoundRobin:
+		return roundRobinPolicy{}
+	case EvenStriping:
+		return stripingPolicy{minStripe: minStripe}
+	case WeightedStriping:
+		return weightedPolicy{minStripe: minStripe}
+	case EPC:
+		return epcPolicy{minStripe: minStripe}
+	case Adaptive:
+		return adaptivePolicy{minStripe: minStripe}
+	default:
+		panic(fmt.Sprintf("core: unknown policy kind %d", int(k)))
+	}
+}
+
+// NewWeighted returns a weighted-striping policy that divides bulk messages
+// in proportion to weights (one per rail; missing entries default to 1).
+// It generalises even striping to heterogeneous rails (e.g. a 12x port
+// paired with a 4x port), the extension discussed in the prior multi-rail
+// work the paper builds on.
+func NewWeighted(minStripe int, weights []float64) Policy {
+	return weightedPolicy{minStripe: minStripe, weights: weights}
+}
+
+// ---- binding ----
+
+type bindingPolicy struct{ name string }
+
+func (p bindingPolicy) Name() string { return p.name }
+
+func (p bindingPolicy) PickEager(_ Class, _, rails int, st *ConnState) int {
+	return clampRail(st.Bound, rails)
+}
+
+func (p bindingPolicy) PlanBulk(_ Class, size, rails int, st *ConnState) []Stripe {
+	return []Stripe{{Rail: clampRail(st.Bound, rails), Off: 0, N: size}}
+}
+
+// ---- round robin ----
+
+type roundRobinPolicy struct{}
+
+func (roundRobinPolicy) Name() string { return "round robin" }
+
+func (roundRobinPolicy) PickEager(_ Class, _, rails int, st *ConnState) int {
+	return nextRR(st, rails)
+}
+
+func (roundRobinPolicy) PlanBulk(_ Class, size, rails int, st *ConnState) []Stripe {
+	// The whole message on the next rail (paper §3.2.1: round robin "uses
+	// the available QPs one-by-one in a circular fashion").
+	return []Stripe{{Rail: nextRR(st, rails), Off: 0, N: size}}
+}
+
+// ---- even striping ----
+
+type stripingPolicy struct{ minStripe int }
+
+func (stripingPolicy) Name() string { return "even striping" }
+
+func (p stripingPolicy) PickEager(_ Class, _, rails int, st *ConnState) int {
+	// Below the striping threshold the prior-work striping design sends
+	// on the connection's primary rail.
+	return clampRail(st.Bound, rails)
+}
+
+func (p stripingPolicy) PlanBulk(_ Class, size, rails int, _ *ConnState) []Stripe {
+	return EvenStripes(size, rails, p.minStripe)
+}
+
+// ---- weighted striping ----
+
+type weightedPolicy struct {
+	minStripe int
+	weights   []float64
+}
+
+func (weightedPolicy) Name() string { return "weighted striping" }
+
+func (p weightedPolicy) PickEager(_ Class, _, rails int, st *ConnState) int {
+	return clampRail(st.Bound, rails)
+}
+
+func (p weightedPolicy) PlanBulk(_ Class, size, rails int, _ *ConnState) []Stripe {
+	return WeightedStripes(size, rails, p.minStripe, p.weights)
+}
+
+// ---- EPC ----
+
+// epcPolicy is the paper's Enhanced Point-to-point and Collective policy
+// (§3.2): striping for blocking transfers, round robin for non-blocking
+// point-to-point, striping for collective transfers even though they are
+// issued as non-blocking calls.
+type epcPolicy struct{ minStripe int }
+
+func (epcPolicy) Name() string { return "EPC" }
+
+func (p epcPolicy) PickEager(c Class, size, rails int, st *ConnState) int {
+	switch c {
+	case Blocking:
+		// One outstanding message; cycling rails buys nothing for
+		// latency, so stay on the primary rail (paper Fig. 3 setup).
+		return clampRail(st.Bound, rails)
+	default:
+		// Non-blocking and collective eager messages cycle rails to
+		// engage multiple engines across the window (Fig. 5).
+		return nextRR(st, rails)
+	}
+}
+
+func (p epcPolicy) PlanBulk(c Class, size, rails int, st *ConnState) []Stripe {
+	switch c {
+	case NonBlocking:
+		return []Stripe{{Rail: nextRR(st, rails), Off: 0, N: size}}
+	default: // Blocking and Collective stripe.
+		return EvenStripes(size, rails, p.minStripe)
+	}
+}
+
+// ---- adaptive (extension) ----
+
+// adaptiveDepth is the outstanding-transfer depth at which the adaptive
+// policy stops striping: with this many messages already in flight the
+// engines are busy without intra-message parallelism.
+const adaptiveDepth = 2
+
+type adaptivePolicy struct{ minStripe int }
+
+func (adaptivePolicy) Name() string { return "adaptive" }
+
+func (p adaptivePolicy) PickEager(_ Class, _, rails int, st *ConnState) int {
+	if st.Outstanding >= adaptiveDepth {
+		return nextRR(st, rails)
+	}
+	return clampRail(st.Bound, rails)
+}
+
+func (p adaptivePolicy) PlanBulk(_ Class, size, rails int, st *ConnState) []Stripe {
+	if st.Outstanding >= adaptiveDepth {
+		return []Stripe{{Rail: nextRR(st, rails), Off: 0, N: size}}
+	}
+	return EvenStripes(size, rails, p.minStripe)
+}
+
+// ---- planners ----
+
+// EvenStripes divides size bytes equally across up to rails stripes, never
+// cutting a stripe below minStripe (the assembly/disassembly cost guard).
+// The remainder is spread one byte at a time over the leading stripes so
+// stripe sizes differ by at most one.
+func EvenStripes(size, rails, minStripe int) []Stripe {
+	if size <= 0 {
+		return []Stripe{{Rail: 0, Off: 0, N: size}}
+	}
+	k := rails
+	if minStripe > 0 && size/k < minStripe {
+		k = size / minStripe
+		if k < 1 {
+			k = 1
+		}
+	}
+	base, rem := size/k, size%k
+	out := make([]Stripe, 0, k)
+	off := 0
+	for i := 0; i < k; i++ {
+		n := base
+		if i < rem {
+			n++
+		}
+		out = append(out, Stripe{Rail: i, Off: off, N: n})
+		off += n
+	}
+	return out
+}
+
+// WeightedStripes divides size bytes across rails in proportion to weights.
+// Rails whose share would fall below minStripe are dropped and their share
+// redistributed. Missing or non-positive weights default to 1.
+func WeightedStripes(size, rails, minStripe int, weights []float64) []Stripe {
+	if size <= 0 {
+		return []Stripe{{Rail: 0, Off: 0, N: size}}
+	}
+	w := make([]float64, rails)
+	var sum float64
+	for i := 0; i < rails; i++ {
+		w[i] = 1
+		if i < len(weights) && weights[i] > 0 {
+			w[i] = weights[i]
+		}
+		sum += w[i]
+	}
+	// Drop rails until every remaining share clears minStripe.
+	active := make([]int, 0, rails)
+	for i := 0; i < rails; i++ {
+		active = append(active, i)
+	}
+	for len(active) > 1 {
+		smallest, idx := -1, -1
+		for j, r := range active {
+			share := int(float64(size) * w[r] / sum)
+			if share < minStripe && (idx == -1 || share < smallest) {
+				smallest, idx = share, j
+			}
+		}
+		if idx == -1 {
+			break
+		}
+		sum -= w[active[idx]]
+		active = append(active[:idx], active[idx+1:]...)
+	}
+	out := make([]Stripe, 0, len(active))
+	off := 0
+	for j, r := range active {
+		var n int
+		if j == len(active)-1 {
+			n = size - off
+		} else {
+			n = int(float64(size) * w[r] / sum)
+		}
+		out = append(out, Stripe{Rail: r, Off: off, N: n})
+		off += n
+	}
+	return out
+}
+
+func clampRail(r, rails int) int {
+	if r < 0 || r >= rails {
+		return 0
+	}
+	return r
+}
+
+func nextRR(st *ConnState, rails int) int {
+	r := st.RR % rails
+	if r < 0 {
+		r = 0
+	}
+	st.RR = (r + 1) % rails
+	return r
+}

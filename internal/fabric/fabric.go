@@ -1,0 +1,160 @@
+// Package fabric models the InfiniBand wire: full-duplex link lanes with
+// cut-through forwarding through a single switch.
+//
+// A Lane is one direction of one link. It is not a plain FIFO server: the
+// source side may be fed by a DMA engine slower than the wire (the lane then
+// idles between packets of the same transfer), and the sink side of a lane
+// serializes fan-in from several senders. Both behaviours matter for the
+// bandwidth asymptotes in the paper's Figures 5-7.
+package fabric
+
+import "ib12x/internal/sim"
+
+// Lane is one direction of a link, serving wire bytes at a fixed rate.
+// The zero value is unusable; set Rate.
+type Lane struct {
+	Rate float64 // bytes/s of raw wire capacity
+
+	freeAt sim.Time
+	items  int64
+	bytes  int64
+	busy   sim.Time
+}
+
+// Send books an outbound transfer whose first packet is staged at `ready`
+// and whose source cannot finish staging before `srcDone`. wireBytes counts
+// payload plus per-packet headers. It returns when the transfer's first byte
+// enters the lane and when its last byte leaves.
+//
+// The lane is occupied only for the wire bytes themselves: packets from a
+// slow source leave gaps that packets of other transfers interleave into
+// (cut-through, per-packet arbitration). The transfer's own last byte,
+// however, cannot leave before its source has staged it, so the returned
+// leave time also waits for srcDone.
+func (l *Lane) Send(ready sim.Time, wireBytes int64, srcDone sim.Time) (start, leaves sim.Time) {
+	start = ready
+	if l.freeAt > start {
+		start = l.freeAt
+	}
+	d := sim.TransferTime(wireBytes, l.Rate)
+	end := start + d
+	l.busy += d
+	l.freeAt = end
+	l.items++
+	l.bytes += wireBytes
+	if srcDone > end {
+		return start, srcDone
+	}
+	return start, end
+}
+
+// Recv books an inbound transfer whose first byte arrives at `first` and
+// whose last byte arrives at `last` when uncontended, and returns when the
+// last byte is actually through the lane.
+//
+// Traffic from a single upstream path is already paced at or below the lane
+// rate, so it passes through with no added delay. Under fan-in from several
+// senders the first-byte arrivals collide and the backlog frontier pushes
+// delivery out: delivered = max(last, max(frontier, first) + wireTime).
+func (l *Lane) Recv(first, last sim.Time, wireBytes int64) (delivered sim.Time) {
+	d := sim.TransferTime(wireBytes, l.Rate)
+	start := first
+	if l.freeAt > start {
+		start = l.freeAt
+	}
+	delivered = start + d
+	if last > delivered {
+		delivered = last
+	}
+	l.busy += d
+	l.freeAt = start + d
+	l.items++
+	l.bytes += wireBytes
+	return delivered
+}
+
+// Preempt books a high-priority transfer (an RC acknowledgment) that
+// interleaves between the packets of queued bulk transfers instead of
+// waiting behind them: it departs immediately, and the backlog is pushed
+// back by its wire time so capacity accounting stays exact.
+func (l *Lane) Preempt(at sim.Time, wireBytes int64) (leaves sim.Time) {
+	d := sim.TransferTime(wireBytes, l.Rate)
+	leaves = at + d
+	if l.freeAt < at {
+		l.freeAt = at
+	}
+	l.freeAt += d
+	l.busy += d
+	l.items++
+	l.bytes += wireBytes
+	return leaves
+}
+
+// FreeAt reports when the lane next becomes idle.
+func (l *Lane) FreeAt() sim.Time { return l.freeAt }
+
+// Items reports the number of transfers booked.
+func (l *Lane) Items() int64 { return l.items }
+
+// Bytes reports total wire bytes booked.
+func (l *Lane) Bytes() int64 { return l.bytes }
+
+// Busy reports accumulated lane occupancy.
+func (l *Lane) Busy() sim.Time { return l.busy }
+
+// Net is the switched fabric. A single cut-through switch gives every pair
+// a constant one-hop latency; the optional two-level fat tree adds leaf
+// switches with shared trunk lanes to a spine, so cross-leaf traffic pays
+// two extra hops and contends on the (possibly oversubscribed) trunks.
+type Net struct {
+	// Latency is the per-hop propagation plus switch cut-through time.
+	Latency sim.Time
+
+	nodesPerLeaf int
+	up, down     []Lane // per-leaf trunk lanes toward/from the spine
+}
+
+// NewSingleSwitch builds the flat fabric of the paper's testbed.
+func NewSingleSwitch(latency sim.Time) *Net { return &Net{Latency: latency} }
+
+// NewFatTree builds a two-level fabric: nodes are grouped nodesPerLeaf to a
+// leaf switch; each leaf connects to the spine by one trunk of trunkRate
+// bytes/s per direction. With trunkRate = linkRate the tree is
+// non-blocking 1:1 only for a single active node per leaf; lower rates
+// model oversubscription.
+func NewFatTree(latency sim.Time, nodes, nodesPerLeaf int, trunkRate float64) *Net {
+	if nodesPerLeaf <= 0 {
+		return NewSingleSwitch(latency)
+	}
+	leaves := (nodes + nodesPerLeaf - 1) / nodesPerLeaf
+	n := &Net{Latency: latency, nodesPerLeaf: nodesPerLeaf}
+	n.up = make([]Lane, leaves)
+	n.down = make([]Lane, leaves)
+	for i := range n.up {
+		n.up[i].Rate = trunkRate
+		n.down[i].Rate = trunkRate
+	}
+	return n
+}
+
+// OneWay reports the per-hop wire latency.
+func (n *Net) OneWay() sim.Time { return n.Latency }
+
+// Leaf reports the leaf switch of a node (0 in a single-switch fabric).
+func (n *Net) Leaf(node int) int {
+	if n.nodesPerLeaf == 0 {
+		return 0
+	}
+	return node / n.nodesPerLeaf
+}
+
+// CrossLeaf reports whether two nodes sit under different leaf switches.
+func (n *Net) CrossLeaf(a, b int) bool {
+	return n.nodesPerLeaf > 0 && n.Leaf(a) != n.Leaf(b)
+}
+
+// Uplink returns the leaf's trunk lane toward the spine.
+func (n *Net) Uplink(leaf int) *Lane { return &n.up[leaf] }
+
+// Downlink returns the leaf's trunk lane from the spine.
+func (n *Net) Downlink(leaf int) *Lane { return &n.down[leaf] }

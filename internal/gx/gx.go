@@ -1,0 +1,35 @@
+// Package gx models the GX+ host bus of a Power6 node: a single bandwidth
+// resource shared by all HCA DMA traffic in both directions (payload fetches
+// for sends, payload stores for receives, descriptor fetches).
+//
+// At 950 MHz the bus provides a theoretical 7.6 GB/s (paper §2.2). It rarely
+// binds for one port, but bi-directional multi-rail traffic pushes toward it.
+package gx
+
+import "ib12x/internal/sim"
+
+// Bus is the GX+ bus of one node.
+type Bus struct {
+	s sim.Server
+}
+
+// New returns a bus with the given aggregate rate in bytes/s.
+func New(rate float64) *Bus {
+	return &Bus{s: sim.Server{Rate: rate}}
+}
+
+// DMA books a DMA of n bytes across the bus starting no earlier than now and
+// returns when it completes.
+func (b *Bus) DMA(now sim.Time, n int64) sim.Time {
+	_, end := b.s.Reserve(now, n)
+	return end
+}
+
+// Bytes reports total bytes moved across the bus.
+func (b *Bus) Bytes() int64 { return b.s.Bytes() }
+
+// Busy reports accumulated bus occupancy.
+func (b *Bus) Busy() sim.Time { return b.s.Busy() }
+
+// Utilization reports bus occupancy as a fraction of elapsed time.
+func (b *Bus) Utilization(now sim.Time) float64 { return b.s.Utilization(now) }

@@ -1,0 +1,27 @@
+package gx
+
+import (
+	"testing"
+
+	"ib12x/internal/sim"
+)
+
+func TestBusDMA(t *testing.T) {
+	b := New(1e9)
+	if end := b.DMA(0, 1000); end != 1000*sim.Nanosecond {
+		t.Errorf("first DMA ends %v, want 1us", end)
+	}
+	// Concurrent DMA from another engine shares the bus: serialized.
+	if end := b.DMA(0, 1000); end != 2000*sim.Nanosecond {
+		t.Errorf("second DMA ends %v, want 2us", end)
+	}
+	if b.Bytes() != 2000 {
+		t.Errorf("Bytes = %d, want 2000", b.Bytes())
+	}
+	if b.Busy() != 2*sim.Microsecond {
+		t.Errorf("Busy = %v, want 2us", b.Busy())
+	}
+	if u := b.Utilization(4 * sim.Microsecond); u < 0.49 || u > 0.51 {
+		t.Errorf("Utilization = %g, want 0.5", u)
+	}
+}

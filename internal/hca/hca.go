@@ -1,0 +1,374 @@
+// Package hca models the IBM 12x dual-port InfiniBand Host Channel Adapter
+// (paper §2.2): each port carries multiple send and multiple receive DMA
+// engines behind a single hardware send scheduler, attached to the node's
+// GX+ bus on one side and a 12x link on the other.
+//
+// Each work request flows through a pipeline of resource stages — hardware
+// send scheduler, send DMA engine, GX+ payload fetch, TX lane, wire, RX
+// lane, receive DMA engine, GX+ store, RC acknowledgment. Every stage books
+// its resource at the simulated instant the request *arrives* at that stage
+// (event-driven staging), so shared resources serve competing traffic in
+// true arrival order; contention emerges from the bookings without
+// per-packet events.
+//
+// Two properties of the real hardware are preserved exactly, because the
+// paper's results hinge on them:
+//
+//  1. A single QP's descriptors execute strictly in order, so one QP can
+//     keep at most one send engine busy at a time ("multiple queue pairs
+//     should be used to utilize the send engines efficiently"). Flow
+//     enforces this: a QP's next descriptor enters the engine stage only
+//     when the previous one's engine phase ends.
+//  2. Every descriptor pays the scheduler arbitration, engine WQE-fetch and
+//     RC acknowledgment costs, so striping a message into k stripes pays
+//     those costs k times.
+package hca
+
+import (
+	"fmt"
+
+	"ib12x/internal/fabric"
+	"ib12x/internal/gx"
+	"ib12x/internal/model"
+	"ib12x/internal/sim"
+)
+
+// HCA is one IBM 12x dual-port adapter.
+type HCA struct {
+	Name  string
+	Ports []*Port
+	Bus   *gx.Bus // the node's GX+ bus (shared across HCAs of the node)
+}
+
+// New creates an HCA with nports ports attached to the given GX+ bus.
+func New(name string, nports int, bus *gx.Bus, m *model.Params, net *fabric.Net) *HCA {
+	h := &HCA{Name: name, Bus: bus}
+	for i := 0; i < nports; i++ {
+		h.Ports = append(h.Ports, newPort(fmt.Sprintf("%s.p%d", name, i), bus, m, net))
+	}
+	return h
+}
+
+// Port is one 12x port: a hardware send scheduler, pools of send and receive
+// DMA engines, and the two lanes of its link.
+type Port struct {
+	Name string
+	Node int // owning node id (fabric leaf lookup)
+	M    *model.Params
+	Net  *fabric.Net
+	Bus  *gx.Bus
+
+	Sched       sim.Server   // HW send scheduler (serial, PerItem per WQE)
+	SendEngines []sim.Server // send DMA engines
+	RecvEngines []sim.Server // receive DMA engines
+	TX, RX      fabric.Lane
+
+	// ErrorEvery injects a deterministic transmission error on every
+	// N-th outbound chunk (0 disables). The lost chunk burns its wire
+	// time, waits the model's RetransmitTimeout, and is retransmitted —
+	// the observable cost of an RC retry. For failure-injection tests.
+	ErrorEvery int64
+
+	// Stats.
+	WQEs        int64 // data descriptors transmitted
+	Acks        int64 // acknowledgments generated
+	TxBytes     int64 // payload bytes transmitted
+	RxBytes     int64 // payload bytes received
+	RnrWaits    int64 // messages that arrived before a receive was posted
+	Retransmits int64 // chunks retransmitted after injected errors
+
+	chunksSent int64 // error-injection counter
+}
+
+func newPort(name string, bus *gx.Bus, m *model.Params, net *fabric.Net) *Port {
+	p := &Port{
+		Name:  name,
+		M:     m,
+		Net:   net,
+		Bus:   bus,
+		Sched: sim.Server{PerItem: m.SchedulerPerWQE},
+		TX:    fabric.Lane{Rate: m.LinkRawRate},
+		RX:    fabric.Lane{Rate: m.LinkRawRate},
+	}
+	for i := 0; i < m.SendEnginesPerPort; i++ {
+		p.SendEngines = append(p.SendEngines, sim.Server{Rate: m.EngineRate, PerItem: m.EnginePerWQE})
+	}
+	for i := 0; i < m.RecvEnginesPerPort; i++ {
+		p.RecvEngines = append(p.RecvEngines, sim.Server{Rate: m.EngineRate, PerItem: m.EnginePerWQE})
+	}
+	return p
+}
+
+// pickEngine returns the engine (by index) that can start work soonest given
+// an earliest-start constraint; ties break toward the lowest index so runs
+// are deterministic.
+func pickEngine(engines []sim.Server, earliest sim.Time) int {
+	best, bestStart := 0, sim.Time(-1)
+	for i := range engines {
+		s := earliest
+		if f := engines[i].FreeAt(); f > s {
+			s = f
+		}
+		if bestStart < 0 || s < bestStart {
+			best, bestStart = i, s
+		}
+	}
+	return best
+}
+
+// Timing captures the instants of one work request's journey. Fields are
+// filled progressively as the request moves through the pipeline.
+type Timing struct {
+	Posted    sim.Time // doorbell rang
+	SchedEnd  sim.Time // HW scheduler dispatched the WQE
+	EngineEnd sim.Time // payload fully staged by the send engine
+	Leaves    sim.Time // last byte left the source TX lane
+	Delivered sim.Time // last byte through the destination RX lane
+	InMemory  sim.Time // payload landed in destination memory
+	AckArrive sim.Time // RC acknowledgment back at the requester
+}
+
+// Flow is the transmit pipeline of one QP direction: it enforces the
+// per-QP in-order rule at the engine stage and drives each work request
+// through the staged resources.
+type Flow struct {
+	eng *sim.Engine
+	src *Port
+	dst *Port
+
+	prevEngEnd sim.Time   // engine-phase end of the last WQE to enter the pool
+	busy       bool       // a WQE is waiting for / holding the engine stage
+	pending    []flowItem // WQEs queued behind the in-order rule
+}
+
+type flowItem struct {
+	n         int
+	posted    sim.Time
+	schedEnd  sim.Time
+	delivered func(Timing) // invoked when the payload is in remote memory
+	acked     func(Timing) // invoked when the RC ack returns
+}
+
+// NewFlow creates the transmit pipeline from p toward dst.
+func (p *Port) NewFlow(eng *sim.Engine, dst *Port) *Flow {
+	return &Flow{eng: eng, src: p, dst: dst}
+}
+
+// Src and Dst report the flow's endpoints.
+func (f *Flow) Src() *Port { return f.src }
+
+// Dst reports the destination port.
+func (f *Flow) Dst() *Port { return f.dst }
+
+// Send enqueues one WQE of n payload bytes. delivered fires at the instant
+// the payload is fully placed in destination memory; acked fires when the
+// RC acknowledgment reaches the requester. Either may be nil.
+func (f *Flow) Send(n int, delivered, acked func(Timing)) {
+	now := f.eng.Now()
+	// The doorbell rings at post time; the HW scheduler arbitration is a
+	// short serial booking at (or just after) the current instant.
+	_, schedEnd := f.src.Sched.Reserve(now, 0)
+	f.pending = append(f.pending, flowItem{n: n, posted: now, schedEnd: schedEnd, delivered: delivered, acked: acked})
+	f.src.WQEs++
+	f.src.TxBytes += int64(n)
+	f.dst.RxBytes += int64(n)
+	f.kick()
+}
+
+// kick starts the next pending WQE's engine stage once the previous one's
+// engine phase has ended (the RC in-order rule).
+func (f *Flow) kick() {
+	if f.busy || len(f.pending) == 0 {
+		return
+	}
+	f.busy = true
+	it := f.pending[0]
+	f.pending = f.pending[1:]
+	at := f.eng.Now()
+	if it.schedEnd > at {
+		at = it.schedEnd
+	}
+	if f.prevEngEnd > at {
+		at = f.prevEngEnd
+	}
+	f.eng.At(at, func() { f.engineStage(it) })
+}
+
+// xfer is the per-WQE state shared by its lane chunks.
+type xfer struct {
+	it        flowItem
+	t         Timing
+	chunksOut int // chunks not yet fully received
+	recvEng   int // receive engine assigned at first chunk (-1 before)
+}
+
+// engineStage books a send engine and the GX+ payload fetch, then releases
+// the payload to the TX lane in chunks paced at the engine's rate, so
+// concurrent transfers interleave on the lane as their packets would on a
+// real link.
+func (f *Flow) engineStage(it flowItem) {
+	m := f.src.M
+	now := f.eng.Now()
+	x := &xfer{it: it, t: Timing{Posted: it.posted, SchedEnd: it.schedEnd}, recvEng: -1}
+
+	ei := pickEngine(f.src.SendEngines, now)
+	engStart, engEnd := f.src.SendEngines[ei].Reserve(now, int64(it.n))
+	x.t.EngineEnd = engEnd
+
+	// The next WQE of this QP may enter the engine pool once this one's
+	// engine phase is over.
+	f.prevEngEnd = x.t.EngineEnd
+	f.busy = false
+	f.kick()
+
+	// Chunk the payload for lane interleaving; each chunk is released when
+	// the engine has staged it.
+	chunk := m.LaneChunk
+	if chunk <= 0 {
+		chunk = m.MTU
+	}
+	nchunks := (it.n + chunk - 1) / chunk
+	if nchunks == 0 {
+		nchunks = 1
+	}
+	x.chunksOut = nchunks
+	pace := float64(x.t.EngineEnd-engStart-m.EnginePerWQE) / float64(max64(int64(it.n), 1))
+	off := 0
+	for i := 0; i < nchunks; i++ {
+		n := chunk
+		if off+n > it.n {
+			n = it.n - off
+		}
+		off += n
+		ready := engStart + m.EnginePerWQE + sim.Time(pace*float64(off))
+		if ready < engStart+m.EnginePerWQE {
+			ready = engStart + m.EnginePerWQE
+		}
+		f.eng.At(ready, func() { f.txChunk(x, n) })
+	}
+}
+
+// txChunk fetches one staged chunk across GX+, books the TX lane for it
+// and forwards it. GX+ is booked chunk-wise so concurrent DMA streams share
+// the bus at fine granularity, as the real bus arbitrates. An injected
+// error burns the chunk's wire time and reschedules it after the RC
+// retransmit timeout.
+func (f *Flow) txChunk(x *xfer, n int) {
+	m := f.src.M
+	now := f.eng.Now()
+	f.src.chunksSent++
+	if f.src.ErrorEvery > 0 && f.src.chunksSent%f.src.ErrorEvery == 0 {
+		wire := int64(n) + int64(m.Packets(n)*m.PacketHeader)
+		f.src.TX.Send(now, wire, now) // the corrupted transmission still burns wire time
+		f.src.Retransmits++
+		// The retry bypasses injection: a second loss of the same chunk
+		// would model a broken link, not a transient error.
+		f.eng.At(now+m.RetransmitTimeout, func() { f.txChunkSend(x, n) })
+		return
+	}
+	f.txChunkSend(x, n)
+}
+
+// txChunkSend performs the actual (successful) chunk transmission.
+func (f *Flow) txChunkSend(x *xfer, n int) {
+	m := f.src.M
+	now := f.eng.Now()
+	ready := f.src.Bus.DMA(now, int64(n))
+	wire := int64(n) + int64(m.Packets(n)*m.PacketHeader)
+	txStart, leaves := f.src.TX.Send(ready, wire, ready)
+	if leaves > x.t.Leaves {
+		x.t.Leaves = leaves
+	}
+	net := f.src.Net
+	lat := net.OneWay()
+	first := txStart + lat
+	last := leaves + lat
+	if net.CrossLeaf(f.src.Node, f.dst.Node) {
+		// Two extra hops through the spine; the shared trunk lanes of
+		// both leaves carry (and possibly throttle) the chunk.
+		upStart, upLeaves := net.Uplink(net.Leaf(f.src.Node)).Send(first, wire, last)
+		downStart, downLeaves := net.Downlink(net.Leaf(f.dst.Node)).Send(upStart+lat, wire, upLeaves+lat)
+		first = downStart + lat
+		last = downLeaves + lat
+	}
+	f.eng.At(last, func() { f.rxChunk(x, n, first, wire) })
+}
+
+// rxChunk books the destination RX lane at arrival (fan-in serializes here)
+// and then the receive engine + GX+ store for this chunk.
+func (f *Flow) rxChunk(x *xfer, n int, first sim.Time, wire int64) {
+	delivered := f.dst.RX.Recv(first, f.eng.Now(), wire)
+	if delivered > x.t.Delivered {
+		x.t.Delivered = delivered
+	}
+	f.eng.At(delivered, func() { f.recvChunk(x, n) })
+}
+
+// recvChunk runs the receive-side DMA of one chunk. Inbound processing is
+// packet-granular on the real HCA, so each chunk goes to the least-loaded
+// receive engine; the per-WQE setup cost is paid once, on the first chunk.
+func (f *Flow) recvChunk(x *xfer, n int) {
+	m := f.dst.M
+	now := f.eng.Now()
+	var dur sim.Time
+	if x.recvEng < 0 {
+		x.recvEng = 1 // marker: setup cost paid
+		dur = m.EnginePerWQE
+	}
+	ri := pickEngine(f.dst.RecvEngines, now)
+	dur += sim.TransferTime(int64(n), m.EngineRate)
+	rStart, rEnd := f.dst.RecvEngines[ri].ReserveDur(now, dur)
+	gxEnd := f.dst.Bus.DMA(rStart, int64(n))
+	inMem := rEnd
+	if gxEnd > inMem {
+		inMem = gxEnd
+	}
+	if inMem > x.t.InMemory {
+		x.t.InMemory = inMem
+	}
+	x.chunksOut--
+	if x.chunksOut == 0 {
+		f.eng.At(x.t.InMemory, func() { f.completeStage(x) })
+	}
+}
+
+// completeStage delivers the payload and generates the RC acknowledgment.
+// Acknowledgments are high-priority: they interleave between the data
+// packets of queued transfers on both lanes instead of waiting behind bulk
+// backlogs, so their wire time is charged but they are never delayed by it.
+func (f *Flow) completeStage(x *xfer) {
+	m := f.dst.M
+	_, done := f.dst.Sched.ReserveDur(f.eng.Now(), m.AckProcTime)
+	leaves := f.dst.TX.Preempt(done, int64(m.AckWireBytes))
+	f.dst.Acks++
+	x.t.AckArrive = leaves + f.dst.Net.OneWay()
+	if x.it.delivered != nil {
+		x.it.delivered(x.t)
+	}
+	acked, tt := x.it.acked, x.t
+	f.eng.At(x.t.AckArrive, func() {
+		f.src.RX.Preempt(f.eng.Now(), int64(m.AckWireBytes))
+		if acked != nil {
+			acked(tt)
+		}
+	})
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// EngineUtilization reports the mean utilization of the send engines at now.
+func (p *Port) EngineUtilization(now sim.Time) float64 {
+	if len(p.SendEngines) == 0 || now <= 0 {
+		return 0
+	}
+	var u float64
+	for i := range p.SendEngines {
+		u += p.SendEngines[i].Utilization(now)
+	}
+	return u / float64(len(p.SendEngines))
+}

@@ -1,0 +1,115 @@
+package ib
+
+import "testing"
+
+func putle(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func getle(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}
+
+func TestAtomicFetchAdd(t *testing.T) {
+	r := newRig(t)
+	mem := make([]byte, 64)
+	putle(mem[8:], 100)
+	mr := r.realm.RegisterMR(mem, len(mem))
+	err := r.qa.PostSend(SendWR{WRID: 1, Op: OpAtomicFAdd, N: 8, RKey: mr.RKey, RemoteOff: 8, CompareAdd: 42, Signaled: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.run(t)
+	if got := getle(mem[8:]); got != 142 {
+		t.Errorf("memory = %d, want 142", got)
+	}
+	e, ok := r.cqa.Poll()
+	if !ok || e.Op != OpAtomicFAdd || e.AtomicOld != 100 {
+		t.Errorf("completion = %+v ok=%v", e, ok)
+	}
+}
+
+func TestAtomicCAS(t *testing.T) {
+	r := newRig(t)
+	mem := make([]byte, 16)
+	putle(mem, 7)
+	mr := r.realm.RegisterMR(mem, len(mem))
+	// Matching compare: swaps.
+	r.qa.PostSend(SendWR{Op: OpAtomicCAS, N: 8, RKey: mr.RKey, CompareAdd: 7, Swap: 99, Signaled: true})
+	r.run(t)
+	if got := getle(mem); got != 99 {
+		t.Errorf("after matching CAS: %d, want 99", got)
+	}
+	e, _ := r.cqa.Poll()
+	if e.AtomicOld != 7 {
+		t.Errorf("old = %d, want 7", e.AtomicOld)
+	}
+	// Mismatching compare: unchanged.
+	r.qa.PostSend(SendWR{Op: OpAtomicCAS, N: 8, RKey: mr.RKey, CompareAdd: 7, Swap: 5, Signaled: true})
+	if err := r.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := getle(mem); got != 99 {
+		t.Errorf("after mismatching CAS: %d, want 99", got)
+	}
+	e, _ = r.cqa.Poll()
+	if e.AtomicOld != 99 {
+		t.Errorf("old = %d, want 99", e.AtomicOld)
+	}
+}
+
+func TestAtomicsSerializeInArrivalOrder(t *testing.T) {
+	// Two fetch-adds from two different QPs both observe distinct old
+	// values: the responder applies them atomically, never lost-update.
+	r := newRig(t)
+	mem := make([]byte, 8)
+	mr := r.realm.RegisterMR(mem, 8)
+	q2a := r.realm.NewQP(QPConfig{Port: r.pa, CQ: r.cqa})
+	q2b := r.realm.NewQP(QPConfig{Port: r.pb, CQ: r.cqb})
+	if err := Connect(q2a, q2b); err != nil {
+		t.Fatal(err)
+	}
+	r.qa.PostSend(SendWR{WRID: 1, Op: OpAtomicFAdd, N: 8, RKey: mr.RKey, CompareAdd: 1, Signaled: true})
+	q2a.PostSend(SendWR{WRID: 2, Op: OpAtomicFAdd, N: 8, RKey: mr.RKey, CompareAdd: 1, Signaled: true})
+	r.run(t)
+	if got := getle(mem); got != 2 {
+		t.Fatalf("final value = %d, want 2", got)
+	}
+	olds := map[uint64]bool{}
+	for {
+		e, ok := r.cqa.Poll()
+		if !ok {
+			break
+		}
+		olds[e.AtomicOld] = true
+	}
+	if !olds[0] || !olds[1] {
+		t.Errorf("old values = %v, want {0,1}: each op saw a distinct snapshot", olds)
+	}
+}
+
+func TestAtomicValidation(t *testing.T) {
+	r := newRig(t)
+	mr := r.realm.RegisterMR(make([]byte, 16), 16)
+	if err := r.qa.PostSend(SendWR{Op: OpAtomicFAdd, N: 8, RKey: 999}); err != ErrBadRKey {
+		t.Errorf("bad rkey: %v", err)
+	}
+	if err := r.qa.PostSend(SendWR{Op: OpAtomicFAdd, N: 8, RKey: mr.RKey, RemoteOff: 4}); err != ErrMRBounds {
+		t.Errorf("unaligned: %v", err)
+	}
+	if err := r.qa.PostSend(SendWR{Op: OpAtomicFAdd, N: 8, RKey: mr.RKey, RemoteOff: 16}); err != ErrMRBounds {
+		t.Errorf("out of bounds: %v", err)
+	}
+}
+
+func TestAtomicOpcodeStrings(t *testing.T) {
+	if OpAtomicFAdd.String() != "ATOMIC_FADD" || OpAtomicCAS.String() != "ATOMIC_CAS" {
+		t.Error("atomic opcode strings wrong")
+	}
+}

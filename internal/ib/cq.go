@@ -1,0 +1,66 @@
+package ib
+
+// Status of a completed work request.
+type Status int
+
+// Completion statuses.
+const (
+	StatusSuccess Status = iota
+	StatusLocalError
+)
+
+// CQE is a completion queue entry.
+//
+// Ctx and Data are simulation conveniences standing in for what real verbs
+// software reads out of its registered bounce buffers: Ctx carries the
+// sender's opaque protocol header object, Data the eager payload bytes.
+type CQE struct {
+	QPN    int
+	WRID   uint64
+	Op     Opcode
+	Status Status
+	Bytes  int
+	Imm    uint64 // immediate data, valid when HasImm
+	HasImm bool
+	Ctx    any    // sender's SendWR.Ctx (receive completions only)
+	Data   []byte // payload reference (receive completions only)
+
+	// AtomicOld is the pre-operation value returned by OpAtomicFAdd and
+	// OpAtomicCAS completions.
+	AtomicOld uint64
+}
+
+// CQ is a completion queue. Completions are pushed by the simulated
+// hardware; software drains them with Poll. An optional notify callback
+// fires on every push, letting a progress engine wake its rank.
+type CQ struct {
+	realm  *Realm
+	q      []CQE
+	notify func()
+}
+
+// NewCQ creates a completion queue in the realm.
+func (r *Realm) NewCQ() *CQ { return &CQ{realm: r} }
+
+// SetNotify registers fn to be invoked whenever a completion is pushed.
+func (cq *CQ) SetNotify(fn func()) { cq.notify = fn }
+
+// Poll removes and returns the oldest completion, if any.
+func (cq *CQ) Poll() (CQE, bool) {
+	if len(cq.q) == 0 {
+		return CQE{}, false
+	}
+	e := cq.q[0]
+	cq.q = cq.q[1:]
+	return e, true
+}
+
+// Len reports the number of undrained completions.
+func (cq *CQ) Len() int { return len(cq.q) }
+
+func (cq *CQ) push(e CQE) {
+	cq.q = append(cq.q, e)
+	if cq.notify != nil {
+		cq.notify()
+	}
+}

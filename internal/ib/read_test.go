@@ -1,0 +1,121 @@
+package ib
+
+import (
+	"bytes"
+	"testing"
+
+	"ib12x/internal/sim"
+)
+
+func TestRDMAReadFetchesData(t *testing.T) {
+	r := newRig(t)
+	src := bytes.Repeat([]byte{0x5A}, 64)
+	mr := r.realm.RegisterMR(src, len(src))
+	dst := make([]byte, 64)
+	err := r.qa.PostSend(SendWR{WRID: 11, Op: OpRDMARead, Data: dst, N: 64, RKey: mr.RKey, Signaled: true})
+	if err != nil {
+		t.Fatalf("PostSend: %v", err)
+	}
+	r.run(t)
+	if !bytes.Equal(dst, src) {
+		t.Error("read did not fetch remote data")
+	}
+	e, ok := r.cqa.Poll()
+	if !ok || e.Op != OpRDMARead || e.WRID != 11 || e.Bytes != 64 {
+		t.Errorf("completion = %+v ok=%v", e, ok)
+	}
+	if r.qa.Outstanding() != 0 {
+		t.Errorf("outstanding = %d", r.qa.Outstanding())
+	}
+}
+
+func TestRDMAReadAtOffset(t *testing.T) {
+	r := newRig(t)
+	region := make([]byte, 256)
+	for i := range region {
+		region[i] = byte(i)
+	}
+	mr := r.realm.RegisterMR(region, len(region))
+	dst := make([]byte, 32)
+	err := r.qa.PostSend(SendWR{Op: OpRDMARead, Data: dst, N: 32, RKey: mr.RKey, RemoteOff: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.run(t)
+	if !bytes.Equal(dst, region[100:132]) {
+		t.Errorf("read at offset fetched %v", dst[:4])
+	}
+}
+
+func TestRDMAReadValidation(t *testing.T) {
+	r := newRig(t)
+	mr := r.realm.RegisterMR(make([]byte, 64), 64)
+	if err := r.qa.PostSend(SendWR{Op: OpRDMARead, N: 8, RKey: 12345}); err != ErrBadRKey {
+		t.Errorf("bad rkey: %v", err)
+	}
+	if err := r.qa.PostSend(SendWR{Op: OpRDMARead, N: 65, RKey: mr.RKey}); err != ErrMRBounds {
+		t.Errorf("bounds: %v", err)
+	}
+}
+
+func TestRDMAReadLatencyRoundTrip(t *testing.T) {
+	// A read costs a request flight plus the data path back: it must take
+	// longer than one wire latency but complete in bounded time.
+	r := newRig(t)
+	mr := r.realm.RegisterMR(nil, 1<<20)
+	var done sim.Time
+	r.cqa.SetNotify(func() { done = r.eng.Now() })
+	if err := r.qa.PostSend(SendWR{Op: OpRDMARead, N: 1 << 20, RKey: mr.RKey, Signaled: true}); err != nil {
+		t.Fatal(err)
+	}
+	r.run(t)
+	min := 2*r.m.WireLatency + sim.TransferTime(1<<20, r.m.EngineRate)
+	if done < min {
+		t.Errorf("1MB read done at %v, faster than physics allows (%v)", done, min)
+	}
+	if done > 3*min {
+		t.Errorf("1MB read done at %v, want < %v", done, 3*min)
+	}
+}
+
+func TestRDMAReadsOverlapAcrossQPs(t *testing.T) {
+	// Reads on separate QPs engage separate responder streams: two 512KB
+	// reads on two QPs finish well before twice the single-read time.
+	m := newRig(t).m
+	single := func(qps int) sim.Time {
+		r := newRig(t)
+		mr := r.realm.RegisterMR(nil, 1<<20)
+		q2a := r.realm.NewQP(QPConfig{Port: r.pa, CQ: r.cqa})
+		q2b := r.realm.NewQP(QPConfig{Port: r.pb, CQ: r.cqb})
+		if err := Connect(q2a, q2b); err != nil {
+			t.Fatal(err)
+		}
+		var last sim.Time
+		r.cqa.SetNotify(func() { last = r.eng.Now() })
+		r.qa.PostSend(SendWR{Op: OpRDMARead, N: 512 << 10, RKey: mr.RKey, Signaled: true})
+		target := r.qa
+		if qps == 2 {
+			target = q2a
+		}
+		target.PostSend(SendWR{Op: OpRDMARead, N: 512 << 10, RemoteOff: 512 << 10, RKey: mr.RKey, Signaled: true})
+		r.run(t)
+		return last
+	}
+	one := single(1)
+	two := single(2)
+	if two >= one {
+		t.Errorf("reads on 2 QPs (%v) not faster than chained on 1 QP (%v)", two, one)
+	}
+	_ = m
+}
+
+func TestReadStats(t *testing.T) {
+	r := newRig(t)
+	mr := r.realm.RegisterMR(nil, 4096)
+	r.qa.PostSend(SendWR{Op: OpRDMARead, N: 4096, RKey: mr.RKey})
+	r.run(t)
+	s := r.realm.Stats()
+	if s.ReadsPosted != 1 || s.BytesRead != 4096 {
+		t.Errorf("stats = %+v", s)
+	}
+}

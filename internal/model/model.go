@@ -1,0 +1,220 @@
+// Package model holds every calibrated hardware and protocol constant used
+// by the simulation, in one place.
+//
+// The testbed being reproduced (paper §4.1): IBM Power6 nodes, 4 CPUs per
+// node, 32 GB DDR2-533, one IBM 12x dual-port HCA on a 950 MHz GX+ bus,
+// OpenIB Gen2, MVAPICH. Calibration philosophy (see DESIGN.md §2): constants
+// are chosen so the *single-rail* configuration matches the paper's
+// single-rail measurements; all multi-rail behaviour must then emerge from
+// the modeled mechanisms rather than per-figure fitting.
+package model
+
+import "ib12x/internal/sim"
+
+// Params collects the tunable constants of the hardware and software model.
+// Use Default() and tweak fields for ablations; the zero value is not valid.
+type Params struct {
+	// ---- IBM 12x HCA ----
+
+	// SendEnginesPerPort and RecvEnginesPerPort are the number of DMA
+	// engines per HCA port (paper §2.2: "each port has multiple send and
+	// receive DMA engines").
+	SendEnginesPerPort int
+	RecvEnginesPerPort int
+
+	// EngineRate is the peak data rate of a single send or receive DMA
+	// engine, bytes/s. Calibrated: the paper's single-QP (single-engine)
+	// uni-directional peak is 1661 MB/s.
+	EngineRate float64
+
+	// EnginePerWQE is the fixed engine occupancy per work request: WQE
+	// fetch across GX+, address translation, pipeline startup. This is the
+	// "send engines do not have enough data to pipeline" cost that
+	// penalises striping of medium messages (paper §4.3).
+	EnginePerWQE sim.Time
+
+	// SchedulerPerWQE is the hardware send scheduler's arbitration cost
+	// per descriptor. The scheduler is a single serial resource per port
+	// that scans QPs with outstanding descriptors in round-robin order
+	// (paper §2.2).
+	SchedulerPerWQE sim.Time
+
+	// AckProcTime is the responder-side engine occupancy to generate an RC
+	// acknowledgment for one received chunk.
+	AckProcTime sim.Time
+
+	// ---- 12x link and fabric ----
+
+	// LinkRawRate is the 12x data rate after 8b/10b coding: 30 Gbit/s
+	// raw = 3.0 GB/s of payload-carrying capacity per direction.
+	LinkRawRate float64
+
+	// MTU is the InfiniBand path MTU in bytes.
+	MTU int
+
+	// PacketHeader is the per-MTU-packet wire overhead (LRH+BTH+ICRC and
+	// inter-packet/flow-control gaps), bytes. Calibrated so the effective
+	// large-message link rate lands at the paper's multi-rail peak
+	// (2745 MB/s uni-directional).
+	PacketHeader int
+
+	// AckWireBytes is the wire occupancy of an RC ACK packet on the
+	// reverse lane.
+	AckWireBytes int
+
+	// WireLatency is the one-way propagation plus switch cut-through time.
+	WireLatency sim.Time
+
+	// RetransmitTimeout is the requester's RC retry timeout: how long a
+	// lost chunk waits before its retransmission begins. Errors are
+	// injected per port via hca.Port.ErrorEvery (deterministic, for
+	// failure-injection tests); the default fabric is error-free.
+	RetransmitTimeout sim.Time
+
+	// LaneChunk is the granularity (bytes) at which large transfers book
+	// the link lanes. Packets of concurrent transfers interleave on a real
+	// link per MTU; chunked bookings approximate that without per-packet
+	// events. Smaller = finer interleaving, more events.
+	LaneChunk int
+
+	// ---- GX+ bus ----
+
+	// GXRate is the aggregate GX+ bus bandwidth at 950 MHz (paper §2.2:
+	// theoretical 7.6 GB/s), shared by all DMA in both directions.
+	GXRate float64
+
+	// DoorbellTime is the MMIO cost of ringing the HCA doorbell across
+	// GX+, charged to the posting CPU.
+	DoorbellTime sim.Time
+
+	// ---- Host CPU / MPI software ----
+
+	// CPUPostWQE is the host cost to build and post one descriptor
+	// (excluding the doorbell MMIO). The paper attributes the striping
+	// penalty partly to "posting a descriptor for each stripe".
+	CPUPostWQE sim.Time
+
+	// CPUCompletion is the host cost to reap one completion-queue entry.
+	CPUCompletion sim.Time
+
+	// CPUHeaderProc is the host cost to parse/dispatch one MPI protocol
+	// header (eager header, RTS, CTS, FIN).
+	CPUHeaderProc sim.Time
+
+	// EagerCopyRate is the host memcpy bandwidth used for eager-protocol
+	// copies into/out of pre-registered bounce buffers, bytes/s.
+	EagerCopyRate float64
+
+	// MPIHeaderBytes is the size of the MPI envelope prepended to eager
+	// messages; CtrlMsgBytes the size of RTS/CTS/FIN control messages.
+	MPIHeaderBytes int
+	CtrlMsgBytes   int
+
+	// RendezvousThreshold is the eager/rendezvous switch point; it is also
+	// the striping threshold (paper §3.3: 16 KB).
+	RendezvousThreshold int
+
+	// EagerCredits is the per-connection send-credit pool: each channel
+	// message (eager data or control) consumes one preposted receive at
+	// the peer; credits return piggybacked on reverse traffic or via
+	// explicit updates when half the pool is owed. MVAPICH's credit-based
+	// flow control, sized to its default prepost depth.
+	EagerCredits int
+
+	// MinStripe is the smallest stripe the planner will cut; stripes are
+	// never smaller than this even if that leaves rails idle.
+	MinStripe int
+
+	// ---- Intra-node shared memory channel ----
+
+	// ShmemLatency is the one-way small-message latency through the
+	// shared-memory channel; ShmemRate its two-copy bandwidth.
+	ShmemLatency sim.Time
+	ShmemRate    float64
+
+	// The Power6 compute model for the NAS kernels lives with the kernels
+	// themselves: per-class per-element costs in internal/nas (ISClass.
+	// KeyCost, FTClass.PointCost), calibrated against the paper's
+	// compute/communication ratios.
+}
+
+// Default returns the calibrated parameter set for the paper's testbed.
+func Default() *Params {
+	return &Params{
+		SendEnginesPerPort: 4,
+		RecvEnginesPerPort: 4,
+		EngineRate:         1.672e9,
+		EnginePerWQE:       1500 * sim.Nanosecond,
+		SchedulerPerWQE:    150 * sim.Nanosecond,
+		AckProcTime:        400 * sim.Nanosecond,
+
+		LinkRawRate:  3.0e9,
+		MTU:          2048,
+		PacketHeader: 186,
+		AckWireBytes: 60,
+		WireLatency:  600 * sim.Nanosecond,
+		LaneChunk:    16 * 1024,
+
+		RetransmitTimeout: 500 * sim.Microsecond,
+
+		GXRate:       7.6e9,
+		DoorbellTime: 200 * sim.Nanosecond,
+
+		CPUPostWQE:    700 * sim.Nanosecond,
+		CPUCompletion: 600 * sim.Nanosecond,
+		CPUHeaderProc: 400 * sim.Nanosecond,
+		EagerCopyRate: 2.8e9,
+
+		MPIHeaderBytes:      64,
+		CtrlMsgBytes:        64,
+		RendezvousThreshold: 16 * 1024,
+		EagerCredits:        64,
+		MinStripe:           4 * 1024,
+
+		ShmemLatency: 350 * sim.Nanosecond,
+		ShmemRate:    4.0e9,
+	}
+}
+
+// PCIe8x returns a parameter set for the contemporary comparison point the
+// paper's introduction names: an 8x HCA on PCI-Express ("HCAs with
+// throughput of 8x on PCI-Express have become available"). 8x after 8b/10b
+// is 2.0 GB/s of payload capacity; the era's PCIe x8 host interface
+// sustains roughly 1.4-1.6 GB/s of DMA after overheads, and the adapters
+// carried two send/receive engines. Calibrated to the ~1.4-1.5 GB/s
+// uni-directional peaks published for those adapters (Liu et al., Hot
+// Interconnects 2003 lineage).
+func PCIe8x() *Params {
+	p := Default()
+	p.SendEnginesPerPort = 2
+	p.RecvEnginesPerPort = 2
+	p.EngineRate = 1.05e9
+	p.LinkRawRate = 2.0e9
+	p.GXRate = 1.5e9 // the PCIe x8 DMA ceiling stands in for GX+
+	return p
+}
+
+// LinkDataRate reports the effective payload rate of one link direction
+// after per-packet header overhead: LinkRawRate scaled by MTU/(MTU+header).
+func (p *Params) LinkDataRate() float64 {
+	return p.LinkRawRate * float64(p.MTU) / float64(p.MTU+p.PacketHeader)
+}
+
+// PacketWireTime reports the wire occupancy of a data packet carrying n
+// payload bytes (n ≤ MTU).
+func (p *Params) PacketWireTime(n int) sim.Time {
+	return sim.TransferTime(int64(n+p.PacketHeader), p.LinkRawRate)
+}
+
+// AckWireTime reports the wire occupancy of one RC acknowledgment.
+func (p *Params) AckWireTime() sim.Time {
+	return sim.TransferTime(int64(p.AckWireBytes), p.LinkRawRate)
+}
+
+// Packets reports how many MTU packets carry n payload bytes.
+func (p *Params) Packets(n int) int {
+	if n <= 0 {
+		return 1 // a zero-payload message still sends one packet
+	}
+	return (n + p.MTU - 1) / p.MTU
+}

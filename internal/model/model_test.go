@@ -1,0 +1,108 @@
+package model
+
+import (
+	"testing"
+
+	"ib12x/internal/sim"
+)
+
+func TestDefaultSanity(t *testing.T) {
+	p := Default()
+	if p.SendEnginesPerPort < 1 || p.RecvEnginesPerPort < 1 {
+		t.Fatal("engine counts must be positive")
+	}
+	if p.EngineRate <= 0 || p.LinkRawRate <= 0 || p.GXRate <= 0 {
+		t.Fatal("rates must be positive")
+	}
+	// The architecture invariants of the paper's testbed:
+	// one engine alone cannot saturate the 12x link ...
+	if p.EngineRate >= p.LinkRawRate {
+		t.Error("a single engine must not saturate the link (otherwise multi-QP gains are impossible)")
+	}
+	// ... but all engines together exceed it ...
+	if float64(p.SendEnginesPerPort)*p.EngineRate <= p.LinkRawRate {
+		t.Error("all engines together must exceed the link (otherwise the link never binds)")
+	}
+	// ... and GX+ exceeds a single link but not two full-duplex ports.
+	if p.GXRate <= p.LinkRawRate {
+		t.Error("GX+ must exceed one link direction")
+	}
+	if p.RendezvousThreshold != 16*1024 {
+		t.Errorf("rendezvous threshold = %d, want 16 KB (paper §3.3)", p.RendezvousThreshold)
+	}
+}
+
+func TestLinkDataRate(t *testing.T) {
+	p := Default()
+	eff := p.LinkDataRate()
+	if eff >= p.LinkRawRate {
+		t.Errorf("effective rate %g must be below raw %g", eff, p.LinkRawRate)
+	}
+	// Calibration target: the multi-rail uni-directional peak is 2745 MB/s;
+	// effective link rate must sit within a few percent of it.
+	if eff < 2.70e9 || eff > 2.80e9 {
+		t.Errorf("LinkDataRate = %.0f MB/s, want ~2745 MB/s", eff/1e6)
+	}
+}
+
+func TestPacketMath(t *testing.T) {
+	p := Default()
+	cases := []struct {
+		n    int
+		want int
+	}{
+		{0, 1}, {1, 1}, {p.MTU, 1}, {p.MTU + 1, 2}, {10 * p.MTU, 10}, {10*p.MTU + 5, 11},
+	}
+	for _, c := range cases {
+		if got := p.Packets(c.n); got != c.want {
+			t.Errorf("Packets(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestPacketWireTime(t *testing.T) {
+	p := Default()
+	full := p.PacketWireTime(p.MTU)
+	// A full packet at 3 GB/s: (2048+186)B / 3e9 B/s ≈ 745 ns.
+	if full < 700*sim.Nanosecond || full > 800*sim.Nanosecond {
+		t.Errorf("full packet wire time = %v, want ~745ns", full)
+	}
+	if p.PacketWireTime(0) >= full {
+		t.Error("empty packet must be cheaper than a full one")
+	}
+	if p.AckWireTime() <= 0 || p.AckWireTime() >= p.PacketWireTime(0) {
+		t.Errorf("ack wire time %v should be positive and below a header-only packet %v",
+			p.AckWireTime(), p.PacketWireTime(0))
+	}
+}
+
+func TestSingleEngineAsymptote(t *testing.T) {
+	// Moving 1 MB through one engine must take roughly 1MB/EngineRate:
+	// the calibration anchor for the 1661 MB/s single-rail peak lives in
+	// the engine rate plus per-WQE overheads, so the raw rate alone must
+	// be in the right neighbourhood.
+	p := Default()
+	tt := sim.TransferTime(1<<20, p.EngineRate)
+	if tt < 550*sim.Microsecond || tt > 680*sim.Microsecond {
+		t.Errorf("1MB engine time = %v, want ~620us", tt)
+	}
+}
+
+func TestPCIe8xPreset(t *testing.T) {
+	p := PCIe8x()
+	d := Default()
+	if p.LinkRawRate >= d.LinkRawRate {
+		t.Error("8x link must be slower than 12x")
+	}
+	if p.SendEnginesPerPort != 2 || p.EngineRate >= d.EngineRate {
+		t.Errorf("8x engines: %d x %.0f MB/s", p.SendEnginesPerPort, p.EngineRate/1e6)
+	}
+	// The PCIe bus is the binding resource on that generation.
+	if p.GXRate >= p.LinkRawRate {
+		t.Error("8x host interface should bind before the link")
+	}
+	// The 12x defaults must be untouched (no aliasing).
+	if d.GXRate != 7.6e9 {
+		t.Error("Default params mutated by preset")
+	}
+}

@@ -1,0 +1,136 @@
+package mpi
+
+// Alternative Alltoall algorithms. The default Alltoall uses the cyclic
+// pairwise Sendrecv ladder of the MPICH-1 lineage (what the paper's MVAPICH
+// ran, §3.2.2); these variants exist for the algorithm ablation
+// (bench.AlltoallAlgTable): Bruck's log-step algorithm for small blocks and
+// the fully-concurrent linear algorithm.
+
+// A2AAlg selects an Alltoall algorithm.
+type A2AAlg int
+
+// Alltoall algorithm choices.
+const (
+	// A2APairwise is the cyclic Sendrecv ladder (the default).
+	A2APairwise A2AAlg = iota
+	// A2ALinear posts all p-1 Irecvs and Isends at once and waits.
+	A2ALinear
+	// A2ABruck runs ⌈log2 p⌉ rounds of block-merged exchanges — fewer,
+	// larger messages, the classic small-message optimization.
+	A2ABruck
+)
+
+func (a A2AAlg) String() string {
+	switch a {
+	case A2APairwise:
+		return "pairwise"
+	case A2ALinear:
+		return "linear"
+	case A2ABruck:
+		return "bruck"
+	default:
+		return "A2AAlg(?)"
+	}
+}
+
+// AlltoallAlg is Alltoall with an explicit algorithm choice.
+func (c *Comm) AlltoallAlg(alg A2AAlg, send []byte, n int, recv []byte) {
+	switch alg {
+	case A2ALinear:
+		c.alltoallLinear(send, n, recv)
+	case A2ABruck:
+		c.alltoallBruck(send, n, recv)
+	default:
+		c.Alltoall(send, n, recv)
+	}
+}
+
+// alltoallLinear posts everything at once: maximal concurrency, p-1
+// outstanding messages per rank.
+func (c *Comm) alltoallLinear(send []byte, n int, recv []byte) {
+	p := c.size
+	tag := c.nextCollTag()
+	rank := c.Rank()
+	if recv != nil && send != nil {
+		copy(recv[rank*n:(rank+1)*n], send[rank*n:(rank+1)*n])
+	}
+	reqs := make([]*Request, 0, 2*(p-1))
+	for r := 0; r < p; r++ {
+		if r == rank {
+			continue
+		}
+		var rbuf []byte
+		if recv != nil {
+			rbuf = recv[r*n : (r+1)*n]
+		}
+		reqs = append(reqs, c.crecv(r, tag, rbuf, n))
+	}
+	for r := 0; r < p; r++ {
+		if r == rank {
+			continue
+		}
+		var sbuf []byte
+		if send != nil {
+			sbuf = send[r*n : (r+1)*n]
+		}
+		reqs = append(reqs, c.csend(r, tag, sbuf, n))
+	}
+	c.ep.WaitAll(reqs)
+}
+
+// alltoallBruck runs the store-and-forward Bruck algorithm: after a local
+// rotation, round k exchanges all blocks whose destination's k-th bit is
+// set with the rank 2^k away, then a final rotation unscrambles. Messages
+// are ⌈p/2⌉ blocks long but only ⌈log2 p⌉ of them — the small-block win.
+func (c *Comm) alltoallBruck(send []byte, n int, recv []byte) {
+	p := c.size
+	tag := c.nextCollTag()
+	rank := c.Rank()
+
+	synthetic := send == nil || recv == nil
+	// Working array in "rotated" order: slot i holds the block destined
+	// for rank (rank+i) mod p.
+	var work []byte
+	if !synthetic {
+		work = make([]byte, p*n)
+		for i := 0; i < p; i++ {
+			src := ((rank + i) % p) * n
+			copy(work[i*n:(i+1)*n], send[src:src+n])
+		}
+	}
+	for k := 1; k < p; k <<= 1 {
+		dst := (rank + k) % p
+		src := (rank - k + p) % p
+		// Collect the slots whose index has bit k set.
+		var idxs []int
+		for i := 1; i < p; i++ {
+			if i&k != 0 {
+				idxs = append(idxs, i)
+			}
+		}
+		cnt := len(idxs) * n
+		var sbuf, rbuf []byte
+		if !synthetic {
+			sbuf = make([]byte, cnt)
+			for j, i := range idxs {
+				copy(sbuf[j*n:(j+1)*n], work[i*n:(i+1)*n])
+			}
+			rbuf = make([]byte, cnt)
+		}
+		c.csendrecv(dst, tag, sbuf, cnt, src, rbuf, cnt)
+		if !synthetic {
+			for j, i := range idxs {
+				copy(work[i*n:(i+1)*n], rbuf[j*n:(j+1)*n])
+			}
+		}
+	}
+	if synthetic {
+		return
+	}
+	// Final inverse rotation: slot i currently holds the block FROM rank
+	// (rank-i) mod p.
+	for i := 0; i < p; i++ {
+		from := (rank - i + p) % p
+		copy(recv[from*n:(from+1)*n], work[i*n:(i+1)*n])
+	}
+}

@@ -1,0 +1,132 @@
+package mpi
+
+import (
+	"testing"
+
+	"ib12x/internal/core"
+)
+
+func TestWinFetchAddAcrossNodes(t *testing.T) {
+	mustRun(t, cfg(2, 1, 2, core.EPC), func(c *Comm) {
+		buf := make([]byte, 16)
+		w := c.WinCreate(buf, 16)
+		w.Fence()
+		if c.Rank() == 0 {
+			old := w.FetchAddInt64(1, 0, 5)
+			if old != 0 {
+				t.Errorf("first fetch-add old = %d, want 0", old)
+			}
+			old = w.FetchAddInt64(1, 0, 10)
+			if old != 5 {
+				t.Errorf("second fetch-add old = %d, want 5", old)
+			}
+		}
+		w.Fence()
+		if c.Rank() == 1 {
+			if got := w.ReadInt64(0); got != 15 {
+				t.Errorf("window value = %d, want 15", got)
+			}
+		}
+		w.Free()
+	})
+}
+
+func TestWinFetchAddConcurrent(t *testing.T) {
+	// Every rank increments rank 0's counter; the old values must be a
+	// permutation of 0..p-1 (atomicity: no lost updates).
+	mustRun(t, cfg(2, 2, 2, core.EPC), func(c *Comm) {
+		p := c.Size()
+		buf := make([]byte, 8)
+		w := c.WinCreate(buf, 8)
+		w.Fence()
+		old := w.FetchAddInt64(0, 0, 1)
+		if old < 0 || old >= int64(p) {
+			t.Errorf("rank %d saw old = %d", c.Rank(), old)
+		}
+		// Collect all observed values; they must be distinct.
+		olds := make([]int64, p)
+		olds[c.Rank()] = old
+		c.AllreduceInt64(olds, Sum) // each slot contributed by one rank
+		w.Fence()
+		if c.Rank() == 0 {
+			if got := w.ReadInt64(0); got != int64(p) {
+				t.Errorf("counter = %d, want %d", got, p)
+			}
+			seen := map[int64]bool{}
+			for _, v := range olds {
+				if seen[v] {
+					t.Errorf("duplicate old value %d: lost update", v)
+				}
+				seen[v] = true
+			}
+		}
+		w.Free()
+	})
+}
+
+func TestWinCASLockProtocol(t *testing.T) {
+	// A tiny spinlock built on CAS: rank 1 acquires, mutates, releases;
+	// rank 0 then acquires.
+	mustRun(t, cfg(2, 1, 2, core.EPC), func(c *Comm) {
+		buf := make([]byte, 16)
+		w := c.WinCreate(buf, 16)
+		w.Fence()
+		acquire := func() {
+			for {
+				if w.CompareAndSwapInt64(0, 0, 0, int64(c.Rank()+1)) == 0 {
+					return
+				}
+				c.Compute(1000)
+			}
+		}
+		release := func() { w.CompareAndSwapInt64(0, 0, int64(c.Rank()+1), 0) }
+		if c.Rank() == 1 {
+			acquire()
+			w.FetchAddInt64(0, 1, 100)
+			release()
+			c.SendN(0, 0, nil, 1) // signal done
+		} else {
+			c.RecvN(1, 0, nil, 1)
+			acquire()
+			if got := w.FetchAddInt64(0, 1, 1); got != 100 {
+				t.Errorf("critical section value = %d, want 100", got)
+			}
+			release()
+		}
+		w.Fence()
+		w.Free()
+	})
+}
+
+func TestWinFetchAddIntraNode(t *testing.T) {
+	mustRun(t, Config{Nodes: 1, ProcsPerNode: 2, QPsPerPort: 1, Policy: core.Original}, func(c *Comm) {
+		buf := make([]byte, 8)
+		w := c.WinCreate(buf, 8)
+		w.Fence()
+		if c.Rank() == 1 {
+			if old := w.FetchAddInt64(0, 0, 7); old != 0 {
+				t.Errorf("old = %d", old)
+			}
+		}
+		w.Fence()
+		if c.Rank() == 0 && w.ReadInt64(0) != 7 {
+			t.Errorf("value = %d, want 7", w.ReadInt64(0))
+		}
+		w.Free()
+	})
+}
+
+func TestWinFetchAddSelf(t *testing.T) {
+	mustRun(t, cfg(2, 1, 1, core.Original), func(c *Comm) {
+		buf := make([]byte, 8)
+		w := c.WinCreate(buf, 8)
+		if old := w.FetchAddInt64(c.Rank(), 0, 3); old != 0 {
+			t.Errorf("old = %d", old)
+		}
+		if old := w.FetchAddInt64(c.Rank(), 0, 4); old != 3 {
+			t.Errorf("old = %d, want 3", old)
+		}
+		w.Fence()
+		w.Free()
+	})
+}

@@ -1,0 +1,304 @@
+package mpi
+
+import (
+	"fmt"
+
+	"ib12x/internal/core"
+)
+
+// Collective operations built on point-to-point transfers, following the
+// classic MPICH algorithms (binomial trees, recursive doubling, ring,
+// pairwise exchange). Every internal transfer is posted non-blocking with
+// the Collective class and the collective context, so the ADI communication
+// marker sees exactly what the paper's §3.2.2 describes: non-blocking calls
+// that nonetheless deserve striping.
+
+// csend posts a collective-class send (ranks are communicator-local).
+func (c *Comm) csend(dst, tag int, data []byte, n int) *Request {
+	return c.ep.PostSend(c.world(dst), tag, c.ctxColl, core.Collective, data, n)
+}
+
+// crecv posts a collective-context receive (ranks communicator-local).
+func (c *Comm) crecv(src, tag int, buf []byte, n int) *Request {
+	return c.ep.PostRecv(c.world(src), tag, c.ctxColl, buf, n)
+}
+
+// csendrecv is the Sendrecv step of collective algorithms.
+func (c *Comm) csendrecv(dst, tag int, sdata []byte, sn, src int, rbuf []byte, rn int) {
+	rreq := c.crecv(src, tag, rbuf, rn)
+	sreq := c.csend(dst, tag, sdata, sn)
+	c.ep.Wait(sreq)
+	c.ep.Wait(rreq)
+}
+
+// Barrier blocks until all ranks arrive (dissemination algorithm).
+func (c *Comm) Barrier() {
+	p := c.size
+	if p == 1 {
+		return
+	}
+	tag := c.nextCollTag()
+	for mask := 1; mask < p; mask <<= 1 {
+		dst := (c.Rank() + mask) % p
+		src := (c.Rank() - mask + p) % p
+		c.csendrecv(dst, tag, nil, 0, src, nil, 0)
+	}
+}
+
+// Bcast broadcasts root's n = len(buf) bytes to all ranks (binomial tree).
+// buf may be nil with BcastN for synthetic payloads.
+func (c *Comm) Bcast(root int, buf []byte) { c.BcastN(root, buf, len(buf)) }
+
+// BcastN broadcasts n bytes from root using an optional buffer.
+func (c *Comm) BcastN(root int, buf []byte, n int) {
+	p := c.size
+	if p == 1 {
+		return
+	}
+	if root < 0 || root >= p {
+		panic(fmt.Sprintf("mpi: Bcast root %d out of range", root))
+	}
+	tag := c.nextCollTag()
+	rank := c.Rank()
+	relative := (rank - root + p) % p
+
+	mask := 1
+	for mask < p {
+		if relative&mask != 0 {
+			src := rank - mask
+			if src < 0 {
+				src += p
+			}
+			c.ep.Wait(c.crecv(src, tag, buf, n))
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if relative+mask < p {
+			dst := rank + mask
+			if dst >= p {
+				dst -= p
+			}
+			c.ep.Wait(c.csend(dst, tag, buf, n))
+		}
+		mask >>= 1
+	}
+}
+
+// reduceBytes reduces byte buffers to root with combine(dst, src) applied
+// element-wise by the caller's convention (binomial tree). buf is both
+// input and, on root, output. tmp must be a scratch buffer of equal size.
+func (c *Comm) reduceBytes(root, tag int, buf, tmp []byte, combine func(dst, src []byte)) {
+	p := c.size
+	if p == 1 {
+		return
+	}
+	rank := c.Rank()
+	relative := (rank - root + p) % p
+	for mask := 1; mask < p; mask <<= 1 {
+		if relative&mask == 0 {
+			src := relative | mask
+			if src < p {
+				srcRank := (src + root) % p
+				c.ep.Wait(c.crecv(srcRank, tag, tmp, len(tmp)))
+				combine(buf, tmp)
+			}
+		} else {
+			dst := ((relative &^ mask) + root) % p
+			c.ep.Wait(c.csend(dst, tag, buf, len(buf)))
+			break
+		}
+	}
+}
+
+// allreduceBytes runs recursive-doubling allreduce over byte buffers, with
+// the MPICH pre/post fold for non-power-of-two sizes.
+func (c *Comm) allreduceBytes(tag int, buf, tmp []byte, combine func(dst, src []byte)) {
+	p := c.size
+	if p == 1 {
+		return
+	}
+	rank := c.Rank()
+	pof2 := 1
+	for pof2*2 <= p {
+		pof2 *= 2
+	}
+	rem := p - pof2
+
+	newrank := -1
+	switch {
+	case rank < 2*rem && rank%2 == 0:
+		c.ep.Wait(c.csend(rank+1, tag, buf, len(buf)))
+	case rank < 2*rem:
+		c.ep.Wait(c.crecv(rank-1, tag, tmp, len(tmp)))
+		combine(buf, tmp)
+		newrank = rank / 2
+	default:
+		newrank = rank - rem
+	}
+
+	if newrank != -1 {
+		for mask := 1; mask < pof2; mask <<= 1 {
+			newdst := newrank ^ mask
+			dst := newdst + rem
+			if newdst < rem {
+				dst = newdst*2 + 1
+			}
+			c.csendrecv(dst, tag, buf, len(buf), dst, tmp, len(tmp))
+			combine(buf, tmp)
+		}
+	}
+
+	if rank < 2*rem {
+		if rank%2 != 0 {
+			c.ep.Wait(c.csend(rank-1, tag, buf, len(buf)))
+		} else {
+			c.ep.Wait(c.crecv(rank+1, tag, buf, len(buf)))
+		}
+	}
+}
+
+// Gather collects n-byte blocks from every rank into recv at root, laid out
+// by rank. recv is only read at root and must hold Size()*n bytes there.
+func (c *Comm) Gather(root int, send []byte, n int, recv []byte) {
+	p := c.size
+	tag := c.nextCollTag()
+	rank := c.Rank()
+	if rank == root {
+		if recv != nil && send != nil {
+			copy(recv[rank*n:(rank+1)*n], send[:n])
+		}
+		reqs := make([]*Request, 0, p-1)
+		for r := 0; r < p; r++ {
+			if r == root {
+				continue
+			}
+			var dst []byte
+			if recv != nil {
+				dst = recv[r*n : (r+1)*n]
+			}
+			reqs = append(reqs, c.crecv(r, tag, dst, n))
+		}
+		c.ep.WaitAll(reqs)
+		return
+	}
+	c.ep.Wait(c.csend(root, tag, send, n))
+}
+
+// Scatter distributes n-byte blocks from send (read at root, laid out by
+// rank) into each rank's recv.
+func (c *Comm) Scatter(root int, send []byte, n int, recv []byte) {
+	p := c.size
+	tag := c.nextCollTag()
+	rank := c.Rank()
+	if rank == root {
+		reqs := make([]*Request, 0, p-1)
+		for r := 0; r < p; r++ {
+			var blk []byte
+			if send != nil {
+				blk = send[r*n : (r+1)*n]
+			}
+			if r == root {
+				if recv != nil && blk != nil {
+					copy(recv[:n], blk)
+				}
+				continue
+			}
+			reqs = append(reqs, c.csend(r, tag, blk, n))
+		}
+		c.ep.WaitAll(reqs)
+		return
+	}
+	c.ep.Wait(c.crecv(root, tag, recv, n))
+}
+
+// Allgather collects every rank's n-byte block into recv on all ranks
+// (ring algorithm). send may alias recv[rank*n:].
+func (c *Comm) Allgather(send []byte, n int, recv []byte) {
+	p := c.size
+	tag := c.nextCollTag()
+	rank := c.Rank()
+	if recv != nil && send != nil {
+		copy(recv[rank*n:(rank+1)*n], send[:n])
+	}
+	if p == 1 {
+		return
+	}
+	right := (rank + 1) % p
+	left := (rank - 1 + p) % p
+	for i := 0; i < p-1; i++ {
+		sb := (rank - i + p) % p
+		rb := (rank - i - 1 + p) % p
+		var sbuf, rbuf []byte
+		if recv != nil {
+			sbuf, rbuf = recv[sb*n:(sb+1)*n], recv[rb*n:(rb+1)*n]
+		}
+		c.csendrecv(right, tag, sbuf, n, left, rbuf, n)
+	}
+}
+
+// Alltoall exchanges n-byte blocks between all rank pairs using the
+// classic cyclic pairwise-exchange algorithm of the MPICH-1 lineage that
+// MVAPICH descends from (the structure the paper's §3.2.2 analyses): p-1
+// steps; at step i each rank Sendrecvs with rank+i / rank-i.
+func (c *Comm) Alltoall(send []byte, n int, recv []byte) {
+	p := c.size
+	tag := c.nextCollTag()
+	rank := c.Rank()
+	if recv != nil && send != nil {
+		copy(recv[rank*n:(rank+1)*n], send[rank*n:(rank+1)*n])
+	}
+	for i := 1; i < p; i++ {
+		dst := (rank + i) % p
+		src := (rank - i + p) % p
+		var sbuf, rbuf []byte
+		if send != nil {
+			sbuf = send[dst*n : (dst+1)*n]
+		}
+		if recv != nil {
+			rbuf = recv[src*n : (src+1)*n]
+		}
+		c.csendrecv(dst, tag, sbuf, n, src, rbuf, n)
+	}
+}
+
+// Alltoallv exchanges variable-size blocks. scounts/rcounts give per-peer
+// byte counts; sdispls/rdispls the block offsets in send/recv.
+func (c *Comm) Alltoallv(send []byte, scounts, sdispls []int, recv []byte, rcounts, rdispls []int) {
+	p := c.size
+	if len(scounts) != p || len(rcounts) != p || len(sdispls) != p || len(rdispls) != p {
+		panic("mpi: Alltoallv count/displacement slices must have one entry per rank")
+	}
+	tag := c.nextCollTag()
+	rank := c.Rank()
+	if recv != nil && send != nil && scounts[rank] > 0 {
+		copy(recv[rdispls[rank]:rdispls[rank]+rcounts[rank]], send[sdispls[rank]:sdispls[rank]+scounts[rank]])
+	}
+	for i := 1; i < p; i++ {
+		dst := (rank + i) % p
+		src := (rank - i + p) % p
+		var sbuf, rbuf []byte
+		if send != nil {
+			sbuf = send[sdispls[dst] : sdispls[dst]+scounts[dst]]
+		}
+		if recv != nil {
+			rbuf = recv[rdispls[src] : rdispls[src]+rcounts[src]]
+		}
+		c.csendrecv(dst, tag, sbuf, scounts[dst], src, rbuf, rcounts[src])
+	}
+}
+
+// ReduceScatterBlock reduces Size()*n bytes element-wise and leaves block
+// `rank` of the result in recv on each rank (reduce + scatter).
+func (c *Comm) ReduceScatterBlock(buf []byte, n int, recv []byte, combine func(dst, src []byte)) {
+	tag := c.nextCollTag()
+	tmp := make([]byte, len(buf))
+	c.reduceBytes(0, tag, buf, tmp, combine)
+	if c.Rank() == 0 {
+		c.Scatter(0, buf, n, recv)
+	} else {
+		c.Scatter(0, nil, n, recv)
+	}
+}

@@ -1,0 +1,228 @@
+package mpi
+
+import (
+	"bytes"
+	"testing"
+
+	"ib12x/internal/core"
+)
+
+func TestGathervScatterv(t *testing.T) {
+	mustRun(t, cfg(2, 2, 2, core.EPC), func(c *Comm) {
+		p, rank := c.Size(), c.Rank()
+		counts := make([]int, p)
+		displs := make([]int, p)
+		total := 0
+		for r := 0; r < p; r++ {
+			counts[r] = 100 * (r + 1)
+			displs[r] = total
+			total += counts[r]
+		}
+		send := bytes.Repeat([]byte{byte(rank + 1)}, counts[rank])
+		var recv []byte
+		if rank == 0 {
+			recv = make([]byte, total)
+		}
+		c.Gatherv(0, send, recv, counts, displs)
+		if rank == 0 {
+			for r := 0; r < p; r++ {
+				for i := 0; i < counts[r]; i++ {
+					if recv[displs[r]+i] != byte(r+1) {
+						t.Fatalf("gatherv block %d wrong", r)
+					}
+				}
+			}
+		}
+		// Scatter the same layout back out from rank 1.
+		var src []byte
+		if rank == 1 {
+			src = make([]byte, total)
+			for r := 0; r < p; r++ {
+				copy(src[displs[r]:displs[r]+counts[r]], bytes.Repeat([]byte{byte(0x30 + r)}, counts[r]))
+			}
+		}
+		got := make([]byte, counts[rank])
+		c.Scatterv(1, src, counts, displs, got)
+		for i := range got {
+			if got[i] != byte(0x30+rank) {
+				t.Fatalf("scatterv rank %d wrong", rank)
+			}
+		}
+	})
+}
+
+func TestAllgatherv(t *testing.T) {
+	mustRun(t, cfg(2, 2, 2, core.EPC), func(c *Comm) {
+		p, rank := c.Size(), c.Rank()
+		counts := make([]int, p)
+		displs := make([]int, p)
+		total := 0
+		for r := 0; r < p; r++ {
+			counts[r] = 64 * (p - r) // decreasing sizes
+			displs[r] = total
+			total += counts[r]
+		}
+		send := bytes.Repeat([]byte{byte(rank * 5)}, counts[rank])
+		recv := make([]byte, total)
+		c.Allgatherv(send, recv, counts, displs)
+		for r := 0; r < p; r++ {
+			for i := 0; i < counts[r]; i++ {
+				if recv[displs[r]+i] != byte(r*5) {
+					t.Fatalf("rank %d: allgatherv block %d wrong", rank, r)
+				}
+			}
+		}
+	})
+}
+
+func TestVCollectivesValidate(t *testing.T) {
+	mustRun(t, cfg(2, 1, 1, core.Original), func(c *Comm) {
+		defer func() {
+			if recover() == nil {
+				t.Error("short counts slice must panic")
+			}
+		}()
+		c.Gatherv(0, nil, nil, []int{1}, []int{0, 0})
+	})
+}
+
+func TestScanInclusive(t *testing.T) {
+	mustRun(t, cfg(2, 2, 1, core.Original), func(c *Comm) {
+		r := int64(c.Rank() + 1)
+		v := []int64{r, 10 * r}
+		c.ScanInt64(v, Sum)
+		// Inclusive prefix: rank r holds 1+..+(r+1).
+		want := int64(0)
+		for k := 0; k <= c.Rank(); k++ {
+			want += int64(k + 1)
+		}
+		if v[0] != want || v[1] != 10*want {
+			t.Errorf("rank %d: scan = %v, want [%d %d]", c.Rank(), v, want, 10*want)
+		}
+	})
+}
+
+func TestScanMax(t *testing.T) {
+	mustRun(t, cfg(3, 1, 1, core.Original), func(c *Comm) {
+		// Values 5, 1, 9 by rank: inclusive max prefix = 5, 5, 9.
+		vals := []int64{5, 1, 9}
+		v := []int64{vals[c.Rank()]}
+		c.ScanInt64(v, Max)
+		want := []int64{5, 5, 9}
+		if v[0] != want[c.Rank()] {
+			t.Errorf("rank %d: scan max = %d, want %d", c.Rank(), v[0], want[c.Rank()])
+		}
+	})
+}
+
+func TestExscan(t *testing.T) {
+	mustRun(t, cfg(2, 2, 1, core.Original), func(c *Comm) {
+		v := []int64{int64(c.Rank() + 1)}
+		orig := v[0]
+		c.ExscanInt64(v, Sum)
+		if c.Rank() == 0 {
+			if v[0] != orig {
+				t.Error("rank 0's buffer must be untouched by Exscan")
+			}
+			return
+		}
+		want := int64(0)
+		for k := 0; k < c.Rank(); k++ {
+			want += int64(k + 1)
+		}
+		if v[0] != want {
+			t.Errorf("rank %d: exscan = %d, want %d", c.Rank(), v[0], want)
+		}
+	})
+}
+
+func TestScanFloat(t *testing.T) {
+	mustRun(t, cfg(2, 2, 1, core.Original), func(c *Comm) {
+		v := []float64{0.5}
+		c.ScanFloat64(v, Sum)
+		want := 0.5 * float64(c.Rank()+1)
+		if v[0] != want {
+			t.Errorf("rank %d: %v want %v", c.Rank(), v[0], want)
+		}
+	})
+}
+
+func TestAlltoallAlgorithmsAgree(t *testing.T) {
+	const n = 512
+	for _, alg := range []A2AAlg{A2APairwise, A2ALinear, A2ABruck} {
+		alg := alg
+		mustRun(t, cfg(2, 4, 2, core.EPC), func(c *Comm) {
+			p, rank := c.Size(), c.Rank()
+			send := make([]byte, p*n)
+			for d := 0; d < p; d++ {
+				copy(send[d*n:(d+1)*n], bytes.Repeat([]byte{alltoallValue(rank, d)}, n))
+			}
+			recv := make([]byte, p*n)
+			c.AlltoallAlg(alg, send, n, recv)
+			for s := 0; s < p; s++ {
+				want := alltoallValue(s, rank)
+				for i := 0; i < n; i++ {
+					if recv[s*n+i] != want {
+						t.Fatalf("%v: rank %d block from %d = %x, want %x", alg, rank, s, recv[s*n+i], want)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestBruckFewerMessages(t *testing.T) {
+	// 8 ranks: pairwise sends 7 messages per rank, Bruck only 3.
+	count := func(alg A2AAlg) int64 {
+		rep := mustRun(t, cfg(2, 4, 1, core.Original), func(c *Comm) {
+			c.AlltoallAlg(alg, nil, 64, nil)
+		})
+		var total int64
+		for _, s := range rep.RankStats {
+			total += s.EagerSent + s.ShmemSent
+		}
+		return total
+	}
+	pw := count(A2APairwise)
+	br := count(A2ABruck)
+	if br >= pw {
+		t.Errorf("bruck sent %d messages, pairwise %d: bruck must send fewer", br, pw)
+	}
+}
+
+func TestAlgStrings(t *testing.T) {
+	if A2APairwise.String() != "pairwise" || A2ALinear.String() != "linear" || A2ABruck.String() != "bruck" {
+		t.Error("algorithm names wrong")
+	}
+}
+
+func TestReduceCombinerProperties(t *testing.T) {
+	// Allreduce results must be independent of rank order for the
+	// commutative ops we provide: compare against a serial reference.
+	mustRun(t, cfg(3, 2, 2, core.EPC), func(c *Comm) {
+		vals := []int64{17, -4, 256, 3, 99, -60}
+		mine := []int64{vals[c.Rank()]}
+		for _, op := range []Op{Sum, Max, Min} {
+			v := []int64{mine[0]}
+			c.AllreduceInt64(v, op)
+			ref := vals[0]
+			for _, x := range vals[1:] {
+				switch op {
+				case Sum:
+					ref += x
+				case Max:
+					if x > ref {
+						ref = x
+					}
+				case Min:
+					if x < ref {
+						ref = x
+					}
+				}
+			}
+			if v[0] != ref {
+				t.Errorf("op %d: %d != reference %d", op, v[0], ref)
+			}
+		}
+	})
+}

@@ -1,0 +1,83 @@
+package mpi_test
+
+import (
+	"fmt"
+
+	"ib12x/internal/core"
+	"ib12x/internal/mpi"
+)
+
+// The smallest complete job: two ranks on two nodes exchange a greeting
+// over the simulated 12x fabric.
+func ExampleRun() {
+	cfg := mpi.Config{Nodes: 2, QPsPerPort: 4, Policy: core.EPC}
+	_, err := mpi.Run(cfg, func(c *mpi.Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 0, []byte("hello over 12x"))
+		} else {
+			buf := make([]byte, 14)
+			st := c.Recv(0, 0, buf)
+			fmt.Printf("rank %d got %q from rank %d\n", c.Rank(), buf, st.Source)
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	// Output: rank 1 got "hello over 12x" from rank 0
+}
+
+// Collectives carry the communication marker invisibly: EPC stripes their
+// transfers even though they are non-blocking underneath.
+func ExampleComm_AllreduceInt64() {
+	cfg := mpi.Config{Nodes: 2, ProcsPerNode: 2, QPsPerPort: 4, Policy: core.EPC}
+	_, err := mpi.Run(cfg, func(c *mpi.Comm) {
+		v := []int64{int64(c.Rank() + 1)}
+		c.AllreduceInt64(v, mpi.Sum)
+		if c.Rank() == 0 {
+			fmt.Println("sum over 4 ranks:", v[0])
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	// Output: sum over 4 ranks: 10
+}
+
+// One-sided communication: every rank accumulates into rank 0's window;
+// the fence closes the epoch.
+func ExampleWin() {
+	cfg := mpi.Config{Nodes: 2, ProcsPerNode: 2, QPsPerPort: 2, Policy: core.EPC}
+	_, err := mpi.Run(cfg, func(c *mpi.Comm) {
+		w := c.WinCreate(make([]byte, 8), 8)
+		w.AccumulateInt64(0, 0, []int64{int64(c.Rank())}, mpi.Sum)
+		w.Fence()
+		if c.Rank() == 0 {
+			fmt.Println("accumulated:", w.ReadInt64(0))
+		}
+		w.Free()
+	})
+	if err != nil {
+		panic(err)
+	}
+	// Output: accumulated: 6
+}
+
+// Virtual time is the measurement: a 1 MB blocking send under EPC stripes
+// across all four engines and lands in the sub-millisecond range the
+// hardware calibration dictates.
+func ExampleComm_Wtime() {
+	cfg := mpi.Config{Nodes: 2, QPsPerPort: 4, Policy: core.EPC}
+	_, err := mpi.Run(cfg, func(c *mpi.Comm) {
+		if c.Rank() == 0 {
+			t0 := c.Wtime()
+			c.SendN(1, 0, nil, 1<<20)
+			fmt.Printf("1MB sender-side completion in under 1ms: %v\n", c.Wtime()-t0 < 1e-3)
+		} else {
+			c.RecvN(0, 0, nil, 1<<20)
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	// Output: 1MB sender-side completion in under 1ms: true
+}

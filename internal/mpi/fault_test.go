@@ -1,0 +1,88 @@
+package mpi
+
+import (
+	"bytes"
+	"testing"
+
+	"ib12x/internal/core"
+)
+
+// Failure injection: a lossy link retransmits but never corrupts.
+
+func TestFaultyLinkDeliversCorrectPayloads(t *testing.T) {
+	const n = 256 * 1024
+	payload := make([]byte, n)
+	for i := range payload {
+		payload[i] = byte(i * 13)
+	}
+	got := make([]byte, n)
+	cfg := cfg(2, 1, 4, core.EPC)
+	cfg.FaultEvery = 5
+	rep := mustRun(t, cfg, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 0, payload)
+		} else {
+			c.Recv(0, 0, got)
+		}
+	})
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload corrupted under fault injection")
+	}
+	var retr int64
+	for _, node := range rep.World.Cluster.Nodes {
+		for _, port := range node.Ports() {
+			retr += port.Retransmits
+		}
+	}
+	if retr == 0 {
+		t.Error("no retransmissions recorded on a lossy fabric")
+	}
+}
+
+func TestFaultyLinkSlowsButCompletes(t *testing.T) {
+	run := func(fault int64) float64 {
+		c := cfg(2, 1, 4, core.EPC)
+		c.FaultEvery = fault
+		rep := mustRun(t, c, func(c *Comm) {
+			if c.Rank() == 0 {
+				for i := 0; i < 8; i++ {
+					c.SendN(1, i, nil, 128*1024)
+				}
+			} else {
+				for i := 0; i < 8; i++ {
+					c.RecvN(0, i, nil, 128*1024)
+				}
+			}
+		})
+		return rep.Elapsed.Seconds()
+	}
+	clean := run(0)
+	faulty := run(6)
+	if faulty <= clean {
+		t.Errorf("faulty fabric (%.6fs) not slower than clean (%.6fs)", faulty, clean)
+	}
+}
+
+func TestFaultyCollectivesCorrect(t *testing.T) {
+	c := cfg(2, 2, 2, core.EPC)
+	c.FaultEvery = 7
+	mustRun(t, c, func(c *Comm) {
+		v := []int64{int64(c.Rank() + 1)}
+		c.AllreduceInt64(v, Sum)
+		if v[0] != 10 {
+			t.Errorf("allreduce under faults = %d, want 10", v[0])
+		}
+		buf := make([]byte, 64*1024)
+		if c.Rank() == 0 {
+			for i := range buf {
+				buf[i] = byte(i)
+			}
+		}
+		c.Bcast(0, buf)
+		for i := range buf {
+			if buf[i] != byte(i) {
+				t.Fatalf("bcast corrupted at %d under faults", i)
+			}
+		}
+	})
+}

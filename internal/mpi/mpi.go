@@ -1,0 +1,248 @@
+// Package mpi is the public MPI-like interface of the library: an
+// MPI_COMM_WORLD-style communicator with blocking and non-blocking
+// point-to-point operations and point-to-point-based collectives, running
+// over the ADI layer, the multi-rail communication scheduler, and the
+// simulated IBM 12x InfiniBand cluster.
+//
+// A job is launched with Run: one goroutine-backed simulated process per
+// rank executes the supplied body against a deterministic virtual clock.
+// All times reported by Comm.Time are virtual.
+//
+// The communication marker of the paper operates invisibly here: Send/Recv
+// mark traffic blocking, Isend/Irecv non-blocking, and the collectives mark
+// their internal transfers collective — which is what lets the EPC policy
+// pick striping or round robin per pattern.
+package mpi
+
+import (
+	"fmt"
+
+	"ib12x/internal/adi"
+	"ib12x/internal/core"
+	"ib12x/internal/model"
+	"ib12x/internal/sim"
+	"ib12x/internal/topo"
+	"ib12x/internal/trace"
+)
+
+// Re-exported ADI types: the MPI layer adds no state to them.
+type (
+	// Request is a handle to a pending non-blocking operation.
+	Request = adi.Request
+	// Status describes a completed receive.
+	Status = adi.Status
+)
+
+// Wildcards.
+const (
+	AnySource = adi.AnySource
+	AnyTag    = adi.AnyTag
+)
+
+// Config describes the simulated job: cluster shape, rail count, policy.
+type Config struct {
+	Nodes        int // number of nodes (default 2)
+	ProcsPerNode int // ranks per node (default 1)
+	HCAs         int // HCAs per node (default 1)
+	Ports        int // ports per HCA (default 1)
+	QPsPerPort   int // QPs (rails) per port (default 1)
+
+	Policy core.Kind     // scheduling policy (default Original)
+	Model  *model.Params // hardware model (default model.Default())
+	// PolicyImpl overrides Policy with a custom core.Policy (for
+	// weighted striping or experimental schedulers).
+	PolicyImpl core.Policy
+
+	// MinStripe overrides the minimum stripe size; 0 uses the model's.
+	MinStripe int
+	// BindRail chooses the bound rail per (rank, peer); nil binds rail 0.
+	BindRail func(rank, peer int) int
+	// SQDepth overrides the per-QP send queue depth.
+	SQDepth int
+	// Rndv selects the rendezvous protocol: adi.RndvWrite (default, the
+	// paper's sender-writes RPUT) or adi.RndvRead (receiver-reads RGET).
+	Rndv adi.RndvProto
+	// Trace, when non-nil, records every rank's protocol events.
+	Trace *trace.Recorder
+	// FaultEvery injects a deterministic link error on every N-th chunk
+	// (0 = error-free). See hca.Port.ErrorEvery.
+	FaultEvery int64
+	// NodesPerSwitch groups nodes under leaf switches of a two-level fat
+	// tree (0 = the paper's single switch); TrunkRate sets the per-leaf
+	// trunk bandwidth (0 = 1:1 with the link rate).
+	NodesPerSwitch int
+	TrunkRate      float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Nodes == 0 {
+		c.Nodes = 2
+	}
+	if c.ProcsPerNode == 0 {
+		c.ProcsPerNode = 1
+	}
+	if c.HCAs == 0 {
+		c.HCAs = 1
+	}
+	if c.Ports == 0 {
+		c.Ports = 1
+	}
+	if c.QPsPerPort == 0 {
+		c.QPsPerPort = 1
+	}
+	if c.Model == nil {
+		c.Model = model.Default()
+	}
+	return c
+}
+
+// Size reports the world size the config produces.
+func (c Config) Size() int { return c.withDefaults().Nodes * c.withDefaults().ProcsPerNode }
+
+// Report summarises a finished run.
+type Report struct {
+	// Elapsed is the virtual time at which the slowest rank finished the
+	// body (before the final drain barrier).
+	Elapsed sim.Time
+	// BodyEnd is each rank's body completion time.
+	BodyEnd []sim.Time
+	// RankStats is each rank's ADI protocol counters.
+	RankStats []adi.Stats
+	// World exposes the underlying hardware for counter inspection.
+	World *adi.World
+}
+
+// Run executes body on every rank of a simulated cluster and returns when
+// the virtual job completes. A drain barrier runs after the body so all
+// in-flight traffic settles before the simulation ends.
+func Run(cfg Config, body func(c *Comm)) (*Report, error) {
+	cfg = cfg.withDefaults()
+	spec := topo.Spec{
+		Nodes:          cfg.Nodes,
+		ProcsPerNode:   cfg.ProcsPerNode,
+		HCAsPerNode:    cfg.HCAs,
+		PortsPerHCA:    cfg.Ports,
+		QPsPerPort:     cfg.QPsPerPort,
+		NodesPerSwitch: cfg.NodesPerSwitch,
+		TrunkRate:      cfg.TrunkRate,
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine()
+	world := adi.NewWorld(eng, cfg.Model, spec, adi.Options{
+		Policy:     cfg.Policy,
+		MinStripe:  cfg.MinStripe,
+		BindRail:   cfg.BindRail,
+		SQDepth:    cfg.SQDepth,
+		Rndv:       cfg.Rndv,
+		Trace:      cfg.Trace,
+		FaultEvery: cfg.FaultEvery,
+	})
+	rep := &Report{
+		BodyEnd:   make([]sim.Time, spec.Size()),
+		RankStats: make([]adi.Stats, spec.Size()),
+		World:     world,
+	}
+	world.Spawn("mpi", func(ep *adi.Endpoint) {
+		c := newWorld(ep, spec.Size())
+		body(c)
+		rep.BodyEnd[ep.Rank] = ep.Now()
+		c.Barrier() // drain
+		rep.RankStats[ep.Rank] = ep.Stats()
+	})
+	if err := eng.Run(); err != nil {
+		return nil, fmt.Errorf("mpi: %w", err)
+	}
+	for _, t := range rep.BodyEnd {
+		if t > rep.Elapsed {
+			rep.Elapsed = t
+		}
+	}
+	return rep, nil
+}
+
+// Comm is a communicator. Run hands every rank MPI_COMM_WORLD; Split
+// derives sub-communicators with their own rank numbering and isolated
+// matching contexts.
+type Comm struct {
+	ep        *adi.Endpoint
+	size      int
+	collTag   int // per-communicator collective tag sequence
+	nextWinID int // RMA window id sequence (symmetric across ranks)
+
+	rank    int   // my rank within this communicator
+	group   []int // comm rank -> world rank (nil for identity/world)
+	inverse map[int]int
+	ctxP2P  int // matching context for point-to-point traffic
+	ctxColl int // matching context for collective traffic
+	nextCtx int // context allocator for children (symmetric across ranks)
+}
+
+// newWorld builds the MPI_COMM_WORLD communicator for an endpoint.
+func newWorld(ep *adi.Endpoint, size int) *Comm {
+	return &Comm{
+		ep: ep, size: size, rank: ep.Rank,
+		ctxP2P: adi.CtxPt2Pt, ctxColl: adi.CtxCollective, nextCtx: 2,
+	}
+}
+
+// Rank reports the calling process's rank within this communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size reports the number of ranks in this communicator.
+func (c *Comm) Size() int { return c.size }
+
+// world translates a communicator rank to a world rank. Wildcards pass
+// through.
+func (c *Comm) world(r int) int {
+	if c.group == nil || r < 0 {
+		return r
+	}
+	return c.group[r]
+}
+
+// local translates a world rank back to this communicator's numbering.
+func (c *Comm) local(worldRank int) int {
+	if c.group == nil || worldRank < 0 {
+		return worldRank
+	}
+	return c.inverse[worldRank]
+}
+
+// localStatus rewrites a status's source into communicator numbering.
+func (c *Comm) localStatus(st Status) Status {
+	st.Source = c.local(st.Source)
+	return st
+}
+
+// Time reports the current virtual time.
+func (c *Comm) Time() sim.Time { return c.ep.Now() }
+
+// Wtime reports the current virtual time in seconds (MPI_Wtime).
+func (c *Comm) Wtime() float64 { return c.ep.Now().Seconds() }
+
+// Compute advances the rank's virtual clock by d of modeled computation.
+func (c *Comm) Compute(d sim.Time) { c.ep.Compute(d) }
+
+// Endpoint exposes the underlying ADI endpoint (for stats and probes).
+func (c *Comm) Endpoint() *adi.Endpoint { return c.ep }
+
+// Group returns the communicator's members as world ranks, in rank order
+// (a copy; nil-safe for the world communicator, which returns the identity).
+func (c *Comm) Group() []int {
+	out := make([]int, c.size)
+	for i := range out {
+		out[i] = c.world(i)
+	}
+	return out
+}
+
+// nextCollTag returns the tag for the next collective operation. MPI
+// requires all ranks to call collectives in the same order, so the
+// per-communicator sequence stays aligned across ranks.
+func (c *Comm) nextCollTag() int {
+	t := c.collTag
+	c.collTag++
+	return t
+}

@@ -1,0 +1,98 @@
+package mpi
+
+import "ib12x/internal/core"
+
+// Send performs a blocking standard-mode send of n = len(data) bytes.
+// The communication marker classifies it Blocking, so multi-rail policies
+// that stripe blocking transfers (even striping, EPC) apply.
+func (c *Comm) Send(dst, tag int, data []byte) Status {
+	req := c.ep.PostSend(c.world(dst), tag, c.ctxP2P, core.Blocking, data, len(data))
+	return c.localStatus(c.ep.Wait(req))
+}
+
+// SendN is Send with an explicit byte count and optional payload (nil data
+// sends a synthetic message of n bytes through identical protocol paths).
+func (c *Comm) SendN(dst, tag int, data []byte, n int) Status {
+	req := c.ep.PostSend(c.world(dst), tag, c.ctxP2P, core.Blocking, data, n)
+	return c.localStatus(c.ep.Wait(req))
+}
+
+// Recv performs a blocking receive into buf (length = capacity).
+func (c *Comm) Recv(src, tag int, buf []byte) Status {
+	req := c.ep.PostRecv(c.world(src), tag, c.ctxP2P, buf, len(buf))
+	return c.localStatus(c.ep.Wait(req))
+}
+
+// RecvN is Recv with an explicit capacity and optional buffer.
+func (c *Comm) RecvN(src, tag int, buf []byte, n int) Status {
+	req := c.ep.PostRecv(c.world(src), tag, c.ctxP2P, buf, n)
+	return c.localStatus(c.ep.Wait(req))
+}
+
+// Isend starts a non-blocking send; the marker classifies it NonBlocking,
+// so EPC places the whole message on the next rail (round robin).
+func (c *Comm) Isend(dst, tag int, data []byte) *Request {
+	return c.ep.PostSend(c.world(dst), tag, c.ctxP2P, core.NonBlocking, data, len(data))
+}
+
+// IsendN is Isend with an explicit count and optional payload.
+func (c *Comm) IsendN(dst, tag int, data []byte, n int) *Request {
+	return c.ep.PostSend(c.world(dst), tag, c.ctxP2P, core.NonBlocking, data, n)
+}
+
+// Irecv starts a non-blocking receive.
+func (c *Comm) Irecv(src, tag int, buf []byte) *Request {
+	return c.ep.PostRecv(c.world(src), tag, c.ctxP2P, buf, len(buf))
+}
+
+// IrecvN is Irecv with an explicit capacity and optional buffer.
+func (c *Comm) IrecvN(src, tag int, buf []byte, n int) *Request {
+	return c.ep.PostRecv(c.world(src), tag, c.ctxP2P, buf, n)
+}
+
+// Wait blocks until the request completes and returns its status.
+func (c *Comm) Wait(r *Request) Status { return c.localStatus(c.ep.Wait(r)) }
+
+// Waitall blocks until every request completes.
+func (c *Comm) Waitall(rs []*Request) { c.ep.WaitAll(rs) }
+
+// Test drives progress once and reports whether the request completed.
+func (c *Comm) Test(r *Request) bool { return c.ep.Test(r) }
+
+// Iprobe reports whether a matching message is waiting, without receiving.
+func (c *Comm) Iprobe(src, tag int) (bool, Status) {
+	ok, st := c.ep.Iprobe(c.world(src), tag, c.ctxP2P)
+	return ok, c.localStatus(st)
+}
+
+// Probe blocks until a matching message is available and returns its
+// status without receiving it (MPI_Probe).
+func (c *Comm) Probe(src, tag int) Status {
+	for {
+		if ok, st := c.Iprobe(src, tag); ok {
+			return st
+		}
+		c.ep.WaitAnyProgress()
+	}
+}
+
+// Progress drains pending completions without blocking (useful between
+// Compute phases to let the virtual progress engine run).
+func (c *Comm) Progress() { c.ep.Progress() }
+
+// Sendrecv performs the blocking combined send+receive used by collective
+// algorithms and stencil codes: both transfers proceed concurrently.
+func (c *Comm) Sendrecv(dst, stag int, sdata []byte, src, rtag int, rbuf []byte) Status {
+	rreq := c.ep.PostRecv(c.world(src), rtag, c.ctxP2P, rbuf, len(rbuf))
+	sreq := c.ep.PostSend(c.world(dst), stag, c.ctxP2P, core.Blocking, sdata, len(sdata))
+	c.ep.Wait(sreq)
+	return c.localStatus(c.ep.Wait(rreq))
+}
+
+// SendrecvN is Sendrecv with explicit counts and optional buffers.
+func (c *Comm) SendrecvN(dst, stag int, sdata []byte, sn int, src, rtag int, rbuf []byte, rn int) Status {
+	rreq := c.ep.PostRecv(c.world(src), rtag, c.ctxP2P, rbuf, rn)
+	sreq := c.ep.PostSend(c.world(dst), stag, c.ctxP2P, core.Blocking, sdata, sn)
+	c.ep.Wait(sreq)
+	return c.localStatus(c.ep.Wait(rreq))
+}

@@ -1,0 +1,63 @@
+package mpi
+
+import "ib12x/internal/core"
+
+// Persistent requests (MPI_Send_init / MPI_Recv_init / MPI_Start): the
+// argument set is frozen once and the operation re-posted per iteration —
+// the classic idiom for fixed communication graphs like halo exchanges.
+
+// PersistentReq is an initialized-but-inactive communication operation.
+type PersistentReq struct {
+	c      *Comm
+	send   bool
+	peer   int
+	tag    int
+	buf    []byte
+	n      int
+	active *Request
+}
+
+// SendInit creates a persistent send of n bytes to dst (data may be nil).
+func (c *Comm) SendInit(dst, tag int, data []byte, n int) *PersistentReq {
+	return &PersistentReq{c: c, send: true, peer: dst, tag: tag, buf: data, n: n}
+}
+
+// RecvInit creates a persistent receive of up to n bytes from src.
+func (c *Comm) RecvInit(src, tag int, buf []byte, n int) *PersistentReq {
+	return &PersistentReq{c: c, peer: src, tag: tag, buf: buf, n: n}
+}
+
+// Start activates the operation. Starting an already-active request panics
+// (as MPI forbids).
+func (p *PersistentReq) Start() {
+	if p.active != nil && !p.active.Done() {
+		panic("mpi: Start on an active persistent request")
+	}
+	if p.send {
+		p.active = p.c.ep.PostSend(p.c.world(p.peer), p.tag, p.c.ctxP2P, core.NonBlocking, p.buf, p.n)
+		return
+	}
+	p.active = p.c.ep.PostRecv(p.c.world(p.peer), p.tag, p.c.ctxP2P, p.buf, p.n)
+}
+
+// Wait blocks until the active operation completes and returns its status.
+func (p *PersistentReq) Wait() Status {
+	if p.active == nil {
+		panic("mpi: Wait on a never-started persistent request")
+	}
+	return p.c.localStatus(p.c.ep.Wait(p.active))
+}
+
+// StartAll starts a set of persistent requests.
+func StartAll(ps []*PersistentReq) {
+	for _, p := range ps {
+		p.Start()
+	}
+}
+
+// WaitAllPersistent waits for every request in the set.
+func WaitAllPersistent(ps []*PersistentReq) {
+	for _, p := range ps {
+		p.Wait()
+	}
+}

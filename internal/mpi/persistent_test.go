@@ -1,0 +1,92 @@
+package mpi
+
+import (
+	"bytes"
+	"testing"
+
+	"ib12x/internal/core"
+)
+
+func TestPersistentRequests(t *testing.T) {
+	const iters = 5
+	mustRun(t, cfg(2, 1, 2, core.EPC), func(c *Comm) {
+		buf := make([]byte, 1024)
+		if c.Rank() == 0 {
+			ps := c.SendInit(1, 3, buf, len(buf))
+			for i := 0; i < iters; i++ {
+				for k := range buf {
+					buf[k] = byte(i + k)
+				}
+				ps.Start()
+				ps.Wait()
+			}
+		} else {
+			pr := c.RecvInit(0, 3, buf, len(buf))
+			for i := 0; i < iters; i++ {
+				pr.Start()
+				st := pr.Wait()
+				if st.Count != 1024 {
+					t.Fatalf("iter %d: count %d", i, st.Count)
+				}
+				want := make([]byte, 1024)
+				for k := range want {
+					want[k] = byte(i + k)
+				}
+				if !bytes.Equal(buf, want) {
+					t.Fatalf("iter %d: wrong payload", i)
+				}
+			}
+		}
+	})
+}
+
+func TestPersistentStartAll(t *testing.T) {
+	mustRun(t, cfg(2, 1, 2, core.EPC), func(c *Comm) {
+		peer := 1 - c.Rank()
+		out := make([]byte, 256)
+		in := make([]byte, 256)
+		set := []*PersistentReq{
+			c.RecvInit(peer, 1, in, 256),
+			c.SendInit(peer, 1, out, 256),
+		}
+		for i := 0; i < 3; i++ {
+			StartAll(set)
+			WaitAllPersistent(set)
+		}
+	})
+}
+
+func TestPersistentDoubleStartPanics(t *testing.T) {
+	mustRun(t, cfg(2, 1, 1, core.Original), func(c *Comm) {
+		if c.Rank() != 0 {
+			c.RecvN(0, 0, nil, 64*1024)
+			return
+		}
+		// A rendezvous send stays active until the receiver grants it.
+		ps := c.SendInit(1, 0, nil, 64*1024)
+		ps.Start()
+		defer func() {
+			if recover() == nil {
+				t.Error("double Start must panic")
+			}
+			ps.Wait() // drain so the job finishes cleanly
+		}()
+		ps.Start()
+	})
+}
+
+func TestCustomPolicyImpl(t *testing.T) {
+	// Weighted striping 3:1 over 2 rails via the PolicyImpl override.
+	c := cfg(2, 1, 2, core.WeightedStriping)
+	c.PolicyImpl = core.NewWeighted(4096, []float64{3, 1})
+	rep := mustRun(t, c, func(cm *Comm) {
+		if cm.Rank() == 0 {
+			cm.SendN(1, 0, nil, 256*1024)
+		} else {
+			cm.RecvN(0, 0, nil, 256*1024)
+		}
+	})
+	if s := rep.RankStats[0]; s.StripesSent != 2 {
+		t.Errorf("StripesSent = %d, want 2 (weighted split)", s.StripesSent)
+	}
+}

@@ -1,0 +1,140 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Op is a reduction operator.
+type Op int
+
+// Reduction operators.
+const (
+	Sum Op = iota
+	Max
+	Min
+)
+
+// combinerInt64 returns an element-wise combine over little-endian int64s.
+func combinerInt64(op Op) func(dst, src []byte) {
+	return func(dst, src []byte) {
+		for i := 0; i+8 <= len(dst) && i+8 <= len(src); i += 8 {
+			a := int64(binary.LittleEndian.Uint64(dst[i:]))
+			b := int64(binary.LittleEndian.Uint64(src[i:]))
+			var r int64
+			switch op {
+			case Sum:
+				r = a + b
+			case Max:
+				r = a
+				if b > a {
+					r = b
+				}
+			case Min:
+				r = a
+				if b < a {
+					r = b
+				}
+			}
+			binary.LittleEndian.PutUint64(dst[i:], uint64(r))
+		}
+	}
+}
+
+// combinerFloat64 returns an element-wise combine over little-endian
+// float64s.
+func combinerFloat64(op Op) func(dst, src []byte) {
+	return func(dst, src []byte) {
+		for i := 0; i+8 <= len(dst) && i+8 <= len(src); i += 8 {
+			a := math.Float64frombits(binary.LittleEndian.Uint64(dst[i:]))
+			b := math.Float64frombits(binary.LittleEndian.Uint64(src[i:]))
+			var r float64
+			switch op {
+			case Sum:
+				r = a + b
+			case Max:
+				r = math.Max(a, b)
+			case Min:
+				r = math.Min(a, b)
+			}
+			binary.LittleEndian.PutUint64(dst[i:], math.Float64bits(r))
+		}
+	}
+}
+
+func int64sToBytes(v []int64) []byte {
+	b := make([]byte, 8*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(b[8*i:], uint64(x))
+	}
+	return b
+}
+
+func bytesToInt64s(b []byte, v []int64) {
+	for i := range v {
+		v[i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+}
+
+func float64sToBytes(v []float64) []byte {
+	b := make([]byte, 8*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(x))
+	}
+	return b
+}
+
+func bytesToFloat64s(b []byte, v []float64) {
+	for i := range v {
+		v[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+}
+
+// AllreduceInt64 reduces buf element-wise across all ranks, in place.
+func (c *Comm) AllreduceInt64(buf []int64, op Op) {
+	tag := c.nextCollTag()
+	b := int64sToBytes(buf)
+	tmp := make([]byte, len(b))
+	c.allreduceBytes(tag, b, tmp, combinerInt64(op))
+	bytesToInt64s(b, buf)
+}
+
+// AllreduceFloat64 reduces buf element-wise across all ranks, in place.
+func (c *Comm) AllreduceFloat64(buf []float64, op Op) {
+	tag := c.nextCollTag()
+	b := float64sToBytes(buf)
+	tmp := make([]byte, len(b))
+	c.allreduceBytes(tag, b, tmp, combinerFloat64(op))
+	bytesToFloat64s(b, buf)
+}
+
+// ReduceInt64 reduces buf element-wise to root; buf holds the result only
+// at root (other ranks' buffers are clobbered with partial results, as in
+// MPI where the send buffer is input-only).
+func (c *Comm) ReduceInt64(root int, buf []int64, op Op) {
+	tag := c.nextCollTag()
+	b := int64sToBytes(buf)
+	tmp := make([]byte, len(b))
+	c.reduceBytes(root, tag, b, tmp, combinerInt64(op))
+	if c.Rank() == root {
+		bytesToInt64s(b, buf)
+	}
+}
+
+// ReduceFloat64 reduces buf element-wise to root (result valid at root).
+func (c *Comm) ReduceFloat64(root int, buf []float64, op Op) {
+	tag := c.nextCollTag()
+	b := float64sToBytes(buf)
+	tmp := make([]byte, len(b))
+	c.reduceBytes(root, tag, b, tmp, combinerFloat64(op))
+	if c.Rank() == root {
+		bytesToFloat64s(b, buf)
+	}
+}
+
+// AllreduceBytes reduces a raw byte buffer with a caller-supplied combine.
+func (c *Comm) AllreduceBytes(buf []byte, combine func(dst, src []byte)) {
+	tag := c.nextCollTag()
+	tmp := make([]byte, len(buf))
+	c.allreduceBytes(tag, buf, tmp, combine)
+}

@@ -1,0 +1,200 @@
+package mpi
+
+import (
+	"testing"
+
+	"ib12x/internal/core"
+)
+
+func TestSplitByParity(t *testing.T) {
+	mustRun(t, cfg(2, 2, 2, core.EPC), func(c *Comm) {
+		sub := c.Split(c.Rank()%2, c.Rank())
+		if sub == nil {
+			t.Fatal("nil sub-communicator")
+		}
+		if sub.Size() != 2 {
+			t.Fatalf("sub size = %d, want 2", sub.Size())
+		}
+		// World ranks 0,2 -> evens; 1,3 -> odds; sub ranks ordered by key.
+		wantRank := c.Rank() / 2
+		if sub.Rank() != wantRank {
+			t.Errorf("world %d: sub rank = %d, want %d", c.Rank(), sub.Rank(), wantRank)
+		}
+		// Traffic within the sub-communicator.
+		v := []int64{int64(c.Rank())}
+		sub.AllreduceInt64(v, Sum)
+		want := int64(0 + 2)
+		if c.Rank()%2 == 1 {
+			want = 1 + 3
+		}
+		if v[0] != want {
+			t.Errorf("world %d: sub allreduce = %d, want %d", c.Rank(), v[0], want)
+		}
+	})
+}
+
+func TestSplitPointToPointIsolated(t *testing.T) {
+	// Same tag, same world peers — but different communicators must not
+	// match each other's traffic.
+	mustRun(t, cfg(2, 1, 2, core.EPC), func(c *Comm) {
+		sub := c.Dup()
+		if c.Rank() == 0 {
+			c.Send(1, 7, []byte{1})
+			sub.Send(1, 7, []byte{2})
+		} else {
+			a := make([]byte, 1)
+			b := make([]byte, 1)
+			// Receive from the dup FIRST: if contexts leaked, this would
+			// match the world-comm message (value 1).
+			sub.Recv(0, 7, b)
+			c.Recv(0, 7, a)
+			if a[0] != 1 || b[0] != 2 {
+				t.Errorf("context mixing: world got %d, dup got %d", a[0], b[0])
+			}
+		}
+	})
+}
+
+func TestSplitUndefinedColor(t *testing.T) {
+	mustRun(t, cfg(2, 2, 1, core.Original), func(c *Comm) {
+		color := 0
+		if c.Rank() == 3 {
+			color = -1 // MPI_UNDEFINED
+		}
+		sub := c.Split(color, 0)
+		if c.Rank() == 3 {
+			if sub != nil {
+				t.Error("undefined color should yield nil")
+			}
+			return
+		}
+		if sub == nil || sub.Size() != 3 {
+			t.Fatalf("sub = %+v", sub)
+		}
+		v := []int64{1}
+		sub.AllreduceInt64(v, Sum)
+		if v[0] != 3 {
+			t.Errorf("allreduce over 3 ranks = %d", v[0])
+		}
+	})
+}
+
+func TestSplitKeyOrdering(t *testing.T) {
+	mustRun(t, cfg(2, 2, 1, core.Original), func(c *Comm) {
+		// Reverse the rank order via keys.
+		sub := c.Split(0, -c.Rank())
+		if sub.Rank() != c.Size()-1-c.Rank() {
+			t.Errorf("world %d: sub rank %d, want %d", c.Rank(), sub.Rank(), c.Size()-1-c.Rank())
+		}
+		// Status sources are sub-local.
+		if sub.Rank() == 0 {
+			st := sub.Recv(AnySource, 0, make([]byte, 1))
+			if st.Source != 1 {
+				t.Errorf("source = %d in sub numbering, want 1", st.Source)
+			}
+		} else if sub.Rank() == 1 {
+			sub.Send(0, 0, []byte{9})
+		}
+	})
+}
+
+func TestNestedSplit(t *testing.T) {
+	mustRun(t, cfg(2, 4, 2, core.EPC), func(c *Comm) {
+		// 8 ranks -> two halves -> quarters.
+		half := c.Split(c.Rank()/4, c.Rank())
+		quarter := half.Split(half.Rank()/2, half.Rank())
+		if quarter.Size() != 2 {
+			t.Fatalf("quarter size = %d", quarter.Size())
+		}
+		v := []int64{int64(c.Rank())}
+		quarter.AllreduceInt64(v, Sum)
+		base := (c.Rank() / 2) * 2
+		if v[0] != int64(base+base+1) {
+			t.Errorf("world %d: quarter sum = %d, want %d", c.Rank(), v[0], base+base+1)
+		}
+		// The parent communicators still work after the splits.
+		w := []int64{1}
+		c.AllreduceInt64(w, Sum)
+		if w[0] != 8 {
+			t.Errorf("world allreduce = %d", w[0])
+		}
+	})
+}
+
+func TestSplitCollectivesUseSubTopology(t *testing.T) {
+	// A split along node boundaries keeps its collectives on shared memory.
+	mustRun(t, cfg(2, 2, 2, core.EPC), func(c *Comm) {
+		node := c.Split(c.Rank()/2, c.Rank())
+		before := c.Endpoint().Stats()
+		node.Barrier()
+		v := []int64{int64(c.Rank())}
+		node.AllreduceInt64(v, Sum)
+		after := c.Endpoint().Stats()
+		if after.EagerSent != before.EagerSent || after.RendezvousSent != before.RendezvousSent {
+			t.Errorf("rank %d: node-local collectives sent network traffic (%+v -> %+v)",
+				c.Rank(), before, after)
+		}
+		if after.ShmemSent == before.ShmemSent {
+			t.Errorf("rank %d: node-local collectives sent nothing over shared memory", c.Rank())
+		}
+	})
+}
+
+func TestWaitanyReturnsFirstDone(t *testing.T) {
+	mustRun(t, cfg(2, 1, 2, core.EPC), func(c *Comm) {
+		if c.Rank() == 0 {
+			// The peer sends tag 1 only; tag 0 never arrives until later.
+			reqs := []*Request{
+				c.IrecvN(1, 0, nil, 64),
+				c.IrecvN(1, 1, nil, 64),
+			}
+			i := c.Waitany(reqs)
+			if i != 1 {
+				t.Errorf("Waitany = %d, want 1", i)
+			}
+			c.SendN(1, 9, nil, 4) // release the peer to send tag 0
+			c.Wait(reqs[0])
+		} else {
+			c.SendN(0, 1, nil, 64)
+			c.RecvN(0, 9, nil, 4)
+			c.SendN(0, 0, nil, 64)
+		}
+	})
+}
+
+func TestTestall(t *testing.T) {
+	mustRun(t, cfg(2, 1, 1, core.Original), func(c *Comm) {
+		if c.Rank() == 0 {
+			reqs := []*Request{c.IrecvN(1, 0, nil, 8), c.IrecvN(1, 1, nil, 8)}
+			if c.Testall(reqs) {
+				t.Error("Testall true before any sends")
+			}
+			c.Waitall(reqs)
+			if !c.Testall(reqs) {
+				t.Error("Testall false after Waitall")
+			}
+		} else {
+			c.Compute(1000)
+			c.SendN(0, 0, nil, 8)
+			c.SendN(0, 1, nil, 8)
+		}
+	})
+}
+
+func TestGroupAccessor(t *testing.T) {
+	mustRun(t, cfg(2, 2, 1, core.Original), func(c *Comm) {
+		g := c.Group()
+		if len(g) != 4 || g[2] != 2 {
+			t.Errorf("world group = %v", g)
+		}
+		sub := c.Split(c.Rank()%2, c.Rank())
+		sg := sub.Group()
+		want := []int{0, 2}
+		if c.Rank()%2 == 1 {
+			want = []int{1, 3}
+		}
+		if len(sg) != 2 || sg[0] != want[0] || sg[1] != want[1] {
+			t.Errorf("sub group = %v, want %v", sg, want)
+		}
+	})
+}

@@ -1,0 +1,120 @@
+package nas
+
+import (
+	"fmt"
+	"math"
+
+	"ib12x/internal/mpi"
+	"ib12x/internal/sim"
+)
+
+// EPClass describes one NPB Embarrassingly Parallel problem class.
+type EPClass struct {
+	Name     byte
+	PairsLog int // log2 of the number of random pairs
+	// PairCost is the calibrated Power6 cost per generated pair (two LCG
+	// draws, the acceptance test and, for accepted pairs, the
+	// Box-Muller-style transform).
+	PairCost sim.Time
+}
+
+// NPB EP problem classes.
+var (
+	EPClassS = EPClass{'S', 24, 55 * sim.Nanosecond}
+	EPClassW = EPClass{'W', 25, 55 * sim.Nanosecond}
+	EPClassA = EPClass{'A', 28, 55 * sim.Nanosecond}
+	EPClassB = EPClass{'B', 30, 55 * sim.Nanosecond}
+	EPClassC = EPClass{'C', 32, 55 * sim.Nanosecond}
+)
+
+// EPClassByName resolves a class letter.
+func EPClassByName(name byte) (EPClass, error) {
+	switch name {
+	case 'S':
+		return EPClassS, nil
+	case 'W':
+		return EPClassW, nil
+	case 'A':
+		return EPClassA, nil
+	case 'B':
+		return EPClassB, nil
+	case 'C':
+		return EPClassC, nil
+	}
+	return EPClass{}, fmt.Errorf("nas: unknown EP class %q", string(name))
+}
+
+// EPResult reports a finished EP run.
+type EPResult struct {
+	Class    byte
+	NP       int
+	Elapsed  sim.Time
+	SumX     float64 // gaussian sums (real mode)
+	SumY     float64
+	Counts   [10]int64 // annulus counts (real mode)
+	Verified bool
+}
+
+// RunEP executes the NPB EP kernel: each rank generates its share of
+// gaussian pairs and the only communication is the final Allreduce of the
+// annulus counts and sums — the benchmark exists to show that a network
+// design does not tax compute-bound codes. In synthetic mode the pair
+// generation is charged to the clock without being executed.
+func RunEP(c *mpi.Comm, class EPClass, synthetic bool) EPResult {
+	p := c.Size()
+	rank := c.Rank()
+	pairs := (int64(1) << class.PairsLog) / int64(p)
+
+	res := EPResult{Class: class.Name, NP: p}
+	c.Barrier()
+	t0 := c.Time()
+
+	var sx, sy float64
+	var counts [10]int64
+	if synthetic {
+		c.Compute(sim.Time(pairs) * class.PairCost)
+	} else {
+		r := NewRandom(271828183).Skip(uint64(rank) * uint64(pairs) * 2)
+		for i := int64(0); i < pairs; i++ {
+			x := 2*r.Next() - 1
+			y := 2*r.Next() - 1
+			t := x*x + y*y
+			if t > 1 {
+				continue
+			}
+			f := math.Sqrt(-2 * math.Log(t) / t)
+			gx, gy := x*f, y*f
+			sx += gx
+			sy += gy
+			l := int(math.Max(math.Abs(gx), math.Abs(gy)))
+			if l < 10 {
+				counts[l]++
+			}
+		}
+		c.Compute(sim.Time(pairs) * class.PairCost)
+	}
+
+	// The kernel's only communication.
+	sums := []float64{sx, sy}
+	c.AllreduceFloat64(sums, mpi.Sum)
+	cnt := make([]int64, 10)
+	copy(cnt, counts[:])
+	c.AllreduceInt64(cnt, mpi.Sum)
+
+	el := []int64{int64(c.Time() - t0)}
+	c.AllreduceInt64(el, mpi.Max)
+	res.Elapsed = sim.Time(el[0])
+	res.SumX, res.SumY = sums[0], sums[1]
+	copy(res.Counts[:], cnt)
+	// Verification: accepted pairs must not exceed generated pairs, and
+	// the gaussian sums must be finite. (Official reference sums are not
+	// bundled; determinism is asserted by tests.)
+	var accepted int64
+	for _, v := range cnt {
+		accepted += v
+	}
+	res.Verified = synthetic ||
+		(accepted > 0 && accepted <= int64(1)<<class.PairsLog &&
+			!math.IsNaN(res.SumX) && !math.IsNaN(res.SumY))
+	return res
+}

@@ -1,0 +1,68 @@
+package nas
+
+import "math"
+
+// fft computes an in-place radix-2 decimation-in-time FFT of x, whose
+// length must be a power of two. sign = -1 gives the forward transform,
+// sign = +1 the inverse (unnormalised; callers divide by n).
+func fft(x []complex128, sign float64) {
+	n := len(x)
+	if n&(n-1) != 0 {
+		panic("nas: fft length must be a power of two")
+	}
+	// Bit-reversal permutation.
+	for i, j := 0, 0; i < n; i++ {
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+		m := n >> 1
+		for m >= 1 && j&m != 0 {
+			j ^= m
+			m >>= 1
+		}
+		j |= m
+	}
+	// Butterflies.
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		ang := sign * 2 * math.Pi / float64(size)
+		wstep := complex(math.Cos(ang), math.Sin(ang))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wstep
+			}
+		}
+	}
+}
+
+// Forward computes the forward FFT in place.
+func Forward(x []complex128) { fft(x, -1) }
+
+// Inverse computes the normalised inverse FFT in place.
+func Inverse(x []complex128) {
+	fft(x, +1)
+	scale := complex(1/float64(len(x)), 0)
+	for i := range x {
+		x[i] *= scale
+	}
+}
+
+// dft is the O(n²) reference transform used by tests.
+func dft(x []complex128, sign float64) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for t := 0; t < n; t++ {
+			ang := sign * 2 * math.Pi * float64(k*t) / float64(n)
+			sum += x[t] * complex(math.Cos(ang), math.Sin(ang))
+		}
+		out[k] = sum
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package nas
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomField(n int, seed int64) []complex128 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+	}
+	return x
+}
+
+func maxErr(a, b []complex128) float64 {
+	var m float64
+	for i := range a {
+		if e := cmplx.Abs(a[i] - b[i]); e > m {
+			m = e
+		}
+	}
+	return m
+}
+
+func TestFFTMatchesDFT(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 16, 64, 256} {
+		x := randomField(n, int64(n))
+		want := dft(x, -1)
+		got := append([]complex128(nil), x...)
+		Forward(got)
+		if e := maxErr(got, want); e > 1e-9*float64(n) {
+			t.Errorf("n=%d: FFT vs DFT max err %g", n, e)
+		}
+	}
+}
+
+func TestInverseRecoversInput(t *testing.T) {
+	for _, n := range []int{2, 8, 128, 1024} {
+		x := randomField(n, 42)
+		y := append([]complex128(nil), x...)
+		Forward(y)
+		Inverse(y)
+		if e := maxErr(x, y); e > 1e-10*float64(n) {
+			t.Errorf("n=%d: roundtrip max err %g", n, e)
+		}
+	}
+}
+
+func TestFFTLinearityProperty(t *testing.T) {
+	f := func(seedA, seedB int16) bool {
+		const n = 64
+		a := randomField(n, int64(seedA))
+		b := randomField(n, int64(seedB))
+		sum := make([]complex128, n)
+		for i := range sum {
+			sum[i] = a[i] + b[i]
+		}
+		Forward(a)
+		Forward(b)
+		Forward(sum)
+		for i := range sum {
+			if cmplx.Abs(sum[i]-(a[i]+b[i])) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseval(t *testing.T) {
+	const n = 512
+	x := randomField(n, 7)
+	var timeE float64
+	for _, v := range x {
+		timeE += real(v)*real(v) + imag(v)*imag(v)
+	}
+	Forward(x)
+	var freqE float64
+	for _, v := range x {
+		freqE += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if math.Abs(freqE/float64(n)-timeE) > 1e-9*timeE {
+		t.Errorf("Parseval violated: time %g vs freq/n %g", timeE, freqE/float64(n))
+	}
+}
+
+func TestFFTImpulse(t *testing.T) {
+	// FFT of a unit impulse is all ones.
+	const n = 32
+	x := make([]complex128, n)
+	x[0] = 1
+	Forward(x)
+	for i, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("bin %d = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestFFTRejectsNonPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("length 6 must panic")
+		}
+	}()
+	Forward(make([]complex128, 6))
+}

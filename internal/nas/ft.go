@@ -1,0 +1,339 @@
+package nas
+
+import (
+	"fmt"
+	"math"
+
+	"ib12x/internal/mpi"
+	"ib12x/internal/sim"
+)
+
+// FTClass describes one NPB Fourier Transform problem class.
+type FTClass struct {
+	Name       byte
+	NX, NY, NZ int
+	Iterations int
+	// PointCost is the calibrated Power6 cost per grid point per
+	// iteration cycle (one 3-D FFT pass including pack/unpack and the
+	// spectral evolve), charged to the virtual clock. One number covers
+	// both FFT flops (5·log2 N per point) and the memory-streaming
+	// passes; it is calibrated so the compute/communication ratio of the
+	// paper's testbed is reproduced (see EXPERIMENTS.md).
+	PointCost sim.Time
+}
+
+// NPB FT problem classes.
+var (
+	FTClassS = FTClass{'S', 64, 64, 64, 6, 20 * sim.Nanosecond}
+	FTClassW = FTClass{'W', 128, 128, 32, 6, 21 * sim.Nanosecond}
+	FTClassA = FTClass{'A', 256, 256, 128, 6, 26 * sim.Nanosecond}
+	FTClassB = FTClass{'B', 512, 256, 256, 20, 27 * sim.Nanosecond}
+	FTClassC = FTClass{'C', 512, 512, 512, 20, 28 * sim.Nanosecond}
+)
+
+// FTClassByName resolves "S", "W", "A", "B", "C".
+func FTClassByName(name byte) (FTClass, error) {
+	switch name {
+	case 'S':
+		return FTClassS, nil
+	case 'W':
+		return FTClassW, nil
+	case 'A':
+		return FTClassA, nil
+	case 'B':
+		return FTClassB, nil
+	case 'C':
+		return FTClassC, nil
+	}
+	return FTClass{}, fmt.Errorf("nas: unknown FT class %q", string(name))
+}
+
+// Points reports the total grid points.
+func (c FTClass) Points() int { return c.NX * c.NY * c.NZ }
+
+// ValidFor reports whether the slab decomposition supports np ranks.
+func (c FTClass) ValidFor(np int) bool { return np > 0 && c.NZ%np == 0 && c.NX%np == 0 }
+
+// FTResult reports a finished FT run.
+type FTResult struct {
+	Class     byte
+	NP        int
+	Elapsed   sim.Time     // timed region: forward FFT + iterations
+	Checksums []complex128 // per-iteration checksums (real mode only)
+	Verified  bool
+}
+
+// ftBoard is the shared exchange board for the transpose (see isBoard).
+type ftBoard struct {
+	out [][][]complex128 // [src][dst] -> packed block
+}
+
+// NewFTBoard allocates the shared transpose board for one job.
+func NewFTBoard(np int) *ftBoard {
+	b := &ftBoard{out: make([][][]complex128, np)}
+	for i := range b.out {
+		b.out[i] = make([][]complex128, np)
+	}
+	return b
+}
+
+// RunFT executes the NPB FT kernel: an initial forward 3-D FFT of the
+// random field, then Iterations of {spectral evolve, inverse 3-D FFT,
+// checksum}. The grid is decomposed in z-slabs; the transpose between the
+// (x,y)-local and z-local phases is an MPI Alltoall, the communication the
+// paper's §4.4 FT results exercise.
+//
+// In synthetic mode no field is allocated: the compute charges and the
+// Alltoall/Allreduce traffic are identical, but no checksums are produced.
+// NZ must be divisible by the number of ranks, and NX by the number of
+// ranks, for the slab decomposition.
+func RunFT(c *mpi.Comm, class FTClass, synthetic bool, board *ftBoard) FTResult {
+	p := c.Size()
+	rank := c.Rank()
+	nx, ny, nz := class.NX, class.NY, class.NZ
+	if nz%p != 0 || nx%p != 0 {
+		panic(fmt.Sprintf("nas: FT grid %dx%dx%d not divisible by %d ranks", nx, ny, nz, p))
+	}
+	lz := nz / p // local z planes (z-slab phase)
+	lx := nx / p // local x planes (x-slab phase)
+	localPts := lz * ny * nx
+	blockPts := lz * ny * lx // per-pair transpose block
+	blockBytes := blockPts * 16
+
+	res := FTResult{Class: class.Name, NP: p}
+
+	if synthetic {
+		// Same clock charges and traffic, no field.
+		c.Compute(nops(localPts) * class.PointCost / 2) // init field
+		c.Barrier()
+		t0 := c.Time()
+		fwd := func() {
+			c.Compute(nops(localPts) * class.PointCost * 6 / 10)
+			c.Alltoall(nil, blockBytes, nil)
+			c.Compute(nops(localPts) * class.PointCost * 4 / 10)
+		}
+		fwd() // initial forward FFT
+		for it := 1; it <= class.Iterations; it++ {
+			fwd() // evolve + inverse FFT (same cost structure)
+			sum := []float64{0, 0}
+			c.AllreduceFloat64(sum, mpi.Sum)
+		}
+		el := c.Time() - t0
+		e := []int64{int64(el)}
+		c.AllreduceInt64(e, mpi.Max)
+		res.Elapsed = sim.Time(e[0])
+		res.Verified = true
+		return res
+	}
+
+	// ---- real mode ----
+	// Initial condition: NPB fills the field with LCG randoms, x fastest.
+	u0 := make([]complex128, localPts)
+	r := NewRandom(314159265).Skip(uint64(rank) * uint64(localPts) * 2)
+	for i := range u0 {
+		re := r.Next()
+		im := r.Next()
+		u0[i] = complex(re, im)
+	}
+	c.Compute(nops(localPts) * class.PointCost / 2)
+
+	c.Barrier()
+	t0 := c.Time()
+
+	// Forward 3-D FFT of u0 -> spectral field in x-slab layout.
+	uh := make([]complex128, localPts)
+	copy(uh, u0)
+	spec := forward3D(c, class, board, uh, lz, lx)
+
+	ut := make([]complex128, localPts)
+	alpha := 1e-6
+	for it := 1; it <= class.Iterations; it++ {
+		// Evolve in spectral space: x-slab layout (xl, y, z).
+		for xl := 0; xl < lx; xl++ {
+			kx := freq(rank*lx+xl, nx)
+			for y := 0; y < ny; y++ {
+				ky := freq(y, ny)
+				base := (xl*ny + y) * nz
+				for z := 0; z < nz; z++ {
+					kz := freq(z, nz)
+					k2 := float64(kx*kx + ky*ky + kz*kz)
+					f := math.Exp(-4 * alpha * math.Pi * math.Pi * k2 * float64(it))
+					ut[base+z] = spec[base+z] * complex(f, 0)
+				}
+			}
+		}
+		// Inverse 3-D FFT back to z-slab layout.
+		phys := inverse3D(c, class, board, ut, lz, lx)
+		// Checksum over the NPB sample points, then global sum.
+		chk := checksum(phys, rank, lz, nx, ny, nz)
+		sum := []float64{real(chk), imag(chk)}
+		c.AllreduceFloat64(sum, mpi.Sum)
+		res.Checksums = append(res.Checksums, complex(sum[0]/float64(class.Points()), sum[1]/float64(class.Points())))
+	}
+
+	el := c.Time() - t0
+	e := []int64{int64(el)}
+	c.AllreduceInt64(e, mpi.Max)
+	res.Elapsed = sim.Time(e[0])
+	res.Verified = true
+	return res
+}
+
+// freq maps a grid index to its signed frequency.
+func freq(i, n int) int {
+	if i >= n/2 {
+		return i - n
+	}
+	return i
+}
+
+// forward3D transforms a z-slab field (z,y,x layout, x fastest) into the
+// spectral x-slab layout (xl,y,z layout, z fastest). The input is
+// overwritten as scratch.
+func forward3D(c *mpi.Comm, class FTClass, board *ftBoard, u []complex128, lz, lx int) []complex128 {
+	nx, ny, nz := class.NX, class.NY, class.NZ
+	localPts := lz * ny * nx
+	// FFT along x: contiguous rows.
+	for row := 0; row < lz*ny; row++ {
+		Forward(u[row*nx : (row+1)*nx])
+	}
+	// FFT along y: strided columns per (z, x).
+	line := make([]complex128, ny)
+	for zl := 0; zl < lz; zl++ {
+		for x := 0; x < nx; x++ {
+			for y := 0; y < ny; y++ {
+				line[y] = u[(zl*ny+y)*nx+x]
+			}
+			Forward(line)
+			for y := 0; y < ny; y++ {
+				u[(zl*ny+y)*nx+x] = line[y]
+			}
+		}
+	}
+	c.Compute(nops(localPts) * class.PointCost * 6 / 10)
+
+	// Transpose to x-slabs.
+	v := transpose(c, board, u, lz, lx, nx, ny, nz, true)
+
+	// FFT along z: contiguous rows in (xl,y,z) layout.
+	for row := 0; row < lx*ny; row++ {
+		Forward(v[row*nz : (row+1)*nz])
+	}
+	c.Compute(nops(localPts) * class.PointCost * 4 / 10)
+	return v
+}
+
+// inverse3D transforms a spectral x-slab field back to the physical z-slab
+// layout. The input is preserved.
+func inverse3D(c *mpi.Comm, class FTClass, board *ftBoard, v []complex128, lz, lx int) []complex128 {
+	nx, ny, nz := class.NX, class.NY, class.NZ
+	localPts := lz * ny * nx
+	w := make([]complex128, localPts)
+	copy(w, v)
+	// Inverse FFT along z.
+	for row := 0; row < lx*ny; row++ {
+		Inverse(w[row*nz : (row+1)*nz])
+	}
+	c.Compute(nops(localPts) * class.PointCost * 4 / 10)
+
+	// Transpose back to z-slabs.
+	u := transpose(c, board, w, lz, lx, nx, ny, nz, false)
+
+	// Inverse FFT along y then x.
+	line := make([]complex128, ny)
+	for zl := 0; zl < lz; zl++ {
+		for x := 0; x < nx; x++ {
+			for y := 0; y < ny; y++ {
+				line[y] = u[(zl*ny+y)*nx+x]
+			}
+			Inverse(line)
+			for y := 0; y < ny; y++ {
+				u[(zl*ny+y)*nx+x] = line[y]
+			}
+		}
+	}
+	for row := 0; row < lz*ny; row++ {
+		Inverse(u[row*nx : (row+1)*nx])
+	}
+	c.Compute(nops(localPts) * class.PointCost * 6 / 10)
+	return u
+}
+
+// transpose exchanges slabs: forward (zslab→xslab) packs blocks by
+// destination x-range and unpacks into (xl,y,z); backward reverses. The
+// payloads move through the shared board while the MPI Alltoall simulates
+// transfers of identical size.
+func transpose(c *mpi.Comm, board *ftBoard, in []complex128, lz, lx, nx, ny, nz int, fwd bool) []complex128 {
+	p := c.Size()
+	rank := c.Rank()
+	blockPts := lz * ny * lx
+	// Pack.
+	for dst := 0; dst < p; dst++ {
+		blk := make([]complex128, blockPts)
+		if fwd {
+			for zl := 0; zl < lz; zl++ {
+				for y := 0; y < ny; y++ {
+					src := (zl*ny+y)*nx + dst*lx
+					dstOff := (zl*ny + y) * lx
+					copy(blk[dstOff:dstOff+lx], in[src:src+lx])
+				}
+			}
+		} else {
+			// in is (xl, y, z); block for dst carries z ∈ dst's slab.
+			for xl := 0; xl < lx; xl++ {
+				for y := 0; y < ny; y++ {
+					src := (xl*ny+y)*nz + dst*lz
+					dstOff := (xl*ny + y) * lz
+					copy(blk[dstOff:dstOff+lz], in[src:src+lz])
+				}
+			}
+		}
+		board.out[rank][dst] = blk
+	}
+	// Simulated exchange (synthetic payloads of exact block size).
+	c.Alltoall(nil, blockPts*16, nil)
+	// Unpack.
+	out := make([]complex128, lz*ny*nx)
+	if fwd {
+		// out is (xl, y, z), z fastest.
+		for src := 0; src < p; src++ {
+			blk := board.out[src][rank]
+			for zl := 0; zl < lz; zl++ {
+				for y := 0; y < ny; y++ {
+					for xl := 0; xl < lx; xl++ {
+						out[(xl*ny+y)*nz+src*lz+zl] = blk[(zl*ny+y)*lx+xl]
+					}
+				}
+			}
+		}
+	} else {
+		// out is (zl, y, x), x fastest.
+		for src := 0; src < p; src++ {
+			blk := board.out[src][rank]
+			for xl := 0; xl < lx; xl++ {
+				for y := 0; y < ny; y++ {
+					for zl := 0; zl < lz; zl++ {
+						out[(zl*ny+y)*nx+src*lx+xl] = blk[(xl*ny+y)*lz+zl]
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checksum sums the field at the NPB sample points that fall in this rank's
+// z-slab: for j = 1..1024, the point (j mod nx, 3j mod ny, 5j mod nz).
+func checksum(u []complex128, rank, lz, nx, ny, nz int) complex128 {
+	var chk complex128
+	zLo, zHi := rank*lz, (rank+1)*lz
+	for j := 1; j <= 1024; j++ {
+		x := j % nx
+		y := (3 * j) % ny
+		z := (5 * j) % nz
+		if z >= zLo && z < zHi {
+			chk += u[((z-zLo)*ny+y)*nx+x]
+		}
+	}
+	return chk
+}

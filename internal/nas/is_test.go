@@ -1,0 +1,135 @@
+package nas
+
+import (
+	"testing"
+
+	"ib12x/internal/core"
+	"ib12x/internal/mpi"
+)
+
+func runIS(t *testing.T, class ISClass, nodes, ppn, qps int, kind core.Kind, synthetic bool) ISResult {
+	t.Helper()
+	var res ISResult
+	board := NewISBoard(nodes * ppn)
+	_, err := mpi.Run(mpi.Config{
+		Nodes: nodes, ProcsPerNode: ppn, QPsPerPort: qps, Policy: kind,
+	}, func(c *mpi.Comm) {
+		r := RunIS(c, class, synthetic, board)
+		if c.Rank() == 0 {
+			res = r
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+func TestISClassSVerifies(t *testing.T) {
+	for _, shape := range []struct{ nodes, ppn int }{{2, 1}, {2, 2}, {2, 4}} {
+		res := runIS(t, ISClassS, shape.nodes, shape.ppn, 4, core.EPC, false)
+		if !res.Verified {
+			t.Errorf("%d ranks: IS class S failed verification", shape.nodes*shape.ppn)
+		}
+		if res.Elapsed <= 0 {
+			t.Errorf("elapsed = %v", res.Elapsed)
+		}
+	}
+}
+
+func TestISClassWVerifies(t *testing.T) {
+	res := runIS(t, ISClassW, 2, 2, 4, core.EPC, false)
+	if !res.Verified {
+		t.Error("IS class W failed verification")
+	}
+	if res.MopTotal <= 0 {
+		t.Errorf("Mop/s = %v", res.MopTotal)
+	}
+}
+
+func TestISSyntheticMatchesRealTiming(t *testing.T) {
+	// Synthetic payloads must not change the virtual timeline: the
+	// protocol traffic is identical.
+	real := runIS(t, ISClassS, 2, 1, 4, core.EPC, false)
+	synth := runIS(t, ISClassS, 2, 1, 4, core.EPC, true)
+	if !synth.Verified {
+		t.Error("synthetic run failed verification")
+	}
+	if real.Elapsed != synth.Elapsed {
+		t.Errorf("elapsed differs: real %v vs synthetic %v", real.Elapsed, synth.Elapsed)
+	}
+}
+
+func TestISEPCFasterThanOriginal(t *testing.T) {
+	// The headline application result (Figures 9-10): multi-rail EPC
+	// beats the single-rail original.
+	orig := runIS(t, ISClassW, 2, 1, 1, core.Original, false)
+	epc := runIS(t, ISClassW, 2, 1, 4, core.EPC, false)
+	if !orig.Verified || !epc.Verified {
+		t.Fatal("verification failed")
+	}
+	if epc.Elapsed >= orig.Elapsed {
+		t.Errorf("EPC (%v) not faster than original (%v)", epc.Elapsed, orig.Elapsed)
+	}
+}
+
+func TestISDeterministic(t *testing.T) {
+	a := runIS(t, ISClassS, 2, 2, 2, core.EPC, false)
+	b := runIS(t, ISClassS, 2, 2, 2, core.EPC, false)
+	if a.Elapsed != b.Elapsed {
+		t.Errorf("elapsed differs across runs: %v vs %v", a.Elapsed, b.Elapsed)
+	}
+}
+
+func TestISClassByName(t *testing.T) {
+	for _, n := range []byte{'S', 'W', 'A', 'B', 'C'} {
+		c, err := ISClassByName(n)
+		if err != nil || c.Name != n {
+			t.Errorf("class %c: %+v err=%v", n, c, err)
+		}
+	}
+	if _, err := ISClassByName('X'); err == nil {
+		t.Error("unknown class accepted")
+	}
+}
+
+func TestPartitionBuckets(t *testing.T) {
+	counts := make([]int64, 8)
+	for i := range counts {
+		counts[i] = 10
+	}
+	bounds := partitionBuckets(counts, 4)
+	if bounds[3] != 8 {
+		t.Errorf("last bound = %d, want 8", bounds[3])
+	}
+	// Balanced: each rank gets 2 buckets.
+	prev := 0
+	for _, b := range bounds {
+		if b-prev != 2 {
+			t.Errorf("bounds = %v, want even split", bounds)
+			break
+		}
+		prev = b
+	}
+	// destOf agrees with bounds.
+	if destOf(bounds, 0) != 0 || destOf(bounds, 3) != 1 || destOf(bounds, 7) != 3 {
+		t.Errorf("destOf misroutes with bounds %v", bounds)
+	}
+}
+
+func TestPartitionBucketsSkewed(t *testing.T) {
+	// All keys in one bucket: every rank's range still covers the space,
+	// and destOf still routes in-range.
+	counts := make([]int64, 8)
+	counts[3] = 1000
+	bounds := partitionBuckets(counts, 4)
+	if bounds[len(bounds)-1] != 8 {
+		t.Errorf("bounds = %v: must cover all buckets", bounds)
+	}
+	for b := 0; b < 8; b++ {
+		d := destOf(bounds, b)
+		if d < 0 || d >= 4 {
+			t.Errorf("bucket %d routed to %d", b, d)
+		}
+	}
+}

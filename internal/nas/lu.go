@@ -1,0 +1,254 @@
+package nas
+
+import (
+	"fmt"
+	"math"
+
+	"ib12x/internal/mpi"
+	"ib12x/internal/sim"
+)
+
+// LUClass describes one LU-style wavefront problem.
+//
+// Substitution note (DESIGN.md §2): NPB LU runs SSOR over the Navier-Stokes
+// operators. We keep what matters to the network — the 2-D pencil
+// decomposition and the pipelined wavefront: every k-plane, a rank waits
+// for its west and south boundary strips, relaxes its block, and forwards
+// east and north, so the fabric sees long trains of small blocking
+// messages (the opposite regime from FT's huge transposes) — but relax a
+// simple triangular recurrence whose checksum is decomposition-invariant.
+type LUClass struct {
+	Name       byte
+	N          int // grid edge
+	Iterations int // SSOR iterations (each = lower + upper sweep)
+	PointCost  sim.Time
+}
+
+// LU-style problem classes (edges per NPB; iteration counts reduced for
+// the S/W classes as NPB's 50+ add nothing to the communication shape).
+var (
+	LUClassS = LUClass{'S', 16, 10, 12 * sim.Nanosecond}
+	LUClassW = LUClass{'W', 32, 20, 12 * sim.Nanosecond}
+	LUClassA = LUClass{'A', 64, 50, 13 * sim.Nanosecond}
+	LUClassB = LUClass{'B', 102, 50, 13 * sim.Nanosecond}
+)
+
+// LUClassByName resolves a class letter.
+func LUClassByName(name byte) (LUClass, error) {
+	switch name {
+	case 'S':
+		return LUClassS, nil
+	case 'W':
+		return LUClassW, nil
+	case 'A':
+		return LUClassA, nil
+	case 'B':
+		return LUClassB, nil
+	}
+	return LUClass{}, fmt.Errorf("nas: unknown LU class %q", string(name))
+}
+
+// LUResult reports a finished run.
+type LUResult struct {
+	Class    byte
+	NP       int
+	Elapsed  sim.Time
+	Checksum float64
+	Verified bool
+}
+
+// luGrid picks the 2-D processor grid: the most square px×py = p.
+func luGrid(p int) (px, py int) {
+	px = 1
+	for f := 1; f*f <= p; f++ {
+		if p%f == 0 {
+			px = f
+		}
+	}
+	return px, p / px
+}
+
+// RunLU executes the wavefront kernel. The grid must divide over the
+// processor grid. Real math always runs (the fields are small); the
+// PointCost charge models the Power6 relaxation time.
+func RunLU(c *mpi.Comm, class LUClass) LUResult {
+	p := c.Size()
+	rank := c.Rank()
+	px, py := luGrid(p)
+	n := class.N
+	if n%px != 0 || n%py != 0 {
+		panic(fmt.Sprintf("nas: LU grid %d does not divide over %dx%d procs", n, px, py))
+	}
+	ix, iy := rank%px, rank/px
+	lx, ly := n/px, n/py
+	x0, y0 := ix*lx, iy*ly
+
+	res := LUResult{Class: class.Name, NP: p}
+
+	// u is the local pencil (lx × ly × n), x fastest.
+	idx := func(x, y, z int) int { return (z*ly+y)*lx + x }
+	u := make([]float64, lx*ly*n)
+	for x := 0; x < lx; x++ {
+		for y := 0; y < ly; y++ {
+			for z := 0; z < n; z++ {
+				gx, gy := x0+x, y0+y
+				u[idx(x, y, z)] = math.Sin(float64(gx+2*gy+3*z) * 0.01)
+			}
+		}
+	}
+
+	west, east := rank-1, rank+1
+	south, north := rank-px, rank+px
+	edgeW := make([]float64, ly) // boundary strip from the west (per plane)
+	edgeS := make([]float64, lx)
+
+	c.Barrier()
+	t0 := c.Time()
+
+	for it := 0; it < class.Iterations; it++ {
+		// Lower sweep: dependencies flow +x, +y, so the wavefront starts
+		// at the SW pencil and pipelines over k.
+		for z := 0; z < n; z++ {
+			if ix > 0 {
+				recvStrip(c, west, 11, edgeW)
+			} else {
+				zero(edgeW)
+			}
+			if iy > 0 {
+				recvStrip(c, south, 12, edgeS)
+			} else {
+				zero(edgeS)
+			}
+			for y := 0; y < ly; y++ {
+				for x := 0; x < lx; x++ {
+					w := edgeW[y]
+					if x > 0 {
+						w = u[idx(x-1, y, z)]
+					}
+					s := edgeS[x]
+					if y > 0 {
+						s = u[idx(x, y-1, z)]
+					}
+					k := 0.0
+					if z > 0 {
+						k = u[idx(x, y, z-1)]
+					}
+					u[idx(x, y, z)] = 0.2*u[idx(x, y, z)] + 0.25*(w+s+k) + 0.05
+				}
+			}
+			c.Compute(nops(lx*ly) * class.PointCost)
+			if ix < px-1 {
+				sendStripEast(c, east, 11, u, idx, lx, ly, z)
+			}
+			if iy < py-1 {
+				sendStripNorth(c, north, 12, u, idx, lx, ly, z)
+			}
+		}
+		// Upper sweep: mirrored, from the NE pencil.
+		for z := n - 1; z >= 0; z-- {
+			if ix < px-1 {
+				recvStrip(c, east, 13, edgeW)
+			} else {
+				zero(edgeW)
+			}
+			if iy < py-1 {
+				recvStrip(c, north, 14, edgeS)
+			} else {
+				zero(edgeS)
+			}
+			for y := ly - 1; y >= 0; y-- {
+				for x := lx - 1; x >= 0; x-- {
+					e := edgeW[y]
+					if x < lx-1 {
+						e = u[idx(x+1, y, z)]
+					}
+					nn := edgeS[x]
+					if y < ly-1 {
+						nn = u[idx(x, y+1, z)]
+					}
+					k := 0.0
+					if z < n-1 {
+						k = u[idx(x, y, z+1)]
+					}
+					u[idx(x, y, z)] = 0.2*u[idx(x, y, z)] + 0.25*(e+nn+k) + 0.05
+				}
+			}
+			c.Compute(nops(lx*ly) * class.PointCost)
+			if ix > 0 {
+				sendStripWest(c, west, 13, u, idx, lx, ly, z)
+			}
+			if iy > 0 {
+				sendStripSouth(c, south, 14, u, idx, lx, ly, z)
+			}
+		}
+	}
+
+	el := []int64{int64(c.Time() - t0)}
+	c.AllreduceInt64(el, mpi.Max)
+	res.Elapsed = sim.Time(el[0])
+
+	// Global checksum: decomposition-invariant verification.
+	var sum float64
+	for _, v := range u {
+		sum += v
+	}
+	s := []float64{sum}
+	c.AllreduceFloat64(s, mpi.Sum)
+	res.Checksum = s[0] / float64(n*n*n)
+	res.Verified = !math.IsNaN(res.Checksum) && !math.IsInf(res.Checksum, 0)
+	return res
+}
+
+func zero(v []float64) {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+func recvStrip(c *mpi.Comm, from, tag int, strip []float64) {
+	buf := make([]byte, 8*len(strip))
+	c.Recv(from, tag, buf)
+	for i := range strip {
+		strip[i] = math.Float64frombits(getU64(buf[8*i:]))
+	}
+}
+
+func sendStrip(c *mpi.Comm, to, tag int, strip []float64) {
+	buf := make([]byte, 8*len(strip))
+	for i, v := range strip {
+		putU64(buf[8*i:], math.Float64bits(v))
+	}
+	c.Send(to, tag, buf)
+}
+
+func sendStripEast(c *mpi.Comm, to, tag int, u []float64, idx func(int, int, int) int, lx, ly, z int) {
+	strip := make([]float64, ly)
+	for y := 0; y < ly; y++ {
+		strip[y] = u[idx(lx-1, y, z)]
+	}
+	sendStrip(c, to, tag, strip)
+}
+
+func sendStripNorth(c *mpi.Comm, to, tag int, u []float64, idx func(int, int, int) int, lx, ly, z int) {
+	strip := make([]float64, lx)
+	for x := 0; x < lx; x++ {
+		strip[x] = u[idx(x, ly-1, z)]
+	}
+	sendStrip(c, to, tag, strip)
+}
+
+func sendStripWest(c *mpi.Comm, to, tag int, u []float64, idx func(int, int, int) int, lx, ly, z int) {
+	strip := make([]float64, ly)
+	for y := 0; y < ly; y++ {
+		strip[y] = u[idx(0, y, z)]
+	}
+	sendStrip(c, to, tag, strip)
+}
+
+func sendStripSouth(c *mpi.Comm, to, tag int, u []float64, idx func(int, int, int) int, lx, ly, z int) {
+	strip := make([]float64, lx)
+	for x := 0; x < lx; x++ {
+		strip[x] = u[idx(x, 0, z)]
+	}
+	sendStrip(c, to, tag, strip)
+}

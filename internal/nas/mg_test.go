@@ -1,0 +1,78 @@
+package nas
+
+import (
+	"testing"
+
+	"ib12x/internal/core"
+	"ib12x/internal/mpi"
+)
+
+func runMG(t *testing.T, class MGClass, nodes, ppn, qps int, kind core.Kind, synthetic bool) MGResult {
+	t.Helper()
+	var res MGResult
+	_, err := mpi.Run(mpi.Config{Nodes: nodes, ProcsPerNode: ppn, QPsPerPort: qps, Policy: kind}, func(c *mpi.Comm) {
+		r := RunMG(c, class, synthetic)
+		if c.Rank() == 0 {
+			res = r
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+func TestMGClassSConverges(t *testing.T) {
+	res := runMG(t, MGClassS, 2, 1, 4, core.EPC, false)
+	if !res.Verified {
+		t.Fatalf("MG did not converge: %+v", res)
+	}
+	// Four V-cycles of damped Jacobi on a 32³ Poisson problem should cut
+	// the residual substantially.
+	if res.ResidualN > 0.5*res.Residual0 {
+		t.Errorf("residual %g -> %g: weak convergence", res.Residual0, res.ResidualN)
+	}
+}
+
+func TestMGResidualIndependentOfDecomposition(t *testing.T) {
+	a := runMG(t, MGClassS, 2, 1, 2, core.EPC, false)
+	b := runMG(t, MGClassS, 2, 2, 2, core.EPC, false)
+	rel := (a.ResidualN - b.ResidualN) / a.ResidualN
+	if rel > 1e-9 || rel < -1e-9 {
+		t.Errorf("residual differs by decomposition: %g vs %g", a.ResidualN, b.ResidualN)
+	}
+}
+
+func TestMGResidualIndependentOfPolicy(t *testing.T) {
+	a := runMG(t, MGClassS, 2, 1, 1, core.Original, false)
+	b := runMG(t, MGClassS, 2, 1, 4, core.EvenStriping, false)
+	if a.ResidualN != b.ResidualN {
+		t.Errorf("residual differs by policy: %g vs %g", a.ResidualN, b.ResidualN)
+	}
+}
+
+func TestMGSyntheticRuns(t *testing.T) {
+	res := runMG(t, MGClassA, 2, 2, 4, core.EPC, true)
+	if !res.Verified || res.Elapsed <= 0 {
+		t.Fatalf("synthetic MG: %+v", res)
+	}
+}
+
+func TestMGEPCNotSlower(t *testing.T) {
+	orig := runMG(t, MGClassW, 2, 1, 1, core.Original, true)
+	epc := runMG(t, MGClassW, 2, 1, 4, core.EPC, true)
+	if epc.Elapsed.Seconds() > 1.02*orig.Elapsed.Seconds() {
+		t.Errorf("MG: EPC %.4fs slower than original %.4fs", epc.Elapsed.Seconds(), orig.Elapsed.Seconds())
+	}
+}
+
+func TestMGClassByName(t *testing.T) {
+	for _, n := range []byte{'S', 'W', 'A', 'B'} {
+		if c, err := MGClassByName(n); err != nil || c.Name != n {
+			t.Errorf("class %c: %v", n, err)
+		}
+	}
+	if _, err := MGClassByName('Z'); err == nil {
+		t.Error("unknown class accepted")
+	}
+}

@@ -1,0 +1,80 @@
+package nas
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRandomMatchesSpec(t *testing.T) {
+	// First values of the NPB stream from seed 314159265 with a = 5^13:
+	// x1 = a·x0 mod 2^46, computed independently here with big-int-free
+	// arithmetic (the low 46 bits of the 64-bit product are exact).
+	r := NewRandom(314159265)
+	x0 := uint64(314159265)
+	want := (uint64(1220703125) * x0) & (1<<46 - 1)
+	got := r.Next()
+	if got != float64(want)/float64(1<<46) {
+		t.Errorf("first draw = %v, want %v", got, float64(want)/float64(1<<46))
+	}
+}
+
+func TestRandomRange(t *testing.T) {
+	r := NewRandom(314159265)
+	for i := 0; i < 10000; i++ {
+		v := r.Next()
+		if v <= 0 || v >= 1 {
+			t.Fatalf("draw %d = %v out of (0,1)", i, v)
+		}
+	}
+}
+
+func TestRandomMeanNearHalf(t *testing.T) {
+	r := NewRandom(314159265)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Next()
+	}
+	mean := sum / n
+	if mean < 0.49 || mean > 0.51 {
+		t.Errorf("mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestSkipMatchesSequentialDraws(t *testing.T) {
+	for _, n := range []uint64{0, 1, 2, 7, 100, 12345} {
+		seq := NewRandom(314159265)
+		for i := uint64(0); i < n; i++ {
+			seq.Next()
+		}
+		jmp := NewRandom(314159265).Skip(n)
+		if seq.x != jmp.x {
+			t.Errorf("Skip(%d): state %d != sequential %d", n, jmp.x, seq.x)
+		}
+	}
+}
+
+func TestSkipProperty(t *testing.T) {
+	// Skip(a).Skip(b) == Skip(a+b) for any a, b.
+	f := func(a, b uint16) bool {
+		x := NewRandom(271828183).Skip(uint64(a)).Skip(uint64(b))
+		y := NewRandom(271828183).Skip(uint64(a) + uint64(b))
+		return x.x == y.x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulpow(t *testing.T) {
+	if mulpow(lcgA, 0) != 1 {
+		t.Error("a^0 != 1")
+	}
+	if mulpow(lcgA, 1) != lcgA {
+		t.Error("a^1 != a")
+	}
+	// a^2 via direct multiply.
+	if mulpow(lcgA, 2) != (lcgA*lcgA)&lcgMask {
+		t.Error("a^2 wrong")
+	}
+}

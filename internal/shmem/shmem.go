@@ -1,0 +1,70 @@
+// Package shmem models the intra-node shared-memory channel MVAPICH uses
+// between ranks of one node (paper §4.4: "we use shared-memory communication
+// for processes on the same node").
+//
+// The model is a two-copy channel through a shared buffer: the sender's copy
+// into the buffer is paced by a per-direction bandwidth server plus a fixed
+// wake-up latency; the receiver's copy out of the buffer is charged by the
+// ADI layer when it matches the message. Payloads are duplicated at send
+// time so the sender may legally reuse its buffer once the send completes.
+package shmem
+
+import (
+	"ib12x/internal/model"
+	"ib12x/internal/sim"
+)
+
+// Msg is a delivered shared-memory message.
+type Msg struct {
+	Data []byte
+	N    int
+	Ctx  any // sender's opaque protocol header
+}
+
+// Link is one direction of a shared-memory connection between two ranks on
+// the same node.
+type Link struct {
+	eng     *sim.Engine
+	m       *model.Params
+	srv     sim.Server // paces copy-in at the shared-memory bandwidth
+	deliver func(Msg)  // receiver-side sink, set via SetDeliver
+
+	sent  int64
+	bytes int64
+}
+
+// New creates a link; the receiver must SetDeliver before traffic flows.
+func New(eng *sim.Engine, m *model.Params) *Link {
+	return &Link{eng: eng, m: m, srv: sim.Server{Rate: m.ShmemRate}}
+}
+
+// SetDeliver registers the receiver-side sink invoked for each message.
+func (l *Link) SetDeliver(fn func(Msg)) { l.deliver = fn }
+
+// Send books the copy into the shared buffer and schedules delivery. It
+// returns when the sender-side copy completes, i.e. when the sending rank's
+// CPU is free again; the caller charges that time to its rank. The payload
+// is duplicated, so the caller may reuse data immediately after.
+func (l *Link) Send(data []byte, n int, ctx any) (senderDone sim.Time) {
+	if l.deliver == nil {
+		panic("shmem: Send before SetDeliver")
+	}
+	var owned []byte
+	if data != nil {
+		owned = make([]byte, n)
+		copy(owned, data[:n])
+	}
+	_, end := l.srv.Reserve(l.eng.Now(), int64(n))
+	l.sent++
+	l.bytes += int64(n)
+	msg := Msg{Data: owned, N: n, Ctx: ctx}
+	fn := l.deliver
+	l.eng.At(end+l.m.ShmemLatency, func() { fn(msg) })
+	return end
+}
+
+// Sent reports messages sent on this link.
+func (l *Link) Sent() int64 { return l.sent }
+
+// Bytes reports payload bytes sent on this link.
+func (l *Link) Bytes() int64 { return l.bytes }

@@ -1,0 +1,79 @@
+package shmem
+
+import (
+	"bytes"
+	"testing"
+
+	"ib12x/internal/model"
+	"ib12x/internal/sim"
+)
+
+func TestSendDeliversCopy(t *testing.T) {
+	m := model.Default()
+	eng := sim.NewEngine()
+	l := New(eng, m)
+	var got Msg
+	var at sim.Time
+	l.SetDeliver(func(msg Msg) { got = msg; at = eng.Now() })
+
+	payload := []byte{1, 2, 3, 4}
+	done := l.Send(payload, 4, "hdr")
+	payload[0] = 99 // sender reuses its buffer immediately
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Data, []byte{1, 2, 3, 4}) {
+		t.Errorf("delivered %v, want the pre-mutation copy", got.Data)
+	}
+	if got.Ctx != "hdr" || got.N != 4 {
+		t.Errorf("msg = %+v", got)
+	}
+	if at != done+m.ShmemLatency {
+		t.Errorf("delivered at %v, want senderDone+latency = %v", at, done+m.ShmemLatency)
+	}
+}
+
+func TestSendPacedByBandwidth(t *testing.T) {
+	m := model.Default()
+	eng := sim.NewEngine()
+	l := New(eng, m)
+	l.SetDeliver(func(Msg) {})
+	const n = 1 << 20
+	d1 := l.Send(nil, n, nil)
+	d2 := l.Send(nil, n, nil)
+	per := sim.TransferTime(n, m.ShmemRate)
+	if d1 != per || d2 != 2*per {
+		t.Errorf("copy-in ends %v, %v; want %v, %v", d1, d2, per, 2*per)
+	}
+	if l.Sent() != 2 || l.Bytes() != 2*n {
+		t.Errorf("stats: sent=%d bytes=%d", l.Sent(), l.Bytes())
+	}
+	eng.Run()
+}
+
+func TestSyntheticPayloadNotAllocated(t *testing.T) {
+	m := model.Default()
+	eng := sim.NewEngine()
+	l := New(eng, m)
+	var got Msg
+	l.SetDeliver(func(msg Msg) { got = msg })
+	l.Send(nil, 1<<20, nil)
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got.Data != nil || got.N != 1<<20 {
+		t.Errorf("synthetic msg = %+v, want nil data with length", got)
+	}
+}
+
+func TestSendBeforeSetDeliverPanics(t *testing.T) {
+	m := model.Default()
+	eng := sim.NewEngine()
+	l := New(eng, m)
+	defer func() {
+		if recover() == nil {
+			t.Error("Send before SetDeliver must panic")
+		}
+	}()
+	l.Send(nil, 8, nil)
+}

@@ -1,0 +1,317 @@
+package sim
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func mustRun(t *testing.T, e *Engine) {
+	t.Helper()
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(30*Nanosecond, func() { order = append(order, 3) })
+	e.At(10*Nanosecond, func() { order = append(order, 1) })
+	e.At(20*Nanosecond, func() { order = append(order, 2) })
+	mustRun(t, e)
+	if want := []int{1, 2, 3}; !reflect.DeepEqual(order, want) {
+		t.Errorf("order = %v, want %v", order, want)
+	}
+	if e.Now() != 30*Nanosecond {
+		t.Errorf("final time = %v, want 30ns", e.Now())
+	}
+}
+
+func TestSameTimeEventsFireInInsertionOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5*Microsecond, func() { order = append(order, i) })
+	}
+	mustRun(t, e)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v, want ascending", order)
+		}
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	e.At(100*Nanosecond, func() {
+		e.After(50*Nanosecond, func() { at = e.Now() })
+	})
+	mustRun(t, e)
+	if at != 150*Nanosecond {
+		t.Errorf("fired at %v, want 150ns", at)
+	}
+}
+
+func TestTimerCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	tm := e.At(10*Nanosecond, func() { fired = true })
+	if !tm.Cancel() {
+		t.Error("first Cancel should report true")
+	}
+	if tm.Cancel() {
+		t.Error("second Cancel should report false")
+	}
+	mustRun(t, e)
+	if fired {
+		t.Error("cancelled timer fired")
+	}
+}
+
+func TestAtInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(10*Nanosecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("At in the past should panic")
+			}
+		}()
+		e.At(5*Nanosecond, func() {})
+	})
+	mustRun(t, e)
+}
+
+func TestProcRunsAndFinishes(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.Spawn("worker", func(p *Proc) { ran = true })
+	mustRun(t, e)
+	if !ran {
+		t.Error("proc body never ran")
+	}
+}
+
+func TestProcSleepAdvancesClock(t *testing.T) {
+	e := NewEngine()
+	var wake Time
+	e.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(7 * Microsecond)
+		wake = p.Now()
+		p.Sleep(3 * Microsecond)
+		wake = p.Now()
+	})
+	mustRun(t, e)
+	if wake != 10*Microsecond {
+		t.Errorf("woke at %v, want 10us", wake)
+	}
+}
+
+func TestProcsInterleaveDeterministically(t *testing.T) {
+	run := func() []string {
+		e := NewEngine()
+		var trace []string
+		for _, name := range []string{"a", "b", "c"} {
+			name := name
+			e.Spawn(name, func(p *Proc) {
+				for i := 0; i < 3; i++ {
+					trace = append(trace, name)
+					p.Sleep(1 * Microsecond)
+				}
+			})
+		}
+		mustRun(t, e)
+		return trace
+	}
+	first := run()
+	for i := 0; i < 5; i++ {
+		if got := run(); !reflect.DeepEqual(got, first) {
+			t.Fatalf("run %d: trace %v != first %v", i, got, first)
+		}
+	}
+	// Spawn order is preserved at each time step.
+	want := []string{"a", "b", "c", "a", "b", "c", "a", "b", "c"}
+	if !reflect.DeepEqual(first, want) {
+		t.Errorf("trace = %v, want %v", first, want)
+	}
+}
+
+func TestSpawnFromProc(t *testing.T) {
+	e := NewEngine()
+	var childTime Time
+	e.Spawn("parent", func(p *Proc) {
+		p.Sleep(5 * Microsecond)
+		e.Spawn("child", func(c *Proc) {
+			c.Sleep(1 * Microsecond)
+			childTime = c.Now()
+		})
+	})
+	mustRun(t, e)
+	if childTime != 6*Microsecond {
+		t.Errorf("child finished at %v, want 6us", childTime)
+	}
+}
+
+func TestYieldLetsOthersRun(t *testing.T) {
+	e := NewEngine()
+	var trace []string
+	e.Spawn("a", func(p *Proc) {
+		trace = append(trace, "a1")
+		p.Yield()
+		trace = append(trace, "a2")
+	})
+	e.Spawn("b", func(p *Proc) {
+		trace = append(trace, "b1")
+	})
+	mustRun(t, e)
+	want := []string{"a1", "b1", "a2"}
+	if !reflect.DeepEqual(trace, want) {
+		t.Errorf("trace = %v, want %v", trace, want)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	e := NewEngine()
+	var w Waiter
+	e.Spawn("stuck", func(p *Proc) {
+		w.Wait(p, "never woken")
+	})
+	err := e.Run()
+	var d *DeadlockError
+	if !errors.As(err, &d) {
+		t.Fatalf("Run = %v, want DeadlockError", err)
+	}
+	if d.NumLive != 1 || len(d.Parked) != 1 || d.Parked[0] != "stuck: never woken" {
+		t.Errorf("diagnostics = %+v", d)
+	}
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.Spawn("looper", func(p *Proc) {
+		for {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+			p.Sleep(1 * Microsecond)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run after Stop: %v", err)
+	}
+	if count != 3 {
+		t.Errorf("count = %d, want 3", count)
+	}
+	if !e.Stopped() {
+		t.Error("Stopped() = false after Stop")
+	}
+}
+
+func TestHandlerWakesProc(t *testing.T) {
+	e := NewEngine()
+	var w Waiter
+	var woke Time
+	e.Spawn("waiter", func(p *Proc) {
+		w.Wait(p, "signal")
+		woke = p.Now()
+	})
+	e.At(42*Microsecond, func() { w.WakeAll() })
+	mustRun(t, e)
+	if woke != 42*Microsecond {
+		t.Errorf("woke at %v, want 42us", woke)
+	}
+}
+
+func TestReadyIsIdempotent(t *testing.T) {
+	e := NewEngine()
+	var w Waiter
+	wakes := 0
+	var pr *Proc
+	e.Spawn("w", func(p *Proc) {
+		pr = p
+		w.Wait(p, "once")
+		wakes++
+	})
+	e.At(1*Microsecond, func() {
+		w.WakeAll()
+		e.Ready(pr) // duplicate; must be a no-op
+		e.Ready(pr)
+	})
+	mustRun(t, e)
+	if wakes != 1 {
+		t.Errorf("woke %d times, want 1", wakes)
+	}
+}
+
+func TestParkOutsideProcPanics(t *testing.T) {
+	e := NewEngine()
+	var w Waiter
+	var pr *Proc
+	e.Spawn("p", func(p *Proc) { pr = p })
+	mustRun(t, e)
+	defer func() {
+		if recover() == nil {
+			t.Error("park outside proc should panic")
+		}
+	}()
+	w.Wait(pr, "illegal")
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []int
+	e.At(10*Microsecond, func() { fired = append(fired, 1) })
+	e.At(20*Microsecond, func() { fired = append(fired, 2) })
+	e.At(30*Microsecond, func() { fired = append(fired, 3) })
+	if err := e.RunUntil(20 * Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want first two", fired)
+	}
+	// Resume to the end.
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 3 {
+		t.Fatalf("fired %v after resume", fired)
+	}
+}
+
+func TestRunUntilWithParkedProc(t *testing.T) {
+	e := NewEngine()
+	var w Waiter
+	woke := false
+	e.Spawn("sleeper", func(p *Proc) {
+		w.Wait(p, "beyond horizon")
+		woke = true
+	})
+	e.At(100*Microsecond, func() { w.WakeAll() })
+	if err := e.RunUntil(50 * Microsecond); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if woke {
+		t.Error("proc woke before its event")
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !woke {
+		t.Error("proc never woke after resume")
+	}
+}
+
+func TestEventsFired(t *testing.T) {
+	e := NewEngine()
+	for i := 1; i <= 5; i++ {
+		e.At(Time(i)*Microsecond, func() {})
+	}
+	mustRun(t, e)
+	if e.EventsFired() != 5 {
+		t.Errorf("EventsFired = %d, want 5", e.EventsFired())
+	}
+}

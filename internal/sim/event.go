@@ -1,0 +1,80 @@
+package sim
+
+import "container/heap"
+
+// Timer is a handle to a scheduled event. It may be cancelled before firing.
+type Timer struct {
+	at        Time
+	seq       uint64
+	fn        func()
+	cancelled bool
+	index     int // heap index, -1 once popped
+}
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled timer is a no-op. Cancel reports whether the event was
+// still pending.
+func (tm *Timer) Cancel() bool {
+	if tm == nil || tm.cancelled || tm.index < 0 {
+		return false
+	}
+	tm.cancelled = true
+	return true
+}
+
+// When reports the virtual time the timer is (or was) scheduled to fire.
+func (tm *Timer) When() Time { return tm.at }
+
+type eventHeap []*Timer
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	tm := x.(*Timer)
+	tm.index = len(*h)
+	*h = append(*h, tm)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	tm := old[n-1]
+	old[n-1] = nil
+	tm.index = -1
+	*h = old[:n-1]
+	return tm
+}
+
+// At schedules fn to run when the virtual clock reaches t. Scheduling in the
+// past (t < Now) is a programming error and panics. Handlers run on the
+// engine's goroutine and must not block or park.
+func (e *Engine) At(t Time, fn func()) *Timer {
+	if t < e.now {
+		panic("sim: At called with a time in the past")
+	}
+	tm := &Timer{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.pq, tm)
+	return tm
+}
+
+// After schedules fn to run d ticks from now.
+func (e *Engine) After(d Time, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+d, fn)
+}

@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeUnits(t *testing.T) {
+	if Second != 1e12*Picosecond {
+		t.Fatalf("Second = %d ps, want 1e12", int64(Second))
+	}
+	if Millisecond*1000 != Second || Microsecond*1000 != Millisecond || Nanosecond*1000 != Microsecond {
+		t.Fatal("unit ladder broken")
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	cases := []struct {
+		tm      Time
+		seconds float64
+	}{
+		{0, 0},
+		{Second, 1},
+		{Millisecond, 1e-3},
+		{Microsecond, 1e-6},
+		{Nanosecond, 1e-9},
+		{2500 * Nanosecond, 2.5e-6},
+	}
+	for _, c := range cases {
+		if got := c.tm.Seconds(); math.Abs(got-c.seconds) > 1e-15 {
+			t.Errorf("(%d).Seconds() = %g, want %g", int64(c.tm), got, c.seconds)
+		}
+		if got := FromSeconds(c.seconds); got != c.tm {
+			t.Errorf("FromSeconds(%g) = %d, want %d", c.seconds, int64(got), int64(c.tm))
+		}
+	}
+	if got := FromMicros(2.5); got != 2500*Nanosecond {
+		t.Errorf("FromMicros(2.5) = %v, want 2.5us", got)
+	}
+	if got := (1500 * Nanosecond).Micros(); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("Micros = %g, want 1.5", got)
+	}
+	if got := (2500 * Microsecond).Millis(); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("Millis = %g, want 2.5", got)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		tm   Time
+		want string
+	}{
+		{500 * Picosecond, "500ps"},
+		{2 * Nanosecond, "2ns"},
+		{3 * Microsecond, "3us"},
+		{4 * Millisecond, "4ms"},
+		{5 * Second, "5s"},
+		{-3 * Microsecond, "-3us"},
+	}
+	for _, c := range cases {
+		if got := c.tm.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.tm), got, c.want)
+		}
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	// 1000 bytes at 1000 bytes/s = 1 second.
+	if got := TransferTime(1000, 1000); got != Second {
+		t.Errorf("TransferTime(1000,1000) = %v, want 1s", got)
+	}
+	// 4096 bytes at 1 GB/s = 4096 ns.
+	if got := TransferTime(4096, 1e9); got != 4096*Nanosecond {
+		t.Errorf("TransferTime(4096,1e9) = %v, want 4096ns", got)
+	}
+	if TransferTime(0, 1e9) != 0 || TransferTime(-5, 1e9) != 0 || TransferTime(100, 0) != 0 {
+		t.Error("degenerate inputs must yield 0")
+	}
+}
+
+func TestTransferTimeMonotonicInBytes(t *testing.T) {
+	f := func(a, b uint32) bool {
+		x, y := int64(a%1<<24), int64(b%1<<24)
+		if x > y {
+			x, y = y, x
+		}
+		return TransferTime(x, 2.745e9) <= TransferTime(y, 2.745e9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransferTimeInverseOfRate(t *testing.T) {
+	f := func(n uint16) bool {
+		bytes := int64(n) + 1
+		fast := TransferTime(bytes, 4e9)
+		slow := TransferTime(bytes, 1e9)
+		return fast <= slow && slow <= 4*fast+4 // integer truncation slack
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,99 @@
+package sim
+
+// Waiter is a FIFO wait-list of parked procs: the simulation analogue of a
+// condition variable. Procs park on it with Wait; handlers or other procs
+// release them with WakeOne/WakeAll. There is no spurious wake-up, but the
+// usual pattern is still a predicate loop:
+//
+//	for !ready() {
+//		w.Wait(p, "waiting for ready")
+//	}
+//
+// A Waiter's zero value is ready to use.
+type Waiter struct {
+	ps []*Proc
+}
+
+// Wait parks the calling proc on w until woken. why is recorded for
+// deadlock diagnostics.
+func (w *Waiter) Wait(p *Proc, why string) {
+	w.ps = append(w.ps, p)
+	p.park(why)
+}
+
+// WaitFor parks p on w until pred() is true, re-checking after each wake.
+func (w *Waiter) WaitFor(p *Proc, why string, pred func() bool) {
+	for !pred() {
+		w.Wait(p, why)
+	}
+}
+
+// WakeOne readies the longest-waiting proc, if any, and reports whether one
+// was woken.
+func (w *Waiter) WakeOne() bool {
+	for len(w.ps) > 0 {
+		p := w.ps[0]
+		w.ps = w.ps[1:]
+		if p.dead {
+			continue
+		}
+		p.eng.Ready(p)
+		return true
+	}
+	return false
+}
+
+// WakeAll readies every waiting proc in FIFO order.
+func (w *Waiter) WakeAll() {
+	ps := w.ps
+	w.ps = nil
+	for _, p := range ps {
+		if !p.dead {
+			p.eng.Ready(p)
+		}
+	}
+}
+
+// Len reports the number of procs currently parked on w.
+func (w *Waiter) Len() int { return len(w.ps) }
+
+// Queue is an unbounded FIFO with a blocking Get, the simulation analogue of
+// a buffered channel. Put never blocks. The zero value is ready to use.
+type Queue[T any] struct {
+	items []T
+	w     Waiter
+}
+
+// Put appends v and wakes one waiting getter.
+func (q *Queue[T]) Put(v T) {
+	q.items = append(q.items, v)
+	q.w.WakeOne()
+}
+
+// Get removes and returns the head item, parking the calling proc while the
+// queue is empty.
+func (q *Queue[T]) Get(p *Proc, why string) T {
+	for len(q.items) == 0 {
+		q.w.Wait(p, why)
+	}
+	v := q.items[0]
+	var zero T
+	q.items[0] = zero
+	q.items = q.items[1:]
+	return v
+}
+
+// TryGet removes and returns the head item without blocking.
+func (q *Queue[T]) TryGet() (T, bool) {
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	v := q.items[0]
+	q.items[0] = zero
+	q.items = q.items[1:]
+	return v, true
+}
+
+// Len reports the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }

@@ -1,0 +1,164 @@
+// Package stats provides the small series/table plumbing the benchmark
+// harness uses to print paper-style figures as text tables.
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Point is one measurement: a message size (or process count) and a value.
+type Point struct {
+	X     int
+	Value float64
+}
+
+// Series is a named curve, one per line in a paper figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// At returns the value at x, and whether it exists.
+func (s *Series) At(x int) (float64, bool) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Add appends a point.
+func (s *Series) Add(x int, v float64) {
+	s.Points = append(s.Points, Point{X: x, Value: v})
+}
+
+// Table is a figure rendered as text: one row per X, one column per series.
+type Table struct {
+	Title  string
+	XLabel string // e.g. "Size (bytes)" or "Processes"
+	Unit   string // e.g. "us" or "MB/s"
+	Series []Series
+}
+
+// Add appends a point to the named series, creating it if needed.
+func (t *Table) Add(series string, x int, v float64) {
+	for i := range t.Series {
+		if t.Series[i].Name == series {
+			t.Series[i].Add(x, v)
+			return
+		}
+	}
+	t.Series = append(t.Series, Series{Name: series, Points: []Point{{X: x, Value: v}}})
+}
+
+// Get returns the named series, or nil.
+func (t *Table) Get(series string) *Series {
+	for i := range t.Series {
+		if t.Series[i].Name == series {
+			return &t.Series[i]
+		}
+	}
+	return nil
+}
+
+// xs returns the sorted union of X values across series (insertion order of
+// first appearance, which the harness keeps ascending).
+func (t *Table) xs() []int {
+	var out []int
+	seen := map[int]bool{}
+	for _, s := range t.Series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				out = append(out, p.X)
+			}
+		}
+	}
+	return out
+}
+
+// Format renders the table with aligned columns.
+func (t *Table) Format() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s", t.Title)
+		if t.Unit != "" {
+			fmt.Fprintf(&b, "  [%s]", t.Unit)
+		}
+		b.WriteString("\n")
+	}
+	cols := []string{t.XLabel}
+	for _, s := range t.Series {
+		cols = append(cols, s.Name)
+	}
+	rows := [][]string{cols}
+	for _, x := range t.xs() {
+		row := []string{FormatSize(x)}
+		for _, s := range t.Series {
+			if v, ok := s.At(x); ok {
+				row = append(row, fmt.Sprintf("%.2f", v))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		rows = append(rows, row)
+	}
+	widths := make([]int, len(cols))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for ri, row := range rows {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+		if ri == 0 {
+			total := 0
+			for _, w := range widths {
+				total += w
+			}
+			b.WriteString(strings.Repeat("-", total+2*(len(widths)-1)))
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+// FormatSize renders a byte count the way the paper's axes do (4K, 1M...).
+func FormatSize(n int) string {
+	switch {
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dM", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dK", n>>10)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}
+
+// Improvement reports how much better `better` is than `base`, in percent,
+// for a lower-is-better metric: 100 × (base − better) / base.
+func Improvement(base, better float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * (base - better) / base
+}
+
+// Gain reports how much higher `better` is than `base`, in percent, for a
+// higher-is-better metric: 100 × (better − base) / base.
+func Gain(base, better float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * (better - base) / base
+}

@@ -1,0 +1,83 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSeriesAddAt(t *testing.T) {
+	var s Series
+	s.Add(1024, 3.5)
+	s.Add(2048, 7.25)
+	if v, ok := s.At(1024); !ok || v != 3.5 {
+		t.Errorf("At(1024) = %v, %v", v, ok)
+	}
+	if _, ok := s.At(999); ok {
+		t.Error("missing X reported present")
+	}
+}
+
+func TestTableAddGet(t *testing.T) {
+	tbl := &Table{Title: "T", XLabel: "Size", Unit: "us"}
+	tbl.Add("a", 1, 10)
+	tbl.Add("a", 2, 20)
+	tbl.Add("b", 1, 30)
+	if len(tbl.Series) != 2 {
+		t.Fatalf("series = %d", len(tbl.Series))
+	}
+	if tbl.Get("a") == nil || tbl.Get("b") == nil || tbl.Get("zzz") != nil {
+		t.Error("Get misbehaves")
+	}
+	if v, _ := tbl.Get("a").At(2); v != 20 {
+		t.Error("appended to wrong series")
+	}
+}
+
+func TestTableFormat(t *testing.T) {
+	tbl := &Table{Title: "Demo", XLabel: "Size", Unit: "MB/s"}
+	tbl.Add("one", 1024, 1.5)
+	tbl.Add("two", 1024, 2.5)
+	tbl.Add("one", 1<<20, 3)
+	out := tbl.Format()
+	for _, want := range []string{"Demo", "[MB/s]", "Size", "one", "two", "1K", "1M", "1.50", "2.50"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format missing %q:\n%s", want, out)
+		}
+	}
+	// Missing cell renders as a dash.
+	if !strings.Contains(out, "-") {
+		t.Error("missing cell should render as -")
+	}
+	// Header separator present.
+	if !strings.Contains(out, "----") {
+		t.Error("no separator line")
+	}
+}
+
+func TestFormatSize(t *testing.T) {
+	cases := map[int]string{
+		0: "0", 1: "1", 1000: "1000", 1024: "1K",
+		4096: "4K", 1 << 20: "1M", 3 << 20: "3M", 1536: "1536",
+	}
+	for in, want := range cases {
+		if got := FormatSize(in); got != want {
+			t.Errorf("FormatSize(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestImprovementAndGain(t *testing.T) {
+	if got := Improvement(100, 60); got != 40 {
+		t.Errorf("Improvement = %v", got)
+	}
+	if got := Gain(100, 165); got != 65 {
+		t.Errorf("Gain = %v", got)
+	}
+	if Improvement(0, 5) != 0 || Gain(0, 5) != 0 {
+		t.Error("zero base must not divide by zero")
+	}
+	// Lower-is-better regression shows as negative improvement.
+	if got := Improvement(100, 120); got != -20 {
+		t.Errorf("regression = %v", got)
+	}
+}

@@ -1,0 +1,124 @@
+// Package topo describes and builds the simulated cluster: nodes with one
+// GX+ bus each, HCAs per node, ports per HCA, and the rank-to-node mapping.
+//
+// A "rail" in the multi-rail design is one QP on one port of one HCA; the
+// number of rails between a process pair is HCAsPerNode × PortsPerHCA ×
+// QPsPerPort (paper §3.1: "multiple queue pairs per port, multiple ports,
+// multiple HCAs").
+package topo
+
+import (
+	"fmt"
+
+	"ib12x/internal/fabric"
+	"ib12x/internal/gx"
+	"ib12x/internal/hca"
+	"ib12x/internal/model"
+)
+
+// Spec declares a cluster shape. The paper's testbed is 2 nodes × 4 procs,
+// one HCA, one port (§4.1); QPsPerPort is the experimental variable.
+type Spec struct {
+	Nodes        int
+	ProcsPerNode int
+	HCAsPerNode  int
+	PortsPerHCA  int
+	QPsPerPort   int
+
+	// NodesPerSwitch groups nodes under leaf switches of a two-level fat
+	// tree (0 = the paper's single switch). TrunkRate is the per-leaf
+	// trunk bandwidth toward the spine in bytes/s (0 = the link's raw
+	// rate, i.e. a 1:1 trunk).
+	NodesPerSwitch int
+	TrunkRate      float64
+}
+
+// Validate reports whether the spec is well-formed.
+func (s Spec) Validate() error {
+	switch {
+	case s.Nodes < 1:
+		return fmt.Errorf("topo: Nodes = %d, need ≥ 1", s.Nodes)
+	case s.ProcsPerNode < 1:
+		return fmt.Errorf("topo: ProcsPerNode = %d, need ≥ 1", s.ProcsPerNode)
+	case s.HCAsPerNode < 1:
+		return fmt.Errorf("topo: HCAsPerNode = %d, need ≥ 1", s.HCAsPerNode)
+	case s.PortsPerHCA < 1 || s.PortsPerHCA > 2:
+		return fmt.Errorf("topo: PortsPerHCA = %d, the IBM 12x HCA is dual-port (1 or 2)", s.PortsPerHCA)
+	case s.QPsPerPort < 1:
+		return fmt.Errorf("topo: QPsPerPort = %d, need ≥ 1", s.QPsPerPort)
+	}
+	return nil
+}
+
+// Size reports the total number of ranks.
+func (s Spec) Size() int { return s.Nodes * s.ProcsPerNode }
+
+// Rails reports the number of rails between any inter-node process pair.
+func (s Spec) Rails() int { return s.HCAsPerNode * s.PortsPerHCA * s.QPsPerPort }
+
+// Node is one Power6 node: a GX+ bus shared by its HCAs.
+type Node struct {
+	ID   int
+	Bus  *gx.Bus
+	HCAs []*hca.HCA
+}
+
+// Ports returns the node's ports flattened across HCAs, in (hca, port) order.
+func (n *Node) Ports() []*hca.Port {
+	var ps []*hca.Port
+	for _, h := range n.HCAs {
+		ps = append(ps, h.Ports...)
+	}
+	return ps
+}
+
+// Cluster is a built topology.
+type Cluster struct {
+	Spec  Spec
+	Model *model.Params
+	Net   *fabric.Net
+	Nodes []*Node
+}
+
+// Build constructs the hardware for a spec. It panics on an invalid spec;
+// callers that take user input should Validate first.
+func Build(spec Spec, m *model.Params) *Cluster {
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
+	net := fabric.NewSingleSwitch(m.WireLatency)
+	if spec.NodesPerSwitch > 0 {
+		trunk := spec.TrunkRate
+		if trunk == 0 {
+			trunk = m.LinkRawRate
+		}
+		net = fabric.NewFatTree(m.WireLatency, spec.Nodes, spec.NodesPerSwitch, trunk)
+	}
+	c := &Cluster{Spec: spec, Model: m, Net: net}
+	for i := 0; i < spec.Nodes; i++ {
+		n := &Node{ID: i, Bus: gx.New(m.GXRate)}
+		for h := 0; h < spec.HCAsPerNode; h++ {
+			hc := hca.New(fmt.Sprintf("n%d.hca%d", i, h), spec.PortsPerHCA, n.Bus, m, c.Net)
+			for _, port := range hc.Ports {
+				port.Node = i
+			}
+			n.HCAs = append(n.HCAs, hc)
+		}
+		c.Nodes = append(c.Nodes, n)
+	}
+	return c
+}
+
+// Size reports the total number of ranks.
+func (c *Cluster) Size() int { return c.Spec.Size() }
+
+// NodeOf maps a rank to its node index (block distribution, as mpirun -ppn
+// would place ranks on the paper's testbed).
+func (c *Cluster) NodeOf(rank int) int { return rank / c.Spec.ProcsPerNode }
+
+// SameNode reports whether two ranks share a node (and hence communicate
+// over the shared-memory channel rather than the HCA).
+func (c *Cluster) SameNode(a, b int) bool { return c.NodeOf(a) == c.NodeOf(b) }
+
+// PortsOf returns the ports of a rank's node.
+func (c *Cluster) PortsOf(rank int) []*hca.Port { return c.Nodes[c.NodeOf(rank)].Ports() }

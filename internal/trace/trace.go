@@ -1,0 +1,153 @@
+// Package trace provides run introspection: a protocol event recorder that
+// the ADI layer feeds when attached, and a resource report summarising
+// hardware utilization after a run (engines, lanes, scheduler, GX+ bus,
+// protocol counters).
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ib12x/internal/sim"
+)
+
+// Kind classifies a protocol event.
+type Kind int
+
+// Protocol event kinds, in rough lifecycle order.
+const (
+	KindEager Kind = iota
+	KindRTS
+	KindCTS
+	KindStripeWrite
+	KindStripeRead
+	KindFIN
+	KindDeliver
+	KindShmem
+	KindRMA
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindEager:
+		return "EAGER"
+	case KindRTS:
+		return "RTS"
+	case KindCTS:
+		return "CTS"
+	case KindStripeWrite:
+		return "WRITE"
+	case KindStripeRead:
+		return "READ"
+	case KindFIN:
+		return "FIN"
+	case KindDeliver:
+		return "DELIVER"
+	case KindShmem:
+		return "SHMEM"
+	case KindRMA:
+		return "RMA"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one recorded protocol action.
+type Event struct {
+	T     sim.Time
+	Kind  Kind
+	Rank  int // acting rank
+	Peer  int // other side (-1 if none)
+	Bytes int
+	Rail  int // rail index (-1 if not rail-specific)
+}
+
+// Recorder accumulates events. The simulation is single-threaded, so no
+// locking is needed. A nil *Recorder is safe to record into (no-op), which
+// lets the ADI layer call unconditionally.
+type Recorder struct {
+	events []Event
+	limit  int
+}
+
+// NewRecorder creates a recorder keeping at most limit events (0 = 64k).
+func NewRecorder(limit int) *Recorder {
+	if limit <= 0 {
+		limit = 64 << 10
+	}
+	return &Recorder{limit: limit}
+}
+
+// Record appends an event; it is a no-op on a nil recorder or at capacity.
+func (r *Recorder) Record(t sim.Time, kind Kind, rank, peer, bytes, rail int) {
+	if r == nil || len(r.events) >= r.limit {
+		return
+	}
+	r.events = append(r.events, Event{T: t, Kind: kind, Rank: rank, Peer: peer, Bytes: bytes, Rail: rail})
+}
+
+// Len reports the number of recorded events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.events)
+}
+
+// Events returns the recorded events in time order.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	out := append([]Event(nil), r.events...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].T < out[j].T })
+	return out
+}
+
+// Timeline formats up to max events as an aligned text timeline.
+func (r *Recorder) Timeline(max int) string {
+	evs := r.Events()
+	if max > 0 && len(evs) > max {
+		evs = evs[:max]
+	}
+	var b strings.Builder
+	for _, e := range evs {
+		rail := "-"
+		if e.Rail >= 0 {
+			rail = fmt.Sprintf("r%d", e.Rail)
+		}
+		fmt.Fprintf(&b, "%12v  %-7s  rank%-3d -> %-3d  %8dB  %s\n",
+			e.T, e.Kind, e.Rank, e.Peer, e.Bytes, rail)
+	}
+	return b.String()
+}
+
+// Summary aggregates counts and bytes per kind.
+func (r *Recorder) Summary() string {
+	type agg struct {
+		count int
+		bytes int64
+	}
+	byKind := map[Kind]*agg{}
+	for _, e := range r.Events() {
+		a := byKind[e.Kind]
+		if a == nil {
+			a = &agg{}
+			byKind[e.Kind] = a
+		}
+		a.count++
+		a.bytes += int64(e.Bytes)
+	}
+	kinds := make([]Kind, 0, len(byKind))
+	for k := range byKind {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	var b strings.Builder
+	for _, k := range kinds {
+		a := byKind[k]
+		fmt.Fprintf(&b, "%-8s %8d events %14d bytes\n", k, a.count, a.bytes)
+	}
+	return b.String()
+}
