@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench reproduce extra examples clean
+.PHONY: all build test vet check race bench perf reproduce extra examples clean
 
 all: vet test build
 
@@ -16,9 +16,21 @@ vet:
 	$(GO) vet ./...
 	gofmt -l .
 
+# Full pre-merge gate: vet + the whole suite + the race detector over the
+# hot-path packages (the DES engine and the ADI matching/pooling layer).
+check: vet test race
+
+race:
+	$(GO) test -race ./internal/sim/... ./internal/adi/...
+
 # One testing.B benchmark per paper figure, plus ablations.
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Wall-clock benchmark regression harness: runs BenchmarkFig04/06/07/08,
+# writes BENCH_hotpath.json, and fails if Fig06 loses the hot-path win.
+perf:
+	$(GO) run ./cmd/perfgate -gate
 
 # Regenerate every figure of the paper (takes a few minutes: class-B NAS).
 reproduce:

@@ -1,0 +1,182 @@
+// Command perfgate runs the hot-path wall-clock benchmarks
+// (BenchmarkFig04/06/07/08 with -benchmem), records the results in
+// BENCH_hotpath.json next to the seed baseline, and — in gate mode —
+// fails if the headline benchmark regresses past the budget.
+//
+// Usage:
+//
+//	perfgate                 # run, print, write BENCH_hotpath.json
+//	perfgate -gate           # also enforce the Fig06 improvement floor
+//	perfgate -benchtime 5x   # more iterations (steadier numbers)
+//	perfgate -o path.json    # alternate output file
+//
+// The gate asserts BenchmarkFig06UniBW (the window-64 bandwidth sweep,
+// the allocation-heaviest figure) holds the improvement the hot-path
+// overhaul landed: ns/op at least 25% below the seed and allocs/op at
+// least 50% below the seed. The other figures are recorded but not
+// gated — they are smaller and noisier on shared machines.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// seedBaseline holds the pre-overhaul numbers, measured on the growth
+// seed with `go test -bench ... -benchmem -benchtime 3x` (single run;
+// ns/op is machine-dependent, allocs/op is exact).
+var seedBaseline = map[string]Result{
+	"BenchmarkFig04LargeLatency": {NsPerOp: 30487433, AllocsPerOp: 119238},
+	"BenchmarkFig06UniBW":        {NsPerOp: 182581294, AllocsPerOp: 1140271},
+	"BenchmarkFig07BiBW":         {NsPerOp: 164104600, AllocsPerOp: 1137865},
+	"BenchmarkFig08Alltoall":     {NsPerOp: 17535687, AllocsPerOp: 110807},
+}
+
+// Gate thresholds (fractions of the seed value that must be shaved).
+const (
+	gateBench      = "BenchmarkFig06UniBW"
+	gateNsFloor    = 0.25
+	gateAllocFloor = 0.50
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Report is the BENCH_hotpath.json document.
+type Report struct {
+	Date      string            `json:"date"`
+	Benchtime string            `json:"benchtime"`
+	Seed      map[string]Result `json:"seed"`
+	Current   map[string]Result `json:"current"`
+}
+
+func main() {
+	gate := flag.Bool("gate", false, "fail unless the Fig06 improvement floor holds")
+	benchtime := flag.String("benchtime", "3x", "go test -benchtime value")
+	out := flag.String("o", "BENCH_hotpath.json", "output file")
+	flag.Parse()
+
+	current, err := runBenchmarks(*benchtime)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfgate:", err)
+		os.Exit(1)
+	}
+
+	rep := Report{
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		Benchtime: *benchtime,
+		Seed:      seedBaseline,
+		Current:   current,
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfgate:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "perfgate:", err)
+		os.Exit(1)
+	}
+
+	for name, seed := range seedBaseline {
+		cur, ok := current[name]
+		if !ok {
+			fmt.Printf("%-28s (missing)\n", name)
+			continue
+		}
+		fmt.Printf("%-28s ns/op %12.0f (seed %12.0f, %+6.1f%%)  allocs/op %9d (seed %9d, %+6.1f%%)\n",
+			name, cur.NsPerOp, seed.NsPerOp, pct(cur.NsPerOp, seed.NsPerOp),
+			cur.AllocsPerOp, seed.AllocsPerOp, pct(float64(cur.AllocsPerOp), float64(seed.AllocsPerOp)))
+	}
+	fmt.Println("wrote", *out)
+
+	if *gate {
+		cur, ok := current[gateBench]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "perfgate: gate benchmark %s missing from output\n", gateBench)
+			os.Exit(1)
+		}
+		seed := seedBaseline[gateBench]
+		failed := false
+		if cur.NsPerOp > seed.NsPerOp*(1-gateNsFloor) {
+			fmt.Fprintf(os.Stderr, "perfgate: %s ns/op %.0f exceeds the budget %.0f (seed %.0f - %.0f%%)\n",
+				gateBench, cur.NsPerOp, seed.NsPerOp*(1-gateNsFloor), seed.NsPerOp, gateNsFloor*100)
+			failed = true
+		}
+		if float64(cur.AllocsPerOp) > float64(seed.AllocsPerOp)*(1-gateAllocFloor) {
+			fmt.Fprintf(os.Stderr, "perfgate: %s allocs/op %d exceeds the budget %.0f (seed %d - %.0f%%)\n",
+				gateBench, cur.AllocsPerOp, float64(seed.AllocsPerOp)*(1-gateAllocFloor), seed.AllocsPerOp, gateAllocFloor*100)
+			failed = true
+		}
+		if failed {
+			os.Exit(1)
+		}
+		fmt.Printf("gate OK: %s holds ns/op -%.0f%% and allocs/op -%.0f%% vs seed\n",
+			gateBench, gateNsFloor*100, gateAllocFloor*100)
+	}
+}
+
+func pct(cur, seed float64) float64 {
+	if seed == 0 {
+		return 0
+	}
+	return (cur - seed) / seed * 100
+}
+
+// benchLine matches `go test -bench -benchmem` output, e.g.
+// BenchmarkFig06UniBW  3  182581294 ns/op ... 58294416 B/op  1140271 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(.*)$`)
+
+func runBenchmarks(benchtime string) (map[string]Result, error) {
+	pattern := "^(" + strings.Join(keys(seedBaseline), "|") + ")$"
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", pattern, "-benchmem", "-benchtime", benchtime, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("go test -bench: %v\n%s", err, out)
+	}
+	results := map[string]Result{}
+	for _, line := range strings.Split(string(out), "\n") {
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		r := Result{}
+		r.NsPerOp, _ = strconv.ParseFloat(m[2], 64)
+		// Trailing metrics come as "<value> <unit>" pairs.
+		rest := strings.Fields(m[3])
+		for i := 1; i < len(rest); i++ {
+			switch rest[i] {
+			case "B/op":
+				r.BytesPerOp, _ = strconv.ParseInt(rest[i-1], 10, 64)
+			case "allocs/op":
+				r.AllocsPerOp, _ = strconv.ParseInt(rest[i-1], 10, 64)
+			}
+		}
+		results[m[1]] = r
+	}
+	if len(results) == 0 {
+		return nil, fmt.Errorf("no benchmark lines parsed from output:\n%s", out)
+	}
+	return results, nil
+}
+
+func keys(m map[string]Result) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks
+}

@@ -60,6 +60,11 @@ type Request struct {
 
 	status Status
 
+	// postSeq orders posted receives globally on their endpoint; the
+	// matching index uses it to arbitrate between a specific-source bucket
+	// hit and a wildcard-list hit (earliest post wins, the MPI rule).
+	postSeq uint64
+
 	// Rendezvous send state.
 	writesLeft int
 	mrKey      uint32
@@ -141,6 +146,14 @@ type envelope struct {
 	data  []byte     // owned eager payload (nil = synthetic)
 	shm   bool       // arrived via the shared-memory channel
 
+	// arrSeq orders unexpected arrivals globally on the receiving endpoint
+	// (assigned when the envelope parks in the unexpected index).
+	arrSeq uint64
+
+	// scratch is the bounce-buffer capacity retained across pool recycling;
+	// data is carved from it via ensureBuf for owned payload copies.
+	scratch []byte
+
 	// Request references: stand-ins for the request identifiers MVAPICH
 	// embeds in its control messages.
 	sreq *Request
@@ -161,20 +174,6 @@ type envelope struct {
 	// credits piggybacks returned flow-control credits on any channel
 	// message (envCredit carries them alone).
 	credits int
-}
-
-// matches reports whether a posted receive (r) matches an inbound envelope.
-func matches(r *Request, env *envelope) bool {
-	if r.ctxID != env.ctxID {
-		return false
-	}
-	if r.peer != AnySource && r.peer != env.src {
-		return false
-	}
-	if r.tag != AnyTag && r.tag != env.tag {
-		return false
-	}
-	return true
 }
 
 // RndvProto selects the rendezvous data-transfer engine.

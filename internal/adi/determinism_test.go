@@ -1,0 +1,164 @@
+package adi_test
+
+// Timeline-hash determinism regression: a fixed mixed workload is run under
+// every scheduling policy with the protocol-event recorder attached, and the
+// full virtual timeline (every trace event, field by field, plus the final
+// virtual clock) is hashed into one digest per policy.
+//
+// The golden digests below were recorded from the pre-optimization
+// implementation (linear-scan matching, container/heap events, per-message
+// allocations). Any hot-path change — event pooling, the specialized heap,
+// indexed tag matching, stripe-plan caching, envelope recycling — must
+// reproduce these timelines bit for bit: wall-clock optimizations are not
+// allowed to move a single virtual-time event.
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"testing"
+
+	"ib12x/internal/core"
+	"ib12x/internal/mpi"
+	"ib12x/internal/sim"
+	"ib12x/internal/trace"
+)
+
+// goldenTimelines maps policy -> FNV-1a digest of the detWorkload timeline,
+// recorded from the seed implementation. Regenerate (only when the *model*
+// legitimately changes, never for a performance PR) by running this test
+// with -v and copying the logged values.
+var goldenTimelines = map[core.Kind]uint64{
+	core.Binding:          0x91b861d35475b032,
+	core.RoundRobin:       0xa6625761e201b944,
+	core.EvenStriping:     0xaa4ac329f5c3d4c0,
+	core.WeightedStriping: 0xaa4ac329f5c3d4c0, // equal weights == even stripes
+	core.EPC:              0x5d35a42fab5d6eb4,
+	core.Adaptive:         0x600df06547fdee98,
+}
+
+// detWorkload mixes every protocol path whose virtual timing the paper's
+// figures depend on: eager and rendezvous transfers, a non-blocking window,
+// wildcard receives racing specific ones, unexpected-queue traffic, the
+// intra-node shared-memory channel, and a collective.
+func detWorkload(c *mpi.Comm) {
+	const (
+		eagerN = 1024
+		rndvN  = 256 << 10
+		winN   = 64 << 10
+		window = 8
+	)
+	switch c.Rank() {
+	case 0:
+		c.SendN(2, 1, nil, eagerN)
+		c.RecvN(2, 1, nil, eagerN)
+		c.SendN(3, 2, nil, rndvN)  // striped rendezvous
+		c.SendN(1, 4, nil, 32<<10) // shmem intra-node
+		c.Compute(5 * sim.Microsecond)
+		c.SendN(3, 7, nil, 2048)  // feeds rank 3's wildcard mix
+		c.SendN(3, 11, nil, 1024) // consumed by rank 3's trailing AnyTag recv
+	case 1:
+		reqs := make([]*mpi.Request, window)
+		for i := range reqs {
+			reqs[i] = c.IsendN(2, 3, nil, winN)
+		}
+		c.Waitall(reqs)
+		c.RecvN(0, 4, nil, 32<<10)
+		c.SendN(3, 8, nil, 4096) // arrives unexpected at rank 3
+	case 2:
+		c.RecvN(0, 1, nil, eagerN)
+		c.SendN(0, 1, nil, eagerN)
+		reqs := make([]*mpi.Request, window)
+		for i := range reqs {
+			reqs[i] = c.IrecvN(1, 3, nil, winN)
+		}
+		c.Waitall(reqs)
+		c.SendN(3, 9, nil, 512)
+	case 3:
+		c.RecvN(0, 2, nil, rndvN)
+		// Wildcard receives interleaved with specific ones; the senders
+		// are staggered so some messages land unexpected.
+		r1 := c.IrecvN(mpi.AnySource, 7, nil, 2048)
+		r2 := c.IrecvN(mpi.AnySource, 8, nil, 8192)
+		r3 := c.IrecvN(2, 9, nil, 512)
+		c.Wait(r1)
+		c.Wait(r2)
+		c.Wait(r3)
+		// The tag-11 eager arrived unexpected while the above were pending;
+		// the trailing full wildcard must pull it from the unexpected queue.
+		c.Wait(c.IrecvN(mpi.AnySource, mpi.AnyTag, nil, 1024))
+	}
+	c.Alltoall(nil, 8192, nil)
+	c.Barrier()
+}
+
+// runTimeline executes detWorkload under one policy and digests the result.
+func runTimeline(t *testing.T, kind core.Kind) uint64 {
+	t.Helper()
+	rec := trace.NewRecorder(1 << 20)
+	var final sim.Time
+	cfg := mpi.Config{
+		Nodes: 2, ProcsPerNode: 2,
+		HCAs: 1, Ports: 1, QPsPerPort: 4,
+		Policy: kind, Trace: rec,
+	}
+	_, err := mpi.Run(cfg, func(c *mpi.Comm) {
+		detWorkload(c)
+		if c.Rank() == 0 {
+			final = c.Time()
+		}
+	})
+	if err != nil {
+		t.Fatalf("policy %v: %v", kind, err)
+	}
+	h := fnv.New64a()
+	var buf [8]byte
+	wr := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	for _, e := range rec.Events() {
+		wr(int64(e.T))
+		wr(int64(e.Kind))
+		wr(int64(e.Rank))
+		wr(int64(e.Peer))
+		wr(int64(e.Bytes))
+		wr(int64(e.Rail))
+	}
+	wr(int64(final))
+	return h.Sum64()
+}
+
+func TestTimelineDigestsAcrossPolicies(t *testing.T) {
+	kinds := []core.Kind{
+		core.Binding, core.RoundRobin, core.EvenStriping,
+		core.WeightedStriping, core.EPC, core.Adaptive,
+	}
+	for _, k := range kinds {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			got := runTimeline(t, k)
+			t.Logf("policy %-18v digest 0x%016x", k, got)
+			want, ok := goldenTimelines[k]
+			if !ok {
+				t.Fatalf("no golden digest for policy %v", k)
+			}
+			if want == 0 {
+				t.Skip("golden digest not recorded yet (run with -v and fill goldenTimelines)")
+			}
+			if got != want {
+				t.Errorf("policy %v: timeline digest 0x%016x, want 0x%016x — "+
+					"a wall-clock optimization moved virtual-time events", k, got, want)
+			}
+		})
+	}
+}
+
+// TestTimelineDigestStable guards the digest itself: two identical runs must
+// hash identically (no map-iteration or goroutine-scheduling leakage).
+func TestTimelineDigestStable(t *testing.T) {
+	a := runTimeline(t, core.EPC)
+	b := runTimeline(t, core.EPC)
+	if a != b {
+		t.Fatalf("same configuration hashed differently: 0x%x vs 0x%x", a, b)
+	}
+}

@@ -77,8 +77,13 @@ type Endpoint struct {
 	idle    sim.Waiter
 	shmemIn sim.Queue[shmem.Msg]
 
-	recvQ      []*Request  // posted, unmatched receives (post order)
-	unexpected []*envelope // arrived, unmatched eager/RTS (arrival order)
+	recvIx  recvIndex // posted, unmatched receives (indexed; post order kept)
+	unexIx  unexIndex // arrived, unmatched eager/RTS (indexed; arrival order kept)
+	postSeq uint64    // next receive post-order stamp
+	arrSeq  uint64    // next unexpected arrival-order stamp
+
+	pool    *envPool   // World-shared envelope pool
+	reqFree []*Request // recycled requests of this endpoint
 
 	wrID       uint64
 	onComplete map[uint64]func()
@@ -93,7 +98,7 @@ type Endpoint struct {
 
 // newEndpoint wires the passive state; connections are added by the World
 // builder.
-func newEndpoint(rank int, eng *sim.Engine, m *model.Params, realm *ib.Realm, policy core.Policy, rndv RndvProto, nranks int) *Endpoint {
+func newEndpoint(rank int, eng *sim.Engine, m *model.Params, realm *ib.Realm, policy core.Policy, rndv RndvProto, nranks int, pool *envPool) *Endpoint {
 	ep := &Endpoint{
 		Rank:       rank,
 		eng:        eng,
@@ -108,6 +113,7 @@ func newEndpoint(rank int, eng *sim.Engine, m *model.Params, realm *ib.Realm, po
 		onComplete: make(map[uint64]func()),
 		onAtomic:   make(map[uint64]*Request),
 		backlog:    make(map[*ib.QP][]deferredWR),
+		pool:       pool,
 	}
 	ep.cq.SetNotify(func() { ep.wake() })
 	for i := 0; i < srqPrepost; i++ {
@@ -177,7 +183,8 @@ func (ep *Endpoint) PostSend(peer, tag, ctxID int, class core.Class, data []byte
 	if data != nil && len(data) < n {
 		panic("adi: send buffer shorter than count")
 	}
-	req := &Request{ep: ep, send: true, peer: peer, tag: tag, ctxID: ctxID, class: class, data: data, n: n}
+	req := ep.newRequest()
+	req.send, req.peer, req.tag, req.ctxID, req.class, req.data, req.n = true, peer, tag, ctxID, class, data, n
 	if peer == ep.Rank {
 		ep.sendSelf(req)
 		return req
@@ -201,17 +208,18 @@ func (ep *Endpoint) PostRecv(src, tag, ctxID int, buf []byte, n int) *Request {
 	if buf != nil && len(buf) < n {
 		panic("adi: receive buffer shorter than count")
 	}
-	req := &Request{ep: ep, peer: src, tag: tag, ctxID: ctxID, data: buf, n: n}
+	req := ep.newRequest()
+	req.peer, req.tag, req.ctxID, req.data, req.n = src, tag, ctxID, buf, n
 	// Unexpected queue first, in arrival order (MPI matching rule).
-	for i, env := range ep.unexpected {
-		if matches(req, env) {
-			ep.unexpected = append(ep.unexpected[:i], ep.unexpected[i+1:]...)
-			ep.stats.UnexpectedHits++
-			ep.consumeUnexpected(req, env)
-			return req
-		}
+	if env := ep.unexIx.takeFor(req); env != nil {
+		ep.stats.UnexpectedHits++
+		ep.consumeUnexpected(req, env)
+		ep.pool.put(env)
+		return req
 	}
-	ep.recvQ = append(ep.recvQ, req)
+	req.postSeq = ep.postSeq
+	ep.postSeq++
+	ep.recvIx.add(req)
 	return req
 }
 
@@ -220,12 +228,10 @@ func (ep *Endpoint) PostRecv(src, tag, ctxID int, buf []byte, n int) *Request {
 // against posted receives or parked on the unexpected queue. All sizes are
 // buffered — a self-send never blocks, as in MPICH's self device.
 func (ep *Endpoint) sendSelf(req *Request) {
-	env := &envelope{
-		kind: envEager, src: ep.Rank, tag: req.tag, ctxID: req.ctxID, size: req.n,
-	}
+	env := ep.pool.get()
+	env.kind, env.src, env.tag, env.ctxID, env.size = envEager, ep.Rank, req.tag, req.ctxID, req.n
 	if req.data != nil {
-		env.data = make([]byte, req.n)
-		copy(env.data, req.data[:req.n])
+		copy(env.ensureBuf(req.n), req.data[:req.n])
 		ep.charge(sim.TransferTime(int64(req.n), ep.m.EagerCopyRate))
 	}
 	req.status = Status{Source: ep.Rank, Tag: req.tag, Count: req.n}
@@ -249,11 +255,9 @@ func (ep *Endpoint) consumeUnexpected(req *Request, env *envelope) {
 // Iprobe reports whether a matching message has arrived but not been
 // received, without consuming it.
 func (ep *Endpoint) Iprobe(src, tag, ctxID int) (bool, Status) {
-	probe := &Request{peer: src, tag: tag, ctxID: ctxID}
-	for _, env := range ep.unexpected {
-		if matches(probe, env) {
-			return true, Status{Source: env.src, Tag: env.tag, Count: env.size}
-		}
+	probe := Request{peer: src, tag: tag, ctxID: ctxID}
+	if env := ep.unexIx.peekFor(&probe); env != nil {
+		return true, Status{Source: env.src, Tag: env.tag, Count: env.size}
 	}
 	return false, Status{}
 }
@@ -275,6 +279,7 @@ func (ep *Endpoint) progressOnce() bool {
 			if conn != nil && conn.sh == nil {
 				ep.creditArrived(conn, env.credits)
 				if env.kind == envCredit {
+					ep.pool.put(env)
 					return true
 				}
 				ep.consumedRecv(conn)
@@ -364,12 +369,15 @@ func (ep *Endpoint) inbound(env *envelope) {
 	switch env.kind {
 	case envCTS:
 		ep.handleCTS(env)
+		ep.pool.put(env)
 		return
 	case envFIN:
 		ep.handleFIN(env)
+		ep.pool.put(env)
 		return
 	case envDone:
 		ep.handleDone(env)
+		ep.pool.put(env)
 		return
 	}
 	conn := ep.conns[env.src]
@@ -421,6 +429,7 @@ func (ep *Endpoint) creditArrived(conn *Conn, n int) {
 	conn.credits += n
 	for len(conn.creditQueue) > 0 && conn.credits > 0 {
 		pe := conn.creditQueue[0]
+		conn.creditQueue[0] = pendingEnvelope{} // unpin the shifted-out entry
 		conn.creditQueue = conn.creditQueue[1:]
 		ep.sendEnvelope(conn, pe.rail, pe.env, pe.data, pe.wireN, pe.onPosted)
 	}
@@ -434,7 +443,8 @@ func (ep *Endpoint) consumedRecv(conn *Conn) {
 	if conn.owed < ep.m.EagerCredits/2 {
 		return
 	}
-	env := &envelope{kind: envCredit, src: ep.Rank, credits: conn.owed}
+	env := ep.pool.get()
+	env.kind, env.src, env.credits = envCredit, ep.Rank, conn.owed
 	conn.owed = 0
 	ep.charge(ep.m.CPUPostWQE + ep.m.DoorbellTime)
 	// Credit messages are exempt from flow control: the receiver reserves
@@ -453,12 +463,15 @@ func (ep *Endpoint) dispatchSequenced(env *envelope) {
 	case envPut, envAccum, envGetReq, envAtomicReq:
 		ep.charge(ep.m.CPUHeaderProc)
 		ep.handleRMA(env)
+		ep.pool.put(env)
 	case envGetResp:
 		ep.charge(ep.m.CPUHeaderProc)
 		ep.handleGetResp(env)
+		ep.pool.put(env)
 	case envAtomicResp:
 		ep.charge(ep.m.CPUHeaderProc)
 		ep.handleAtomicResp(env)
+		ep.pool.put(env)
 	default:
 		ep.handleMatchable(env)
 	}
@@ -467,19 +480,19 @@ func (ep *Endpoint) dispatchSequenced(env *envelope) {
 // handleMatchable processes an in-sequence eager or RTS envelope.
 func (ep *Endpoint) handleMatchable(env *envelope) {
 	ep.charge(ep.m.CPUHeaderProc)
-	for i, req := range ep.recvQ {
-		if matches(req, env) {
-			ep.recvQ = append(ep.recvQ[:i], ep.recvQ[i+1:]...)
-			switch env.kind {
-			case envEager:
-				ep.deliverEager(req, env)
-			case envRTS:
-				ep.matchRTS(req, env)
-			}
-			return
+	if req := ep.recvIx.match(env); req != nil {
+		switch env.kind {
+		case envEager:
+			ep.deliverEager(req, env)
+		case envRTS:
+			ep.matchRTS(req, env)
 		}
+		ep.pool.put(env)
+		return
 	}
-	ep.unexpected = append(ep.unexpected, env)
+	env.arrSeq = ep.arrSeq
+	ep.arrSeq++
+	ep.unexIx.add(env)
 }
 
 // deferredWR is a work request awaiting send-queue space, with a callback
@@ -506,6 +519,7 @@ func (ep *Endpoint) drainBacklog(qpn int) {
 		if q[0].onPosted != nil {
 			q[0].onPosted()
 		}
+		q[0] = deferredWR{} // unpin the WR payload and callback
 		q = q[1:]
 	}
 	if len(q) == 0 {

@@ -1,0 +1,249 @@
+package adi
+
+// Indexed tag matching. The seed implementation kept posted-unmatched
+// receives and unexpected envelopes in two flat slices and scanned them
+// linearly on every arrival/post — O(queue length) per message, which
+// dominates deep-window workloads. Here both queues are bucketed by
+// (context, source):
+//
+//   - a posted receive with a concrete source lives in the bucket of its
+//     (ctx, src); an AnySource receive lives in a per-context wildcard list;
+//   - an arrived envelope always has a concrete source and lives in its
+//     (ctx, src) bucket.
+//
+// MPI's matching order is preserved exactly, not approximately:
+//
+//   - an inbound envelope must match the EARLIEST-POSTED matching receive.
+//     Within each bucket receives sit in post order, so the first tag match
+//     of the envelope's (ctx, src) bucket and the first tag match of the
+//     context's wildcard list are the only two candidates; the lower post
+//     sequence number wins.
+//   - a posted receive must match the EARLIEST-ARRIVED matching envelope.
+//     For a concrete source only one bucket can match and its first tag
+//     match is the answer; for AnySource every bucket of the context is a
+//     candidate and the minimum arrival sequence number wins (map iteration
+//     order does not leak into the result — the minimum is unique).
+//
+// The determinism digests in determinism_test.go pin this equivalence
+// against the seed's linear scans.
+
+// matchKey addresses one (context, source) bucket.
+type matchKey struct {
+	ctx, src int
+}
+
+// tagOK reports a receive-side tag selector accepting an envelope tag.
+func tagOK(want, got int) bool { return want == AnyTag || want == got }
+
+// recvIndex holds posted, unmatched receives.
+type recvIndex struct {
+	specific map[matchKey][]*Request // concrete-source receives, post order
+	wild     map[int][]*Request      // AnySource receives per context, post order
+	count    int
+}
+
+// add appends a posted receive; req.postSeq must already be assigned.
+func (ix *recvIndex) add(req *Request) {
+	if req.peer == AnySource {
+		if ix.wild == nil {
+			ix.wild = make(map[int][]*Request)
+		}
+		ix.wild[req.ctxID] = append(ix.wild[req.ctxID], req)
+	} else {
+		if ix.specific == nil {
+			ix.specific = make(map[matchKey][]*Request)
+		}
+		k := matchKey{req.ctxID, req.peer}
+		ix.specific[k] = append(ix.specific[k], req)
+	}
+	ix.count++
+}
+
+// match removes and returns the earliest-posted receive matching env, or nil.
+func (ix *recvIndex) match(env *envelope) *Request {
+	if ix.count == 0 {
+		return nil
+	}
+	var spec, wild *Request
+	si, wi := -1, -1
+	sk := matchKey{env.ctxID, env.src}
+	sq := ix.specific[sk]
+	for i, r := range sq {
+		if tagOK(r.tag, env.tag) {
+			spec, si = r, i
+			break
+		}
+	}
+	wq := ix.wild[env.ctxID]
+	for i, r := range wq {
+		if tagOK(r.tag, env.tag) {
+			wild, wi = r, i
+			break
+		}
+	}
+	switch {
+	case spec == nil && wild == nil:
+		return nil
+	case wild == nil || (spec != nil && spec.postSeq < wild.postSeq):
+		ix.specific[sk] = cutReq(sq, si)
+		ix.count--
+		return spec
+	default:
+		ix.wild[env.ctxID] = cutReq(wq, wi)
+		ix.count--
+		return wild
+	}
+}
+
+// unexIndex holds arrived, unmatched eager/RTS envelopes.
+type unexIndex struct {
+	buckets map[matchKey][]*envelope // arrival order within each bucket
+	count   int
+}
+
+// add parks an envelope; env.arrSeq must already be assigned.
+func (ix *unexIndex) add(env *envelope) {
+	if ix.buckets == nil {
+		ix.buckets = make(map[matchKey][]*envelope)
+	}
+	k := matchKey{env.ctxID, env.src}
+	ix.buckets[k] = append(ix.buckets[k], env)
+	ix.count++
+}
+
+// lookFor locates the earliest-arrived envelope matching req, returning its
+// bucket key and position (found=false if none).
+func (ix *unexIndex) lookFor(req *Request) (k matchKey, i int, found bool) {
+	if ix.count == 0 {
+		return matchKey{}, 0, false
+	}
+	if req.peer != AnySource {
+		k = matchKey{req.ctxID, req.peer}
+		for i, env := range ix.buckets[k] {
+			if tagOK(req.tag, env.tag) {
+				return k, i, true
+			}
+		}
+		return matchKey{}, 0, false
+	}
+	var best *envelope
+	for bk, q := range ix.buckets {
+		if bk.ctx != req.ctxID {
+			continue
+		}
+		for bi, env := range q {
+			if tagOK(req.tag, env.tag) {
+				// Within a bucket arrival order holds, so the first tag
+				// match is that source's earliest; compare across sources.
+				if best == nil || env.arrSeq < best.arrSeq {
+					best, k, i = env, bk, bi
+				}
+				break
+			}
+		}
+	}
+	return k, i, best != nil
+}
+
+// takeFor removes and returns the earliest-arrived envelope matching req.
+func (ix *unexIndex) takeFor(req *Request) *envelope {
+	k, i, ok := ix.lookFor(req)
+	if !ok {
+		return nil
+	}
+	q := ix.buckets[k]
+	env := q[i]
+	ix.buckets[k] = cutEnv(q, i)
+	ix.count--
+	return env
+}
+
+// peekFor is takeFor without removal (Iprobe).
+func (ix *unexIndex) peekFor(req *Request) *envelope {
+	k, i, ok := ix.lookFor(req)
+	if !ok {
+		return nil
+	}
+	return ix.buckets[k][i]
+}
+
+// cutReq removes position i preserving order and nils the vacated tail slot
+// so the backing array does not pin the removed request.
+func cutReq(q []*Request, i int) []*Request {
+	copy(q[i:], q[i+1:])
+	q[len(q)-1] = nil
+	return q[:len(q)-1]
+}
+
+func cutEnv(q []*envelope, i int) []*envelope {
+	copy(q[i:], q[i+1:])
+	q[len(q)-1] = nil
+	return q[:len(q)-1]
+}
+
+// ---- envelope pool ----
+
+// envPool recycles protocol envelopes. Envelopes are allocated at the
+// sending endpoint but consumed (and thus freed) at the receiving one, so
+// the pool is shared per World — the single-threaded engine makes that safe
+// without locks. Each envelope retains its bounce-buffer capacity (scratch)
+// across recycling, so steady-state eager traffic with real payloads stops
+// allocating buffers too.
+type envPool struct {
+	free []*envelope
+}
+
+func (p *envPool) get() *envelope {
+	if n := len(p.free); n > 0 {
+		env := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return env
+	}
+	return &envelope{}
+}
+
+// put recycles an envelope whose terminal handler has run. The payload slice
+// is dropped (shared-memory payloads are link-owned); only the scratch
+// capacity survives.
+func (p *envPool) put(env *envelope) {
+	*env = envelope{scratch: env.scratch[:0]}
+	p.free = append(p.free, env)
+}
+
+// ensureBuf returns env.data sized to n, reusing the envelope's retained
+// bounce-buffer capacity when it suffices.
+func (env *envelope) ensureBuf(n int) []byte {
+	if cap(env.scratch) < n {
+		env.scratch = make([]byte, n)
+	}
+	env.data = env.scratch[:n]
+	return env.data
+}
+
+// ---- request pool ----
+
+// newRequest returns a zeroed request bound to ep, recycled if possible.
+func (ep *Endpoint) newRequest() *Request {
+	if n := len(ep.reqFree); n > 0 {
+		r := ep.reqFree[n-1]
+		ep.reqFree[n-1] = nil
+		ep.reqFree = ep.reqFree[:n-1]
+		*r = Request{ep: ep}
+		return r
+	}
+	return &Request{ep: ep}
+}
+
+// Release returns a completed request to its endpoint's pool. Only code
+// that created the request and can prove no other reference survives — the
+// mpi layer's blocking operations and collective internals — may call it;
+// a released request must never be touched again. Releasing nil is a no-op.
+func (r *Request) Release() {
+	if r == nil || r.ep == nil {
+		return
+	}
+	ep := r.ep
+	*r = Request{}
+	ep.reqFree = append(ep.reqFree, r)
+}

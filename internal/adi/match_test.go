@@ -1,0 +1,135 @@
+package adi
+
+import (
+	"testing"
+
+	"ib12x/internal/core"
+	"ib12x/internal/sim"
+	"ib12x/internal/topo"
+)
+
+// Matching-order tests for the indexed tag-matching engine: MPI requires
+// that an arrival match the EARLIEST posted compatible receive (wildcards
+// included), and that a receive posted late take the EARLIEST compatible
+// unexpected arrival. The index splits posted receives into per-source
+// buckets plus a wildcard sideline, so these tests pin the cross-structure
+// arbitration that a single linear queue got for free.
+
+// TestWildcardPostOrderInterleaved posts specific and wildcard receives
+// interleaved, then delivers messages that each have several candidates.
+// Every arrival must land on the earliest-posted compatible receive.
+func TestWildcardPostOrderInterleaved(t *testing.T) {
+	// Post order:        r0(src0,tag1) r1(*,*) r2(src0,tag2) r3(*,tag1) r4(*,*)
+	// Arrival order:     tag2  tag1  tag1  tag2  tag9
+	// Expected matching: tag2→r1 (wildcard posted before r2)
+	//                    tag1→r0 (specific posted before r3/r4)
+	//                    tag1→r3, tag2→r2, tag9→r4
+	bufs := make([][]byte, 5)
+	for i := range bufs {
+		bufs[i] = make([]byte, 1)
+	}
+	var reqs [5]*Request
+	run(t, spec2x1(1), Options{Policy: core.Original},
+		func(ep *Endpoint) {
+			ep.Compute(100 * sim.Microsecond) // let all receives post first
+			for i, tag := range []int{2, 1, 1, 2, 9} {
+				ep.PostSend(1, tag, CtxPt2Pt, core.NonBlocking, []byte{byte(i)}, 1)
+			}
+			ep.Progress()
+		},
+		func(ep *Endpoint) {
+			reqs[0] = ep.PostRecv(0, 1, CtxPt2Pt, bufs[0], 1)
+			reqs[1] = ep.PostRecv(AnySource, AnyTag, CtxPt2Pt, bufs[1], 1)
+			reqs[2] = ep.PostRecv(0, 2, CtxPt2Pt, bufs[2], 1)
+			reqs[3] = ep.PostRecv(AnySource, 1, CtxPt2Pt, bufs[3], 1)
+			reqs[4] = ep.PostRecv(AnySource, AnyTag, CtxPt2Pt, bufs[4], 1)
+			ep.WaitAll(reqs[:])
+		})
+	want := []byte{1, 0, 3, 2, 4} // message index each receive should get
+	for i, w := range want {
+		if bufs[i][0] != w {
+			t.Errorf("receive %d got message %d, want %d", i, bufs[i][0], w)
+		}
+	}
+	wantTag := []int{1, 2, 2, 1, 9}
+	for i, req := range reqs {
+		if st := req.Status(); st.Tag != wantTag[i] {
+			t.Errorf("receive %d matched tag %d, want %d", i, st.Tag, wantTag[i])
+		}
+	}
+}
+
+// TestWildcardTakesEarliestUnexpected parks arrivals from two sources in the
+// unexpected queue, then posts receives late: a specific receive must pull
+// its source's message even when another source arrived earlier, and a
+// wildcard must always pull the earliest arrival still parked.
+func TestWildcardTakesEarliestUnexpected(t *testing.T) {
+	spec := topo.Spec{Nodes: 3, ProcsPerNode: 1, HCAsPerNode: 1, PortsPerHCA: 1, QPsPerPort: 1}
+	bufs := make([][]byte, 3)
+	for i := range bufs {
+		bufs[i] = make([]byte, 1)
+	}
+	var status [3]Status
+	run(t, spec, Options{Policy: core.Original},
+		func(ep *Endpoint) {
+			// Receiver: let everything arrive unexpected first.
+			ep.Compute(2 * sim.Millisecond)
+			ep.Progress()
+			// Specific source beats an earlier wildcard-eligible arrival.
+			status[0] = ep.Wait(ep.PostRecv(2, 5, CtxPt2Pt, bufs[0], 1))
+			// Wildcards then drain in arrival order.
+			status[1] = ep.Wait(ep.PostRecv(AnySource, AnyTag, CtxPt2Pt, bufs[1], 1))
+			status[2] = ep.Wait(ep.PostRecv(AnySource, AnyTag, CtxPt2Pt, bufs[2], 1))
+		},
+		func(ep *Endpoint) {
+			ep.Compute(100 * sim.Microsecond)
+			ep.PostSend(0, 5, CtxPt2Pt, core.NonBlocking, []byte{10}, 1) // arrival #1
+			ep.Compute(400 * sim.Microsecond)
+			ep.PostSend(0, 6, CtxPt2Pt, core.NonBlocking, []byte{11}, 1) // arrival #3
+			ep.Progress()
+		},
+		func(ep *Endpoint) {
+			ep.Compute(300 * sim.Microsecond)
+			ep.PostSend(0, 5, CtxPt2Pt, core.NonBlocking, []byte{20}, 1) // arrival #2
+			ep.Progress()
+		})
+	if status[0].Source != 2 || bufs[0][0] != 20 {
+		t.Errorf("specific recv matched src %d payload %d, want src 2 payload 20", status[0].Source, bufs[0][0])
+	}
+	if status[1].Source != 1 || bufs[1][0] != 10 {
+		t.Errorf("first wildcard matched src %d payload %d, want the earliest arrival (src 1, payload 10)", status[1].Source, bufs[1][0])
+	}
+	if status[2].Source != 1 || bufs[2][0] != 11 {
+		t.Errorf("second wildcard matched src %d payload %d, want src 1 payload 11", status[2].Source, bufs[2][0])
+	}
+}
+
+// TestWildcardRendezvousPostOrder repeats the post-order arbitration with a
+// rendezvous-sized message so the RTS path goes through the same index.
+func TestWildcardRendezvousPostOrder(t *testing.T) {
+	const n = 128 * 1024
+	payload := fill(n, 4)
+	wild := make([]byte, n)
+	specific := make([]byte, n)
+	run(t, spec2x1(2), Options{Policy: core.EvenStriping},
+		func(ep *Endpoint) {
+			ep.Compute(100 * sim.Microsecond)
+			ep.Wait(ep.PostSend(1, 7, CtxPt2Pt, core.Blocking, payload, n))
+		},
+		func(ep *Endpoint) {
+			// The wildcard is posted first, so the RTS must match it, not
+			// the younger specific receive.
+			wreq := ep.PostRecv(AnySource, AnyTag, CtxPt2Pt, wild, n)
+			sreq := ep.PostRecv(0, 7, CtxPt2Pt, specific, n)
+			st := ep.Wait(wreq)
+			if st.Count != n || st.Source != 0 || st.Tag != 7 {
+				t.Errorf("wildcard rendezvous status = %+v", st)
+			}
+			if sreq.Done() {
+				t.Error("specific receive stole a message owed to the earlier wildcard")
+			}
+		})
+	if wild[0] != payload[0] || wild[n-1] != payload[n-1] {
+		t.Error("rendezvous payload corrupted on the wildcard path")
+	}
+}

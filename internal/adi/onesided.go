@@ -81,7 +81,8 @@ func (ep *Endpoint) WaitWindowOps(id int, total int64) {
 // guaranteed. `counted` reports whether the op must be counted toward the
 // fence's message-based expectation at the target.
 func (ep *Endpoint) PutBulk(peer, winID int, rkey uint32, off int, data []byte, n int, class core.Class) (req *Request, counted bool) {
-	req = &Request{ep: ep, send: true, peer: peer, n: n}
+	req = ep.newRequest()
+	req.send, req.peer, req.n = true, peer, n
 	if peer == ep.Rank {
 		win := ep.windows[winID]
 		if win.buf != nil && data != nil {
@@ -92,9 +93,9 @@ func (ep *Endpoint) PutBulk(peer, winID int, rkey uint32, off int, data []byte, 
 	}
 	conn := ep.conns[peer]
 	if conn.sh != nil {
-		ep.sendRMAMsg(conn, &envelope{
-			kind: envPut, src: ep.Rank, size: n, winID: winID, off: off,
-		}, data, n)
+		env := ep.pool.get()
+		env.kind, env.src, env.size, env.winID, env.off = envPut, ep.Rank, n, winID, off
+		ep.sendRMAMsg(conn, env, data, n)
 		req.done = true
 		return req, true
 	}
@@ -129,7 +130,8 @@ func (ep *Endpoint) PutBulk(peer, winID int, rkey uint32, off int, data []byte, 
 // buf. Inter-node targets use striped RDMA reads; intra-node targets a
 // request/response message pair.
 func (ep *Endpoint) GetBulk(peer, winID int, rkey uint32, off int, buf []byte, n int, class core.Class) *Request {
-	req := &Request{ep: ep, peer: peer, n: n}
+	req := ep.newRequest()
+	req.peer, req.n = peer, n
 	if peer == ep.Rank {
 		win := ep.windows[winID]
 		if win.buf != nil && buf != nil {
@@ -141,9 +143,9 @@ func (ep *Endpoint) GetBulk(peer, winID int, rkey uint32, off int, buf []byte, n
 	conn := ep.conns[peer]
 	if conn.sh != nil {
 		req.data = buf
-		ep.sendRMAMsg(conn, &envelope{
-			kind: envGetReq, src: ep.Rank, size: n, winID: winID, off: off, rreq: req,
-		}, nil, 0)
+		env := ep.pool.get()
+		env.kind, env.src, env.size, env.winID, env.off, env.rreq = envGetReq, ep.Rank, n, winID, off, req
+		ep.sendRMAMsg(conn, env, nil, 0)
 		return req
 	}
 	plan := ep.policy.PlanBulk(class, n, len(conn.rails), &conn.sched)
@@ -180,9 +182,9 @@ func (ep *Endpoint) AccumulateSend(peer, winID int, off int, data []byte, n int,
 		return false // self ops apply synchronously; not fence-counted
 	}
 	conn := ep.conns[peer]
-	ep.sendRMAMsg(conn, &envelope{
-		kind: envAccum, src: ep.Rank, size: n, winID: winID, off: off, accOp: op,
-	}, data, n)
+	env := ep.pool.get()
+	env.kind, env.src, env.size, env.winID, env.off, env.accOp = envAccum, ep.Rank, n, winID, off, op
+	ep.sendRMAMsg(conn, env, data, n)
 	return true
 }
 
@@ -193,7 +195,8 @@ func (ep *Endpoint) AccumulateSend(peer, winID int, off int, data []byte, n int,
 // targets use the HCA's atomic engine; intra-node and self use the
 // message path, which the event serialization makes equally atomic.
 func (ep *Endpoint) FetchAtomic(peer, winID int, rkey uint32, off int, cas bool, arg1, arg2 uint64) *Request {
-	req := &Request{ep: ep, peer: peer, n: 8}
+	req := ep.newRequest()
+	req.peer, req.n = peer, 8
 	if peer == ep.Rank {
 		req.atomicOld = applyAtomic(ep.windows[winID], off, cas, arg1, arg2)
 		req.done = true
@@ -201,10 +204,10 @@ func (ep *Endpoint) FetchAtomic(peer, winID int, rkey uint32, off int, cas bool,
 	}
 	conn := ep.conns[peer]
 	if conn.sh != nil {
-		ep.sendRMAMsg(conn, &envelope{
-			kind: envAtomicReq, src: ep.Rank, size: 8, winID: winID, off: off,
-			atomicCAS: cas, arg1: arg1, arg2: arg2, rreq: req,
-		}, nil, 0)
+		env := ep.pool.get()
+		env.kind, env.src, env.size, env.winID, env.off = envAtomicReq, ep.Rank, 8, winID, off
+		env.atomicCAS, env.arg1, env.arg2, env.rreq = cas, arg1, arg2, req
+		ep.sendRMAMsg(conn, env, nil, 0)
 		return req
 	}
 	op := ib.OpAtomicFAdd
@@ -251,8 +254,7 @@ func applyAtomic(win *winInfo, off int, cas bool, arg1, arg2 uint64) uint64 {
 // request) with an owned payload copy over the conn's transport.
 func (ep *Endpoint) sendRMAMsg(conn *Conn, env *envelope, data []byte, n int) {
 	if data != nil {
-		env.data = make([]byte, n)
-		copy(env.data, data[:n])
+		copy(env.ensureBuf(n), data[:n])
 		ep.charge(sim.TransferTime(int64(n), ep.m.EagerCopyRate))
 	}
 	env.seq = conn.sendSeq
@@ -299,12 +301,14 @@ func (ep *Endpoint) handleRMA(env *envelope) {
 			payload = win.buf[env.off : env.off+env.size]
 		}
 		conn := ep.conns[env.src]
-		resp := &envelope{kind: envGetResp, src: ep.Rank, size: env.size, rreq: env.rreq}
+		resp := ep.pool.get()
+		resp.kind, resp.src, resp.size, resp.rreq = envGetResp, ep.Rank, env.size, env.rreq
 		ep.sendRMAMsg(conn, resp, payload, env.size)
 	case envAtomicReq:
 		old := applyAtomic(win, env.off, env.atomicCAS, env.arg1, env.arg2)
 		conn := ep.conns[env.src]
-		resp := &envelope{kind: envAtomicResp, src: ep.Rank, size: 8, rreq: env.rreq, old: old}
+		resp := ep.pool.get()
+		resp.kind, resp.src, resp.size, resp.rreq, resp.old = envAtomicResp, ep.Rank, 8, env.rreq, old
 		ep.sendRMAMsg(conn, resp, nil, 0)
 	}
 }

@@ -12,14 +12,12 @@ import (
 // the rail the policy picks. The request completes immediately (buffered
 // send semantics, as in MVAPICH).
 func (ep *Endpoint) sendEager(conn *Conn, req *Request) {
-	env := &envelope{
-		kind: envEager, src: ep.Rank, tag: req.tag, ctxID: req.ctxID,
-		size: req.n, seq: conn.sendSeq,
-	}
+	env := ep.pool.get()
+	env.kind, env.src, env.tag, env.ctxID = envEager, ep.Rank, req.tag, req.ctxID
+	env.size, env.seq = req.n, conn.sendSeq
 	conn.sendSeq++
 	if req.data != nil {
-		env.data = make([]byte, req.n)
-		copy(env.data, req.data[:req.n])
+		copy(env.ensureBuf(req.n), req.data[:req.n])
 		ep.charge(sim.TransferTime(int64(req.n), ep.m.EagerCopyRate))
 	}
 	rail := ep.policy.PickEager(req.class, req.n, len(conn.rails), &conn.sched)
@@ -63,10 +61,9 @@ func (ep *Endpoint) deliverEager(req *Request, env *envelope) {
 // RndvRead the RTS itself carries the sender's buffer key and class so the
 // receiver can pull.
 func (ep *Endpoint) sendRTS(conn *Conn, req *Request) {
-	env := &envelope{
-		kind: envRTS, src: ep.Rank, tag: req.tag, ctxID: req.ctxID,
-		size: req.n, seq: conn.sendSeq, sreq: req, class: req.class,
-	}
+	env := ep.pool.get()
+	env.kind, env.src, env.tag, env.ctxID = envRTS, ep.Rank, req.tag, req.ctxID
+	env.size, env.seq, env.sreq, env.class = req.n, conn.sendSeq, req, req.class
 	conn.sendSeq++
 	if ep.rndv == RndvRead {
 		mr := ep.realm.RegisterMR(req.data, req.n)
@@ -132,7 +129,8 @@ func (ep *Endpoint) startRead(req *Request, env *envelope) {
 
 // finishRead completes the receive and releases the sender.
 func (ep *Endpoint) finishRead(conn *Conn, req, sreq *Request) {
-	done := &envelope{kind: envDone, src: ep.Rank, sreq: sreq}
+	done := ep.pool.get()
+	done.kind, done.src, done.sreq = envDone, ep.Rank, sreq
 	ep.charge(ep.m.CPUHeaderProc + ep.m.CPUPostWQE + ep.m.DoorbellTime)
 	ep.sendEnvelope(conn, conn.ctrlRail(), done, nil, ep.m.CtrlMsgBytes, nil)
 	ep.stats.CtrlMsgs++
@@ -166,7 +164,8 @@ func (ep *Endpoint) sendCTS(req *Request, env *envelope) {
 	req.status.Tag = env.tag
 	req.status.Count = xfer
 
-	cts := &envelope{kind: envCTS, src: ep.Rank, sreq: env.sreq, rreq: req, rkey: mr.RKey, xfer: xfer}
+	cts := ep.pool.get()
+	cts.kind, cts.src, cts.sreq, cts.rreq, cts.rkey, cts.xfer = envCTS, ep.Rank, env.sreq, req, mr.RKey, xfer
 	conn := ep.conns[env.src]
 	ep.charge(ep.m.CPUHeaderProc + ep.m.CPUPostWQE + ep.m.DoorbellTime)
 	ep.trace(trace.KindCTS, env.src, xfer, -1)
@@ -208,7 +207,8 @@ func (ep *Endpoint) handleCTS(env *envelope) {
 // finishRendezvous runs at the sender when the last stripe completes: the
 // FIN control message releases the receiver, and the send request is done.
 func (ep *Endpoint) finishRendezvous(conn *Conn, sreq, rreq *Request) {
-	fin := &envelope{kind: envFIN, src: ep.Rank, rreq: rreq}
+	fin := ep.pool.get()
+	fin.kind, fin.src, fin.rreq = envFIN, ep.Rank, rreq
 	ep.charge(ep.m.CPUHeaderProc + ep.m.CPUPostWQE + ep.m.DoorbellTime)
 	ep.sendEnvelope(conn, conn.ctrlRail(), fin, nil, ep.m.CtrlMsgBytes, nil)
 	ep.stats.CtrlMsgs++
@@ -234,10 +234,9 @@ func (ep *Endpoint) handleFIN(env *envelope) {
 // sendShmem ships any size message over the intra-node channel: the send
 // completes when the copy into the shared buffer does.
 func (ep *Endpoint) sendShmem(conn *Conn, req *Request) {
-	env := &envelope{
-		kind: envEager, src: ep.Rank, tag: req.tag, ctxID: req.ctxID,
-		size: req.n, seq: conn.sendSeq, shm: true,
-	}
+	env := ep.pool.get()
+	env.kind, env.src, env.tag, env.ctxID = envEager, ep.Rank, req.tag, req.ctxID
+	env.size, env.seq, env.shm = req.n, conn.sendSeq, true
 	conn.sendSeq++
 	senderDone := conn.sh.Send(req.data, req.n, env)
 	if d := senderDone - ep.eng.Now(); d > 0 {

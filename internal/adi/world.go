@@ -69,8 +69,11 @@ func NewWorld(eng *sim.Engine, m *model.Params, spec topo.Spec, opt Options) *Wo
 		}
 	}
 	n := spec.Size()
+	// One envelope pool per world: envelopes are allocated at the sender
+	// but freed at the receiver, so the pool must span endpoints.
+	pool := &envPool{}
 	for r := 0; r < n; r++ {
-		ep := newEndpoint(r, eng, m, realm, policy, opt.Rndv, n)
+		ep := newEndpoint(r, eng, m, realm, policy, opt.Rndv, n, pool)
 		ep.tr = opt.Trace
 		w.Endpoints = append(w.Endpoints, ep)
 	}

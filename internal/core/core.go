@@ -64,6 +64,17 @@ type ConnState struct {
 	// this connection (maintained by the ADI layer; consumed by the
 	// adaptive policy).
 	Outstanding int
+
+	// scratch backs whole-message (single-stripe) plans so the policies
+	// that place one stripe per call return it without allocating.
+	scratch [1]Stripe
+}
+
+// single returns a one-stripe plan covering the whole message, backed by the
+// connection's scratch slot (valid until the next PlanBulk on this conn).
+func (st *ConnState) single(rail, size int) []Stripe {
+	st.scratch[0] = Stripe{Rail: rail, Off: 0, N: size}
+	return st.scratch[:1]
 }
 
 // Policy decides rail placement for a connection's messages.
@@ -71,6 +82,11 @@ type ConnState struct {
 // PickEager places a message that travels whole (below the striping
 // threshold). PlanBulk returns the stripe plan for a message at or above
 // the threshold; plans cover the message exactly, in offset order.
+//
+// The returned plan is owned by the policy/connection: it is valid only
+// until the next PlanBulk call on the same connection and must not be
+// mutated or retained (plans are served from a memoization cache or a
+// per-connection scratch slot so steady-state bulk loops allocate nothing).
 type Policy interface {
 	// Name is the policy's display name as used in the paper's figures.
 	Name() string
@@ -125,19 +141,19 @@ func (k Kind) String() string {
 func New(k Kind, minStripe int) Policy {
 	switch k {
 	case Original:
-		return bindingPolicy{name: "original"}
+		return &bindingPolicy{name: "original"}
 	case Binding:
-		return bindingPolicy{name: "binding"}
+		return &bindingPolicy{name: "binding"}
 	case RoundRobin:
-		return roundRobinPolicy{}
+		return &roundRobinPolicy{}
 	case EvenStriping:
-		return stripingPolicy{minStripe: minStripe}
+		return &stripingPolicy{minStripe: minStripe}
 	case WeightedStriping:
-		return weightedPolicy{minStripe: minStripe}
+		return &weightedPolicy{minStripe: minStripe}
 	case EPC:
-		return epcPolicy{minStripe: minStripe}
+		return &epcPolicy{minStripe: minStripe}
 	case Adaptive:
-		return adaptivePolicy{minStripe: minStripe}
+		return &adaptivePolicy{minStripe: minStripe}
 	default:
 		panic(fmt.Sprintf("core: unknown policy kind %d", int(k)))
 	}
@@ -149,53 +165,89 @@ func New(k Kind, minStripe int) Policy {
 // paired with a 4x port), the extension discussed in the prior multi-rail
 // work the paper builds on.
 func NewWeighted(minStripe int, weights []float64) Policy {
-	return weightedPolicy{minStripe: minStripe, weights: weights}
+	return &weightedPolicy{minStripe: minStripe, weights: weights}
+}
+
+// ---- plan memoization ----
+
+// planCache memoizes stripe plans for the policy branches whose plan is a
+// pure function of (size, rails): the policy's minStripe (and weights) are
+// fixed at construction, so cached entries never go stale. Bulk benchmarks
+// cycle through a handful of sizes, so steady state is all hits.
+type planCache struct {
+	m map[planKey][]Stripe
+}
+
+type planKey struct{ size, rails int }
+
+// planCacheMax bounds the cache; sweeping workloads with unbounded distinct
+// sizes reset it rather than grow it forever.
+const planCacheMax = 4096
+
+func (c *planCache) get(size, rails int) ([]Stripe, bool) {
+	p, ok := c.m[planKey{size, rails}]
+	return p, ok
+}
+
+func (c *planCache) put(size, rails int, p []Stripe) {
+	if c.m == nil || len(c.m) >= planCacheMax {
+		c.m = make(map[planKey][]Stripe)
+	}
+	c.m[planKey{size, rails}] = p
 }
 
 // ---- binding ----
 
 type bindingPolicy struct{ name string }
 
-func (p bindingPolicy) Name() string { return p.name }
+func (p *bindingPolicy) Name() string { return p.name }
 
-func (p bindingPolicy) PickEager(_ Class, _, rails int, st *ConnState) int {
+func (p *bindingPolicy) PickEager(_ Class, _, rails int, st *ConnState) int {
 	return clampRail(st.Bound, rails)
 }
 
-func (p bindingPolicy) PlanBulk(_ Class, size, rails int, st *ConnState) []Stripe {
-	return []Stripe{{Rail: clampRail(st.Bound, rails), Off: 0, N: size}}
+func (p *bindingPolicy) PlanBulk(_ Class, size, rails int, st *ConnState) []Stripe {
+	return st.single(clampRail(st.Bound, rails), size)
 }
 
 // ---- round robin ----
 
 type roundRobinPolicy struct{}
 
-func (roundRobinPolicy) Name() string { return "round robin" }
+func (*roundRobinPolicy) Name() string { return "round robin" }
 
-func (roundRobinPolicy) PickEager(_ Class, _, rails int, st *ConnState) int {
+func (*roundRobinPolicy) PickEager(_ Class, _, rails int, st *ConnState) int {
 	return nextRR(st, rails)
 }
 
-func (roundRobinPolicy) PlanBulk(_ Class, size, rails int, st *ConnState) []Stripe {
+func (*roundRobinPolicy) PlanBulk(_ Class, size, rails int, st *ConnState) []Stripe {
 	// The whole message on the next rail (paper §3.2.1: round robin "uses
 	// the available QPs one-by-one in a circular fashion").
-	return []Stripe{{Rail: nextRR(st, rails), Off: 0, N: size}}
+	return st.single(nextRR(st, rails), size)
 }
 
 // ---- even striping ----
 
-type stripingPolicy struct{ minStripe int }
+type stripingPolicy struct {
+	minStripe int
+	cache     planCache
+}
 
-func (stripingPolicy) Name() string { return "even striping" }
+func (*stripingPolicy) Name() string { return "even striping" }
 
-func (p stripingPolicy) PickEager(_ Class, _, rails int, st *ConnState) int {
+func (p *stripingPolicy) PickEager(_ Class, _, rails int, st *ConnState) int {
 	// Below the striping threshold the prior-work striping design sends
 	// on the connection's primary rail.
 	return clampRail(st.Bound, rails)
 }
 
-func (p stripingPolicy) PlanBulk(_ Class, size, rails int, _ *ConnState) []Stripe {
-	return EvenStripes(size, rails, p.minStripe)
+func (p *stripingPolicy) PlanBulk(_ Class, size, rails int, _ *ConnState) []Stripe {
+	if pl, ok := p.cache.get(size, rails); ok {
+		return pl
+	}
+	pl := EvenStripes(size, rails, p.minStripe)
+	p.cache.put(size, rails, pl)
+	return pl
 }
 
 // ---- weighted striping ----
@@ -203,16 +255,22 @@ func (p stripingPolicy) PlanBulk(_ Class, size, rails int, _ *ConnState) []Strip
 type weightedPolicy struct {
 	minStripe int
 	weights   []float64
+	cache     planCache
 }
 
-func (weightedPolicy) Name() string { return "weighted striping" }
+func (*weightedPolicy) Name() string { return "weighted striping" }
 
-func (p weightedPolicy) PickEager(_ Class, _, rails int, st *ConnState) int {
+func (p *weightedPolicy) PickEager(_ Class, _, rails int, st *ConnState) int {
 	return clampRail(st.Bound, rails)
 }
 
-func (p weightedPolicy) PlanBulk(_ Class, size, rails int, _ *ConnState) []Stripe {
-	return WeightedStripes(size, rails, p.minStripe, p.weights)
+func (p *weightedPolicy) PlanBulk(_ Class, size, rails int, _ *ConnState) []Stripe {
+	if pl, ok := p.cache.get(size, rails); ok {
+		return pl
+	}
+	pl := WeightedStripes(size, rails, p.minStripe, p.weights)
+	p.cache.put(size, rails, pl)
+	return pl
 }
 
 // ---- EPC ----
@@ -221,11 +279,14 @@ func (p weightedPolicy) PlanBulk(_ Class, size, rails int, _ *ConnState) []Strip
 // (§3.2): striping for blocking transfers, round robin for non-blocking
 // point-to-point, striping for collective transfers even though they are
 // issued as non-blocking calls.
-type epcPolicy struct{ minStripe int }
+type epcPolicy struct {
+	minStripe int
+	cache     planCache
+}
 
-func (epcPolicy) Name() string { return "EPC" }
+func (*epcPolicy) Name() string { return "EPC" }
 
-func (p epcPolicy) PickEager(c Class, size, rails int, st *ConnState) int {
+func (p *epcPolicy) PickEager(c Class, size, rails int, st *ConnState) int {
 	switch c {
 	case Blocking:
 		// One outstanding message; cycling rails buys nothing for
@@ -238,12 +299,17 @@ func (p epcPolicy) PickEager(c Class, size, rails int, st *ConnState) int {
 	}
 }
 
-func (p epcPolicy) PlanBulk(c Class, size, rails int, st *ConnState) []Stripe {
+func (p *epcPolicy) PlanBulk(c Class, size, rails int, st *ConnState) []Stripe {
 	switch c {
 	case NonBlocking:
-		return []Stripe{{Rail: nextRR(st, rails), Off: 0, N: size}}
+		return st.single(nextRR(st, rails), size)
 	default: // Blocking and Collective stripe.
-		return EvenStripes(size, rails, p.minStripe)
+		if pl, ok := p.cache.get(size, rails); ok {
+			return pl
+		}
+		pl := EvenStripes(size, rails, p.minStripe)
+		p.cache.put(size, rails, pl)
+		return pl
 	}
 }
 
@@ -254,22 +320,30 @@ func (p epcPolicy) PlanBulk(c Class, size, rails int, st *ConnState) []Stripe {
 // engines are busy without intra-message parallelism.
 const adaptiveDepth = 2
 
-type adaptivePolicy struct{ minStripe int }
+type adaptivePolicy struct {
+	minStripe int
+	cache     planCache
+}
 
-func (adaptivePolicy) Name() string { return "adaptive" }
+func (*adaptivePolicy) Name() string { return "adaptive" }
 
-func (p adaptivePolicy) PickEager(_ Class, _, rails int, st *ConnState) int {
+func (p *adaptivePolicy) PickEager(_ Class, _, rails int, st *ConnState) int {
 	if st.Outstanding >= adaptiveDepth {
 		return nextRR(st, rails)
 	}
 	return clampRail(st.Bound, rails)
 }
 
-func (p adaptivePolicy) PlanBulk(_ Class, size, rails int, st *ConnState) []Stripe {
+func (p *adaptivePolicy) PlanBulk(_ Class, size, rails int, st *ConnState) []Stripe {
 	if st.Outstanding >= adaptiveDepth {
-		return []Stripe{{Rail: nextRR(st, rails), Off: 0, N: size}}
+		return st.single(nextRR(st, rails), size)
 	}
-	return EvenStripes(size, rails, p.minStripe)
+	if pl, ok := p.cache.get(size, rails); ok {
+		return pl
+	}
+	pl := EvenStripes(size, rails, p.minStripe)
+	p.cache.put(size, rails, pl)
+	return pl
 }
 
 // ---- planners ----

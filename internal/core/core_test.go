@@ -26,6 +26,14 @@ func TestKindString(t *testing.T) {
 	}
 }
 
+// clonePlan snapshots a PlanBulk result, which is otherwise valid only until
+// the next PlanBulk call on the same policy/connection.
+func clonePlan(p []Stripe) []Stripe {
+	out := make([]Stripe, len(p))
+	copy(out, p)
+	return out
+}
+
 func planCovers(t *testing.T, plan []Stripe, size, rails int) {
 	t.Helper()
 	off := 0
@@ -81,9 +89,10 @@ func TestRoundRobinCycles(t *testing.T) {
 			t.Fatalf("sequence %v not cyclic over 4 rails", got)
 		}
 	}
-	// Bulk messages also travel whole, on consecutive rails.
-	p1 := p.PlanBulk(NonBlocking, 1<<20, 4, st)
-	p2 := p.PlanBulk(NonBlocking, 1<<20, 4, st)
+	// Bulk messages also travel whole, on consecutive rails. Plans are only
+	// valid until the next PlanBulk on the same connection, so copy.
+	p1 := clonePlan(p.PlanBulk(NonBlocking, 1<<20, 4, st))
+	p2 := clonePlan(p.PlanBulk(NonBlocking, 1<<20, 4, st))
 	if len(p1) != 1 || len(p2) != 1 || p2[0].Rail != (p1[0].Rail+1)%4 {
 		t.Errorf("bulk plans %v then %v: want whole messages on consecutive rails", p1, p2)
 	}
@@ -174,10 +183,11 @@ func TestEPCDispatchMatrix(t *testing.T) {
 	}
 	planCovers(t, plan, size, 4)
 
-	// Non-blocking bulk → whole message, round robin.
+	// Non-blocking bulk → whole message, round robin (copy: the plan slot
+	// is reused by the next call on the same connection).
 	st := &ConnState{}
-	p1 := p.PlanBulk(NonBlocking, size, 4, st)
-	p2 := p.PlanBulk(NonBlocking, size, 4, st)
+	p1 := clonePlan(p.PlanBulk(NonBlocking, size, 4, st))
+	p2 := clonePlan(p.PlanBulk(NonBlocking, size, 4, st))
 	if len(p1) != 1 || len(p2) != 1 {
 		t.Fatalf("non-blocking plans %v, %v: want whole messages", p1, p2)
 	}
@@ -293,8 +303,8 @@ func TestAdaptivePolicyByDepth(t *testing.T) {
 	planCovers(t, plan, 1<<20, 4)
 	// Deep pipeline: whole messages round robin.
 	st = &ConnState{Outstanding: 3}
-	p1 := p.PlanBulk(NonBlocking, 1<<20, 4, st)
-	p2 := p.PlanBulk(NonBlocking, 1<<20, 4, st)
+	p1 := clonePlan(p.PlanBulk(NonBlocking, 1<<20, 4, st))
+	p2 := clonePlan(p.PlanBulk(NonBlocking, 1<<20, 4, st))
 	if len(p1) != 1 || len(p2) != 1 || p1[0].Rail == p2[0].Rail {
 		t.Errorf("deep pipeline plans %v, %v: want cycling whole messages", p1, p2)
 	}
@@ -306,5 +316,55 @@ func TestAdaptivePolicyByDepth(t *testing.T) {
 	st = &ConnState{Outstanding: 5}
 	if a, b := p.PickEager(NonBlocking, 64, 4, st), p.PickEager(NonBlocking, 64, 4, st); a == b {
 		t.Error("deep eager should cycle rails")
+	}
+}
+
+func TestPlanCacheReturnsEqualPlans(t *testing.T) {
+	// Memoized striped plans must be byte-for-byte what the planner builds.
+	p := New(EvenStriping, 4096)
+	for _, size := range []int{32 << 10, 1 << 20, 32 << 10, 1 << 20} {
+		got := p.PlanBulk(Blocking, size, 4, &ConnState{})
+		want := EvenStripes(size, 4, 4096)
+		if len(got) != len(want) {
+			t.Fatalf("size %d: plan %v, want %v", size, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("size %d stripe %d: %v, want %v", size, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestPlanCacheBounded(t *testing.T) {
+	// A sweep over more distinct sizes than the cache bound must reset the
+	// map rather than grow it without limit.
+	p := New(EvenStriping, 1).(*stripingPolicy)
+	for size := 1; size <= planCacheMax+100; size++ {
+		p.PlanBulk(Blocking, size, 4, &ConnState{})
+	}
+	if n := len(p.cache.m); n > planCacheMax {
+		t.Fatalf("cache grew to %d entries, bound is %d", n, planCacheMax)
+	}
+}
+
+func TestSingleStripePlansUseScratch(t *testing.T) {
+	// Whole-message plans are served from the connection's scratch slot:
+	// no allocation, and the next call on the same conn reuses the slot.
+	p := New(RoundRobin, 4096)
+	st := &ConnState{}
+	p1 := p.PlanBulk(NonBlocking, 1024, 4, st)
+	p2 := p.PlanBulk(NonBlocking, 2048, 4, st)
+	if &p1[0] != &p2[0] {
+		t.Error("single-stripe plans on one conn should share the scratch slot")
+	}
+	if p2[0].N != 2048 {
+		t.Errorf("scratch plan N = %d, want 2048", p2[0].N)
+	}
+	// Distinct connections have distinct slots.
+	st2 := &ConnState{}
+	q := p.PlanBulk(NonBlocking, 512, 4, st2)
+	if &q[0] == &p2[0] {
+		t.Error("different conns must not share scratch slots")
 	}
 }

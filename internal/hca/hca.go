@@ -139,6 +139,7 @@ type Flow struct {
 	prevEngEnd sim.Time   // engine-phase end of the last WQE to enter the pool
 	busy       bool       // a WQE is waiting for / holding the engine stage
 	pending    []flowItem // WQEs queued behind the in-order rule
+	xpool      []*xfer    // recycled per-WQE pipeline states
 }
 
 type flowItem struct {
@@ -183,6 +184,7 @@ func (f *Flow) kick() {
 	}
 	f.busy = true
 	it := f.pending[0]
+	f.pending[0] = flowItem{} // drop the callback references before shifting
 	f.pending = f.pending[1:]
 	at := f.eng.Now()
 	if it.schedEnd > at {
@@ -191,25 +193,69 @@ func (f *Flow) kick() {
 	if f.prevEngEnd > at {
 		at = f.prevEngEnd
 	}
-	f.eng.At(at, func() { f.engineStage(it) })
+	x := f.getXfer()
+	x.it = it
+	x.t = Timing{Posted: it.posted, SchedEnd: it.schedEnd}
+	x.recvEng = -1
+	f.eng.PostCall(at, stageEngine, x, 0, 0, 0)
 }
 
-// xfer is the per-WQE state shared by its lane chunks.
+// xfer is the per-WQE state shared by its lane chunks. Instances are pooled
+// per Flow: the ack event is provably the last pipeline reference (all chunks
+// received, completeStage fired), so stageAck recycles them.
 type xfer struct {
+	f         *Flow
 	it        flowItem
 	t         Timing
 	chunksOut int // chunks not yet fully received
 	recvEng   int // receive engine assigned at first chunk (-1 before)
 }
 
+func (f *Flow) getXfer() *xfer {
+	if n := len(f.xpool); n > 0 {
+		x := f.xpool[n-1]
+		f.xpool[n-1] = nil
+		f.xpool = f.xpool[:n-1]
+		return x
+	}
+	return &xfer{f: f}
+}
+
+func (f *Flow) putXfer(x *xfer) {
+	*x = xfer{f: f}
+	f.xpool = append(f.xpool, x)
+}
+
+// Pipeline-stage thunks: package-level functions scheduled via PostCall so
+// each hop carries its state in the pooled timer node instead of allocating
+// a capturing closure per chunk.
+func stageEngine(a any, _, _, _ int64) { x := a.(*xfer); x.f.engineStage(x) }
+func stageTx(a any, n, _, _ int64)     { x := a.(*xfer); x.f.txChunk(x, int(n)) }
+func stageTxSend(a any, n, _, _ int64) { x := a.(*xfer); x.f.txChunkSend(x, int(n)) }
+func stageRx(a any, n, first, wire int64) {
+	x := a.(*xfer)
+	x.f.rxChunk(x, int(n), sim.Time(first), wire)
+}
+func stageRecv(a any, n, _, _ int64)     { x := a.(*xfer); x.f.recvChunk(x, int(n)) }
+func stageComplete(a any, _, _, _ int64) { x := a.(*xfer); x.f.completeStage(x) }
+func stageAck(a any, _, _, _ int64) {
+	x := a.(*xfer)
+	f := x.f
+	f.src.RX.Preempt(f.eng.Now(), int64(f.dst.M.AckWireBytes))
+	if x.it.acked != nil {
+		x.it.acked(x.t)
+	}
+	f.putXfer(x)
+}
+
 // engineStage books a send engine and the GX+ payload fetch, then releases
 // the payload to the TX lane in chunks paced at the engine's rate, so
 // concurrent transfers interleave on the lane as their packets would on a
 // real link.
-func (f *Flow) engineStage(it flowItem) {
+func (f *Flow) engineStage(x *xfer) {
 	m := f.src.M
 	now := f.eng.Now()
-	x := &xfer{it: it, t: Timing{Posted: it.posted, SchedEnd: it.schedEnd}, recvEng: -1}
+	it := x.it
 
 	ei := pickEngine(f.src.SendEngines, now)
 	engStart, engEnd := f.src.SendEngines[ei].Reserve(now, int64(it.n))
@@ -244,7 +290,7 @@ func (f *Flow) engineStage(it flowItem) {
 		if ready < engStart+m.EnginePerWQE {
 			ready = engStart + m.EnginePerWQE
 		}
-		f.eng.At(ready, func() { f.txChunk(x, n) })
+		f.eng.PostCall(ready, stageTx, x, int64(n), 0, 0)
 	}
 }
 
@@ -263,7 +309,7 @@ func (f *Flow) txChunk(x *xfer, n int) {
 		f.src.Retransmits++
 		// The retry bypasses injection: a second loss of the same chunk
 		// would model a broken link, not a transient error.
-		f.eng.At(now+m.RetransmitTimeout, func() { f.txChunkSend(x, n) })
+		f.eng.PostCall(now+m.RetransmitTimeout, stageTxSend, x, int64(n), 0, 0)
 		return
 	}
 	f.txChunkSend(x, n)
@@ -291,7 +337,7 @@ func (f *Flow) txChunkSend(x *xfer, n int) {
 		first = downStart + lat
 		last = downLeaves + lat
 	}
-	f.eng.At(last, func() { f.rxChunk(x, n, first, wire) })
+	f.eng.PostCall(last, stageRx, x, int64(n), int64(first), wire)
 }
 
 // rxChunk books the destination RX lane at arrival (fan-in serializes here)
@@ -301,7 +347,7 @@ func (f *Flow) rxChunk(x *xfer, n int, first sim.Time, wire int64) {
 	if delivered > x.t.Delivered {
 		x.t.Delivered = delivered
 	}
-	f.eng.At(delivered, func() { f.recvChunk(x, n) })
+	f.eng.PostCall(delivered, stageRecv, x, int64(n), 0, 0)
 }
 
 // recvChunk runs the receive-side DMA of one chunk. Inbound processing is
@@ -328,7 +374,7 @@ func (f *Flow) recvChunk(x *xfer, n int) {
 	}
 	x.chunksOut--
 	if x.chunksOut == 0 {
-		f.eng.At(x.t.InMemory, func() { f.completeStage(x) })
+		f.eng.PostCall(x.t.InMemory, stageComplete, x, 0, 0, 0)
 	}
 }
 
@@ -345,13 +391,7 @@ func (f *Flow) completeStage(x *xfer) {
 	if x.it.delivered != nil {
 		x.it.delivered(x.t)
 	}
-	acked, tt := x.it.acked, x.t
-	f.eng.At(x.t.AckArrive, func() {
-		f.src.RX.Preempt(f.eng.Now(), int64(m.AckWireBytes))
-		if acked != nil {
-			acked(tt)
-		}
-	})
+	f.eng.PostCall(x.t.AckArrive, stageAck, x, 0, 0, 0)
 }
 
 func max64(a, b int64) int64 {

@@ -75,7 +75,7 @@ func (c *Comm) alltoallLinear(send []byte, n int, recv []byte) {
 		}
 		reqs = append(reqs, c.csend(r, tag, sbuf, n))
 	}
-	c.ep.WaitAll(reqs)
+	c.cwaitAll(reqs)
 }
 
 // alltoallBruck runs the store-and-forward Bruck algorithm: after a local

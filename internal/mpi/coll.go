@@ -29,6 +29,23 @@ func (c *Comm) csendrecv(dst, tag int, sdata []byte, sn, src int, rbuf []byte, r
 	sreq := c.csend(dst, tag, sdata, sn)
 	c.ep.Wait(sreq)
 	c.ep.Wait(rreq)
+	sreq.Release()
+	rreq.Release()
+}
+
+// cwait waits on an internal collective request and recycles it. Collective
+// algorithms never hand their requests to the caller, so the release is safe.
+func (c *Comm) cwait(req *Request) {
+	c.ep.Wait(req)
+	req.Release()
+}
+
+// cwaitAll waits on a batch of internal collective requests and recycles them.
+func (c *Comm) cwaitAll(reqs []*Request) {
+	c.ep.WaitAll(reqs)
+	for _, r := range reqs {
+		r.Release()
+	}
 }
 
 // Barrier blocks until all ranks arrive (dissemination algorithm).
@@ -69,7 +86,7 @@ func (c *Comm) BcastN(root int, buf []byte, n int) {
 			if src < 0 {
 				src += p
 			}
-			c.ep.Wait(c.crecv(src, tag, buf, n))
+			c.cwait(c.crecv(src, tag, buf, n))
 			break
 		}
 		mask <<= 1
@@ -81,7 +98,7 @@ func (c *Comm) BcastN(root int, buf []byte, n int) {
 			if dst >= p {
 				dst -= p
 			}
-			c.ep.Wait(c.csend(dst, tag, buf, n))
+			c.cwait(c.csend(dst, tag, buf, n))
 		}
 		mask >>= 1
 	}
@@ -102,12 +119,12 @@ func (c *Comm) reduceBytes(root, tag int, buf, tmp []byte, combine func(dst, src
 			src := relative | mask
 			if src < p {
 				srcRank := (src + root) % p
-				c.ep.Wait(c.crecv(srcRank, tag, tmp, len(tmp)))
+				c.cwait(c.crecv(srcRank, tag, tmp, len(tmp)))
 				combine(buf, tmp)
 			}
 		} else {
 			dst := ((relative &^ mask) + root) % p
-			c.ep.Wait(c.csend(dst, tag, buf, len(buf)))
+			c.cwait(c.csend(dst, tag, buf, len(buf)))
 			break
 		}
 	}
@@ -130,9 +147,9 @@ func (c *Comm) allreduceBytes(tag int, buf, tmp []byte, combine func(dst, src []
 	newrank := -1
 	switch {
 	case rank < 2*rem && rank%2 == 0:
-		c.ep.Wait(c.csend(rank+1, tag, buf, len(buf)))
+		c.cwait(c.csend(rank+1, tag, buf, len(buf)))
 	case rank < 2*rem:
-		c.ep.Wait(c.crecv(rank-1, tag, tmp, len(tmp)))
+		c.cwait(c.crecv(rank-1, tag, tmp, len(tmp)))
 		combine(buf, tmp)
 		newrank = rank / 2
 	default:
@@ -153,9 +170,9 @@ func (c *Comm) allreduceBytes(tag int, buf, tmp []byte, combine func(dst, src []
 
 	if rank < 2*rem {
 		if rank%2 != 0 {
-			c.ep.Wait(c.csend(rank-1, tag, buf, len(buf)))
+			c.cwait(c.csend(rank-1, tag, buf, len(buf)))
 		} else {
-			c.ep.Wait(c.crecv(rank+1, tag, buf, len(buf)))
+			c.cwait(c.crecv(rank+1, tag, buf, len(buf)))
 		}
 	}
 }
@@ -181,10 +198,10 @@ func (c *Comm) Gather(root int, send []byte, n int, recv []byte) {
 			}
 			reqs = append(reqs, c.crecv(r, tag, dst, n))
 		}
-		c.ep.WaitAll(reqs)
+		c.cwaitAll(reqs)
 		return
 	}
-	c.ep.Wait(c.csend(root, tag, send, n))
+	c.cwait(c.csend(root, tag, send, n))
 }
 
 // Scatter distributes n-byte blocks from send (read at root, laid out by
@@ -208,10 +225,10 @@ func (c *Comm) Scatter(root int, send []byte, n int, recv []byte) {
 			}
 			reqs = append(reqs, c.csend(r, tag, blk, n))
 		}
-		c.ep.WaitAll(reqs)
+		c.cwaitAll(reqs)
 		return
 	}
-	c.ep.Wait(c.crecv(root, tag, recv, n))
+	c.cwait(c.crecv(root, tag, recv, n))
 }
 
 // Allgather collects every rank's n-byte block into recv on all ranks

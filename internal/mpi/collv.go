@@ -26,10 +26,10 @@ func (c *Comm) Gatherv(root int, send []byte, recv []byte, counts, displs []int)
 			}
 			reqs = append(reqs, c.crecv(r, tag, dst, counts[r]))
 		}
-		c.ep.WaitAll(reqs)
+		c.cwaitAll(reqs)
 		return
 	}
-	c.ep.Wait(c.csend(root, tag, send, counts[rank]))
+	c.cwait(c.csend(root, tag, send, counts[rank]))
 }
 
 // Scatterv distributes counts[r] bytes to each rank r from send at root
@@ -56,10 +56,10 @@ func (c *Comm) Scatterv(root int, send []byte, counts, displs []int, recv []byte
 			}
 			reqs = append(reqs, c.csend(r, tag, blk, counts[r]))
 		}
-		c.ep.WaitAll(reqs)
+		c.cwaitAll(reqs)
 		return
 	}
-	c.ep.Wait(c.crecv(root, tag, recv, counts[rank]))
+	c.cwait(c.crecv(root, tag, recv, counts[rank]))
 }
 
 // Allgatherv collects counts[r] bytes from every rank into recv on all
@@ -99,11 +99,11 @@ func (c *Comm) ScanInt64(buf []int64, op Op) {
 	b := int64sToBytes(buf)
 	if rank > 0 {
 		tmp := make([]byte, len(b))
-		c.ep.Wait(c.crecv(rank-1, tag, tmp, len(tmp)))
+		c.cwait(c.crecv(rank-1, tag, tmp, len(tmp)))
 		combinerInt64(op)(b, tmp)
 	}
 	if rank+1 < c.size {
-		c.ep.Wait(c.csend(rank+1, tag, b, len(b)))
+		c.cwait(c.csend(rank+1, tag, b, len(b)))
 	}
 	bytesToInt64s(b, buf)
 }
@@ -116,17 +116,17 @@ func (c *Comm) ExscanInt64(buf []int64, op Op) {
 	mine := int64sToBytes(buf)
 	if rank == 0 {
 		if c.size > 1 {
-			c.ep.Wait(c.csend(1, tag, mine, len(mine)))
+			c.cwait(c.csend(1, tag, mine, len(mine)))
 		}
 		return
 	}
 	prefix := make([]byte, len(mine))
-	c.ep.Wait(c.crecv(rank-1, tag, prefix, len(prefix)))
+	c.cwait(c.crecv(rank-1, tag, prefix, len(prefix)))
 	if rank+1 < c.size {
 		// Forward prefix ⊕ mine to the right.
 		next := append([]byte(nil), prefix...)
 		combinerInt64(op)(next, mine)
-		c.ep.Wait(c.csend(rank+1, tag, next, len(next)))
+		c.cwait(c.csend(rank+1, tag, next, len(next)))
 	}
 	bytesToInt64s(prefix, buf)
 }
@@ -138,11 +138,11 @@ func (c *Comm) ScanFloat64(buf []float64, op Op) {
 	b := float64sToBytes(buf)
 	if rank > 0 {
 		tmp := make([]byte, len(b))
-		c.ep.Wait(c.crecv(rank-1, tag, tmp, len(tmp)))
+		c.cwait(c.crecv(rank-1, tag, tmp, len(tmp)))
 		combinerFloat64(op)(b, tmp)
 	}
 	if rank+1 < c.size {
-		c.ep.Wait(c.csend(rank+1, tag, b, len(b)))
+		c.cwait(c.csend(rank+1, tag, b, len(b)))
 	}
 	bytesToFloat64s(b, buf)
 }

@@ -7,26 +7,34 @@ import "ib12x/internal/core"
 // that stripe blocking transfers (even striping, EPC) apply.
 func (c *Comm) Send(dst, tag int, data []byte) Status {
 	req := c.ep.PostSend(c.world(dst), tag, c.ctxP2P, core.Blocking, data, len(data))
-	return c.localStatus(c.ep.Wait(req))
+	st := c.localStatus(c.ep.Wait(req))
+	req.Release()
+	return st
 }
 
 // SendN is Send with an explicit byte count and optional payload (nil data
 // sends a synthetic message of n bytes through identical protocol paths).
 func (c *Comm) SendN(dst, tag int, data []byte, n int) Status {
 	req := c.ep.PostSend(c.world(dst), tag, c.ctxP2P, core.Blocking, data, n)
-	return c.localStatus(c.ep.Wait(req))
+	st := c.localStatus(c.ep.Wait(req))
+	req.Release()
+	return st
 }
 
 // Recv performs a blocking receive into buf (length = capacity).
 func (c *Comm) Recv(src, tag int, buf []byte) Status {
 	req := c.ep.PostRecv(c.world(src), tag, c.ctxP2P, buf, len(buf))
-	return c.localStatus(c.ep.Wait(req))
+	st := c.localStatus(c.ep.Wait(req))
+	req.Release()
+	return st
 }
 
 // RecvN is Recv with an explicit capacity and optional buffer.
 func (c *Comm) RecvN(src, tag int, buf []byte, n int) Status {
 	req := c.ep.PostRecv(c.world(src), tag, c.ctxP2P, buf, n)
-	return c.localStatus(c.ep.Wait(req))
+	st := c.localStatus(c.ep.Wait(req))
+	req.Release()
+	return st
 }
 
 // Isend starts a non-blocking send; the marker classifies it NonBlocking,
@@ -86,7 +94,10 @@ func (c *Comm) Sendrecv(dst, stag int, sdata []byte, src, rtag int, rbuf []byte)
 	rreq := c.ep.PostRecv(c.world(src), rtag, c.ctxP2P, rbuf, len(rbuf))
 	sreq := c.ep.PostSend(c.world(dst), stag, c.ctxP2P, core.Blocking, sdata, len(sdata))
 	c.ep.Wait(sreq)
-	return c.localStatus(c.ep.Wait(rreq))
+	st := c.localStatus(c.ep.Wait(rreq))
+	sreq.Release()
+	rreq.Release()
+	return st
 }
 
 // SendrecvN is Sendrecv with explicit counts and optional buffers.
@@ -94,5 +105,8 @@ func (c *Comm) SendrecvN(dst, stag int, sdata []byte, sn int, src, rtag int, rbu
 	rreq := c.ep.PostRecv(c.world(src), rtag, c.ctxP2P, rbuf, rn)
 	sreq := c.ep.PostSend(c.world(dst), stag, c.ctxP2P, core.Blocking, sdata, sn)
 	c.ep.Wait(sreq)
-	return c.localStatus(c.ep.Wait(rreq))
+	st := c.localStatus(c.ep.Wait(rreq))
+	sreq.Release()
+	rreq.Release()
+	return st
 }

@@ -29,8 +29,25 @@ type Link struct {
 	srv     sim.Server // paces copy-in at the shared-memory bandwidth
 	deliver func(Msg)  // receiver-side sink, set via SetDeliver
 
+	dpool []*delivery // recycled in-flight delivery records
+
 	sent  int64
 	bytes int64
+}
+
+// delivery carries one in-flight message through the simulated latency; the
+// records are pooled so steady-state sends don't allocate a closure each.
+type delivery struct {
+	l   *Link
+	msg Msg
+}
+
+func deliverThunk(a any, _, _, _ int64) {
+	d := a.(*delivery)
+	l, msg := d.l, d.msg
+	d.msg = Msg{}
+	l.dpool = append(l.dpool, d)
+	l.deliver(msg)
 }
 
 // New creates a link; the receiver must SetDeliver before traffic flows.
@@ -57,9 +74,16 @@ func (l *Link) Send(data []byte, n int, ctx any) (senderDone sim.Time) {
 	_, end := l.srv.Reserve(l.eng.Now(), int64(n))
 	l.sent++
 	l.bytes += int64(n)
-	msg := Msg{Data: owned, N: n, Ctx: ctx}
-	fn := l.deliver
-	l.eng.At(end+l.m.ShmemLatency, func() { fn(msg) })
+	var d *delivery
+	if k := len(l.dpool); k > 0 {
+		d = l.dpool[k-1]
+		l.dpool[k-1] = nil
+		l.dpool = l.dpool[:k-1]
+	} else {
+		d = &delivery{l: l}
+	}
+	d.msg = Msg{Data: owned, N: n, Ctx: ctx}
+	l.eng.PostCall(end+l.m.ShmemLatency, deliverThunk, d, 0, 0, 0)
 	return end
 }
 

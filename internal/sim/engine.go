@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 	"strings"
@@ -20,7 +19,10 @@ import (
 type Engine struct {
 	now Time
 	seq uint64
-	pq  eventHeap
+
+	pq      []*Timer // 4-ary min-heap ordered by (at, seq); see event.go
+	free    []*Timer // recycled pooled timer nodes
+	ncancel int      // cancelled timers still in pq (lazy compaction)
 
 	ready  []*Proc // FIFO ready queue
 	cur    *Proc   // proc currently holding the baton (nil in handlers)
@@ -56,6 +58,7 @@ type Proc struct {
 	parked bool   // waiting to be Ready'd
 	dead   bool   // body returned
 	why    string // reason for the current park (diagnostics)
+	regIdx int    // position in Engine.procRegistry (for swap-removal on death)
 	body   func(*Proc)
 }
 
@@ -74,6 +77,7 @@ func (p *Proc) Now() Time { return p.eng.now }
 func (e *Engine) Spawn(name string, body func(*Proc)) *Proc {
 	p := &Proc{eng: e, name: name, resume: make(chan struct{}), body: body}
 	e.nprocs++
+	p.regIdx = len(e.procRegistry)
 	e.procRegistry = append(e.procRegistry, p)
 	e.enqueue(p)
 	go func() {
@@ -125,7 +129,7 @@ func (p *Proc) Sleep(d Time) {
 		return
 	}
 	e := p.eng
-	e.After(d, func() { e.Ready(p) })
+	e.postProc(e.now+d, p)
 	p.park("sleep")
 }
 
@@ -135,7 +139,7 @@ func (p *Proc) Yield() {
 	e := p.eng
 	// Re-enqueue via a zero-delay event so that all currently ready procs
 	// and already-scheduled same-time events get their turn.
-	e.After(0, func() { e.Ready(p) })
+	e.postProc(e.now, p)
 	p.park("yield")
 }
 
@@ -167,6 +171,7 @@ func (e *Engine) Run() error {
 		// completes before the clock advances.
 		for len(e.ready) > 0 && !e.stopped {
 			p := e.ready[0]
+			e.ready[0] = nil
 			e.ready = e.ready[1:]
 			p.queued = false
 			e.cur = p
@@ -175,6 +180,7 @@ func (e *Engine) Run() error {
 			e.cur = nil
 			if p.dead {
 				e.nprocs--
+				e.unregister(p)
 			}
 		}
 		if e.stopped {
@@ -182,13 +188,27 @@ func (e *Engine) Run() error {
 		}
 		// Advance the clock to the next pending event.
 		fired := false
-		for e.pq.Len() > 0 {
-			tm := heap.Pop(&e.pq).(*Timer)
+		for len(e.pq) > 0 {
+			tm := e.heapPop()
 			if tm.cancelled {
+				e.ncancel--
 				continue
 			}
 			e.now = tm.at
-			tm.fn()
+			// Pull the action out and recycle the node before firing, so
+			// the handler's own scheduling can reuse it immediately.
+			fn, afn, a := tm.fn, tm.afn, tm.a
+			i0, i1, i2 := tm.i0, tm.i1, tm.i2
+			p := tm.proc
+			e.recycle(tm)
+			switch {
+			case p != nil:
+				e.Ready(p)
+			case afn != nil:
+				afn(a, i0, i1, i2)
+			default:
+				fn()
+			}
 			e.fired++
 			fired = true
 			break
@@ -203,6 +223,17 @@ func (e *Engine) Run() error {
 		return nil
 	}
 	return nil
+}
+
+// unregister prunes a dead proc from the diagnostics registry (swap-remove),
+// so long multi-run simulations do not retain every finished rank's record.
+func (e *Engine) unregister(p *Proc) {
+	i := p.regIdx
+	last := len(e.procRegistry) - 1
+	e.procRegistry[i] = e.procRegistry[last]
+	e.procRegistry[i].regIdx = i
+	e.procRegistry[last] = nil
+	e.procRegistry = e.procRegistry[:last]
 }
 
 func (e *Engine) deadlock() *DeadlockError {

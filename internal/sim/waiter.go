@@ -33,6 +33,7 @@ func (w *Waiter) WaitFor(p *Proc, why string, pred func() bool) {
 func (w *Waiter) WakeOne() bool {
 	for len(w.ps) > 0 {
 		p := w.ps[0]
+		w.ps[0] = nil // drop the reference; the backing array may live on
 		w.ps = w.ps[1:]
 		if p.dead {
 			continue
