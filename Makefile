@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet check race bench perf reproduce extra examples clean
+.PHONY: all build test vet check race fuzz cover bench perf reproduce extra examples clean
 
 all: vet test build
 
@@ -17,11 +17,28 @@ vet:
 	gofmt -l .
 
 # Full pre-merge gate: vet + the whole suite + the race detector over the
-# hot-path packages (the DES engine and the ADI matching/pooling layer).
-check: vet test race
+# hot-path packages + the fuzz corpus + the statement-coverage floor.
+check: vet test race fuzz cover
 
 race:
-	$(GO) test -race ./internal/sim/... ./internal/adi/...
+	$(GO) test -race ./internal/sim/... ./internal/adi/... ./internal/core/... ./internal/mpi/... ./internal/chaos/...
+
+# Each fuzz target gets a bounded live run on top of its checked-in corpus:
+# the stripe planners against their coverage invariants, and the bucketed
+# matcher against the naive linear reference.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzEvenStripes -fuzztime=$(FUZZTIME) ./internal/core
+	$(GO) test -run='^$$' -fuzz=FuzzWeightedStripes -fuzztime=$(FUZZTIME) ./internal/core
+	$(GO) test -run='^$$' -fuzz=FuzzMatchOrder -fuzztime=$(FUZZTIME) ./internal/adi
+
+# Statement-coverage floor over the deterministic-simulation core. The gate
+# fails when coverage drops below COVERAGE.txt; re-record the floor with
+#   go run ./cmd/covergate -record
+# only when a PR legitimately moves it.
+cover:
+	$(GO) test -coverprofile=cover.out ./internal/core ./internal/adi ./internal/sim ./internal/chaos
+	$(GO) run ./cmd/covergate -profile cover.out -floor COVERAGE.txt
 
 # One testing.B benchmark per paper figure, plus ablations.
 bench:
@@ -47,6 +64,7 @@ examples:
 	$(GO) run ./examples/alltoall
 	$(GO) run ./examples/onesided
 	$(GO) run ./examples/faults
+	$(GO) run ./examples/chaos
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,111 @@
+// Chaos: the deterministic fault-injection harness in action. A rail dies
+// under a striped bulk transfer and comes back later; the communication
+// scheduler reroutes in-flight stripes onto the survivors, the policies
+// re-plan around the hole, and every payload still arrives intact. The
+// example then runs the differential conformance oracle: one seeded
+// workload under every scheduling policy crossed with a set of fault
+// plans, asserting that the user-visible outcome is byte-identical
+// everywhere.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ib12x/internal/chaos"
+	"ib12x/internal/core"
+	"ib12x/internal/mpi"
+	"ib12x/internal/sim"
+)
+
+func main() {
+	railFlapDemo()
+	fmt.Println()
+	oracleMatrix()
+}
+
+// railFlapDemo kills rail 2 mid-transfer and revives it, printing the
+// retransmission work the recovery path performed.
+func railFlapDemo() {
+	const n = 1 << 20
+	payload := make([]byte, n)
+	for i := range payload {
+		payload[i] = byte(3 * i)
+	}
+	got := make([]byte, n)
+
+	plan := chaos.Merge("flap-under-load",
+		chaos.RailFlap(20*sim.Microsecond, 400*sim.Microsecond, 1, 2),
+		chaos.DegradedLink(100*sim.Microsecond, 300*sim.Microsecond, 0, 0, 0.5, sim.Microsecond),
+	)
+	cfg := mpi.Config{
+		Nodes: 2, QPsPerPort: 4, Policy: core.EvenStriping,
+		Chaos:    plan,
+		Deadline: sim.Second,
+	}
+	rep, err := mpi.Run(cfg, func(c *mpi.Comm) {
+		if c.Rank() == 0 {
+			for i := 0; i < 8; i++ {
+				c.Send(1, i, payload)
+			}
+		} else {
+			for i := 0; i < 8; i++ {
+				c.Recv(0, i, got)
+				for k := range got {
+					if got[k] != byte(3*k) {
+						log.Fatalf("message %d corrupted at byte %d", i, k)
+					}
+				}
+			}
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var railRetr int64
+	for _, st := range rep.RankStats {
+		railRetr += st.RailRetransmits
+	}
+	fmt.Printf("rail flap under 8 MB of striped traffic (%s):\n", plan.Name)
+	fmt.Printf("  completed in %v, %d stripes rerouted onto survivors, all payloads verified\n",
+		rep.Elapsed, railRetr)
+}
+
+// oracleMatrix runs the differential conformance oracle across the full
+// policy x fault-plan matrix.
+func oracleMatrix() {
+	policies := []core.Kind{
+		core.Binding, core.RoundRobin, core.EvenStriping,
+		core.WeightedStriping, core.EPC, core.Adaptive,
+	}
+	plans := []*chaos.Plan{
+		chaos.NoFaults(),
+		chaos.RailDeath(100*sim.Microsecond, 1, 2),
+		chaos.DegradedLink(50*sim.Microsecond, 500*sim.Microsecond, 1, 0, 0.35, 2*sim.Microsecond),
+		chaos.Generate(7, sim.Millisecond, 2, 4, 1),
+	}
+	fmt.Println("differential conformance: seeded workload, 6 policies x fault plans")
+	for _, plan := range plans {
+		var ref uint64
+		ok := true
+		for i, kind := range policies {
+			res, err := chaos.RunConformance(chaos.OracleConfig{Seed: 42, Policy: kind, Plan: plan})
+			if err != nil {
+				log.Fatalf("%v under %s: %v", kind, plan.Name, err)
+			}
+			if len(res.Violations) > 0 {
+				log.Fatalf("%v under %s: %s", kind, plan.Name, res.Violations[0])
+			}
+			if i == 0 {
+				ref = res.Digest
+			} else if res.Digest != ref {
+				ok = false
+			}
+		}
+		verdict := "all policies byte-identical"
+		if !ok {
+			verdict = "DIGEST SPLIT"
+		}
+		fmt.Printf("  %-22s digest %#016x  %s\n", plan.Name, ref, verdict)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"log"
 
+	"ib12x/internal/chaos"
 	"ib12x/internal/core"
 	"ib12x/internal/mpi"
 	"ib12x/internal/sim"
@@ -21,9 +22,9 @@ func main() {
 		payload[i] = byte(i)
 	}
 	for _, faultEvery := range []int64{0, 64, 16, 4} {
-		cfg := mpi.Config{
-			Nodes: 2, QPsPerPort: 4, Policy: core.EPC,
-			FaultEvery: faultEvery,
+		cfg := mpi.Config{Nodes: 2, QPsPerPort: 4, Policy: core.EPC}
+		if faultEvery > 0 {
+			cfg.Chaos = chaos.LegacyEveryN(faultEvery)
 		}
 		var elapsed sim.Time
 		rep, err := mpi.Run(cfg, func(c *mpi.Comm) {

@@ -192,15 +192,16 @@ const (
 
 // Stats counts protocol activity on one endpoint.
 type Stats struct {
-	EagerSent      int64
-	RendezvousSent int64
-	StripesSent    int64
-	StripesRead    int64
-	ShmemSent      int64
-	UnexpectedHits int64
-	CtrlMsgs       int64
-	CreditStalls   int64 // channel messages deferred on empty credit pools
-	CreditUpdates  int64 // explicit credit-return messages sent
+	EagerSent       int64
+	RendezvousSent  int64
+	StripesSent     int64
+	StripesRead     int64
+	ShmemSent       int64
+	UnexpectedHits  int64
+	CtrlMsgs        int64
+	CreditStalls    int64 // channel messages deferred on empty credit pools
+	CreditUpdates   int64 // explicit credit-return messages sent
+	RailRetransmits int64 // WRs rerouted onto survivors after a rail death
 }
 
 // classIsValid guards the marker input.

@@ -17,6 +17,7 @@ import (
 	"hash/fnv"
 	"testing"
 
+	"ib12x/internal/chaos"
 	"ib12x/internal/core"
 	"ib12x/internal/mpi"
 	"ib12x/internal/sim"
@@ -93,6 +94,11 @@ func detWorkload(c *mpi.Comm) {
 
 // runTimeline executes detWorkload under one policy and digests the result.
 func runTimeline(t *testing.T, kind core.Kind) uint64 {
+	return runTimelinePlan(t, kind, nil)
+}
+
+// runTimelinePlan is runTimeline with an optional chaos fault plan armed.
+func runTimelinePlan(t *testing.T, kind core.Kind, plan *chaos.Plan) uint64 {
 	t.Helper()
 	rec := trace.NewRecorder(1 << 20)
 	var final sim.Time
@@ -100,6 +106,10 @@ func runTimeline(t *testing.T, kind core.Kind) uint64 {
 		Nodes: 2, ProcsPerNode: 2,
 		HCAs: 1, Ports: 1, QPsPerPort: 4,
 		Policy: kind, Trace: rec,
+	}
+	if plan != nil {
+		cfg.Chaos = plan
+		cfg.Deadline = sim.Second
 	}
 	_, err := mpi.Run(cfg, func(c *mpi.Comm) {
 		detWorkload(c)
@@ -160,5 +170,34 @@ func TestTimelineDigestStable(t *testing.T) {
 	b := runTimeline(t, core.EPC)
 	if a != b {
 		t.Fatalf("same configuration hashed differently: 0x%x vs 0x%x", a, b)
+	}
+}
+
+// TestFaultyTimelineReplayDeterminism extends the determinism property to
+// chaos runs: the same fault plan replayed against the same workload and
+// policy must reproduce the entire perturbed timeline bit for bit — fault
+// injection keys off virtual time only, never host state.
+func TestFaultyTimelineReplayDeterminism(t *testing.T) {
+	plans := []*chaos.Plan{
+		chaos.RailFlap(40*sim.Microsecond, 120*sim.Microsecond, 1, 2),
+		chaos.Merge("mixed",
+			chaos.LegacyEveryN(113),
+			chaos.StalledEngine(30*sim.Microsecond, 50*sim.Microsecond, 0, 0),
+		),
+		chaos.Generate(17, 300*sim.Microsecond, 2, 4, 1),
+	}
+	for _, plan := range plans {
+		plan := plan
+		t.Run(plan.Name, func(t *testing.T) {
+			clean := runTimeline(t, core.EvenStriping)
+			a := runTimelinePlan(t, core.EvenStriping, plan)
+			b := runTimelinePlan(t, core.EvenStriping, plan)
+			if a != b {
+				t.Fatalf("faulty replay diverged: 0x%x vs 0x%x", a, b)
+			}
+			if a == clean {
+				t.Errorf("faulty timeline identical to fault-free one; plan %s did not bite", plan.Name)
+			}
+		})
 	}
 }

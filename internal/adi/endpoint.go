@@ -34,6 +34,10 @@ type Conn struct {
 	credits     int
 	owed        int // credits to return to the peer
 	creditQueue []pendingEnvelope
+
+	// railWait parks work requests while every rail of the connection is
+	// dead; a rail recovery drains it in order.
+	railWait []deferredWR
 }
 
 // pendingEnvelope is a channel message stalled on an empty credit pool.
@@ -52,6 +56,11 @@ type pendingEnvelope struct {
 func (c *Conn) ctrlRail() int {
 	r := c.ctrlRR % len(c.rails)
 	c.ctrlRR = (r + 1) % len(c.rails)
+	if d := c.sched.Dead; d != 0 {
+		if lr := d.NextLive(r, len(c.rails)); lr >= 0 {
+			return lr
+		}
+	}
 	return r
 }
 
@@ -93,7 +102,22 @@ type Endpoint struct {
 	nextCtx    int                     // next free matching-context id
 	tr         *trace.Recorder         // optional protocol event recorder
 
+	// Rail-failure recovery (armed by World.EnableRailRecovery; off in
+	// fault-free runs so the hot path never touches the map): every posted
+	// WR is remembered until its completion, and a flushed completion
+	// reroutes the WR onto a surviving rail of the same connection.
+	trackWR  bool
+	inflight map[uint64]inflightWR
+
 	stats Stats
+}
+
+// inflightWR remembers where a posted work request was headed so a flush can
+// retransmit it elsewhere.
+type inflightWR struct {
+	conn *Conn
+	rail int
+	wr   ib.SendWR
 }
 
 // newEndpoint wires the passive state; connections are added by the World
@@ -286,6 +310,17 @@ func (ep *Endpoint) progressOnce() bool {
 			}
 			ep.inbound(env)
 		} else {
+			if cqe.Status == ib.StatusFlushErr {
+				// The WR was in flight when its rail died and its remote
+				// effect never happened: reroute it onto a survivor. Its
+				// completion callback stays registered and fires when the
+				// retransmission completes.
+				ep.retransmit(cqe.WRID)
+				return true
+			}
+			if ep.trackWR {
+				delete(ep.inflight, cqe.WRID)
+			}
 			if req := ep.onAtomic[cqe.WRID]; req != nil {
 				delete(ep.onAtomic, cqe.WRID)
 				req.atomicOld = cqe.AtomicOld
@@ -509,6 +544,9 @@ func (ep *Endpoint) drainBacklog(qpn int) {
 	if !ok {
 		return
 	}
+	if qp.IsDown() {
+		return // railDown rerouted (or will reroute) this rail's backlog
+	}
 	q := ep.backlog[qp]
 	for len(q) > 0 {
 		if err := qp.PostSend(q[0].wr); err == ib.ErrSQFull {
@@ -531,7 +569,20 @@ func (ep *Endpoint) drainBacklog(qpn int) {
 
 // post sends a WR on a rail, deferring it on backpressure. onPosted runs
 // when the WR actually reaches the hardware — immediately on the fast path.
+// A dead target rail is stepped over to the next live one; with every rail
+// dead the WR parks until a recovery.
 func (ep *Endpoint) post(conn *Conn, rail int, wr ib.SendWR, onPosted func()) {
+	if d := conn.sched.Dead; d != 0 {
+		if lr := d.NextLive(rail, len(conn.rails)); lr >= 0 {
+			rail = lr
+		} else {
+			conn.railWait = append(conn.railWait, deferredWR{wr, onPosted})
+			return
+		}
+	}
+	if ep.trackWR {
+		ep.inflight[wr.WRID] = inflightWR{conn: conn, rail: rail, wr: wr}
+	}
 	qp := conn.rails[rail]
 	if q := ep.backlog[qp]; len(q) > 0 {
 		ep.backlog[qp] = append(q, deferredWR{wr, onPosted})
@@ -556,4 +607,57 @@ func (ep *Endpoint) nextWRID(cb func()) uint64 {
 		ep.onComplete[ep.wrID] = cb
 	}
 	return ep.wrID
+}
+
+// ---- rail-failure recovery ----
+
+// retransmit reroutes a work request flushed by a rail failure onto a
+// surviving rail of the same connection (in-flight stripe recovery). The WR
+// keeps its identifier, so pending completion callbacks survive the retry.
+func (ep *Endpoint) retransmit(wrid uint64) {
+	fl, ok := ep.inflight[wrid]
+	if !ok {
+		panic("adi: flushed WR was not tracked (rail recovery not armed?)")
+	}
+	delete(ep.inflight, wrid)
+	ep.stats.RailRetransmits++
+	ep.charge(ep.m.CPUPostWQE + ep.m.DoorbellTime)
+	ep.trace(trace.KindRetransmit, fl.conn.peer, fl.wr.N, fl.rail)
+	ep.post(fl.conn, fl.rail, fl.wr, nil)
+}
+
+// railDown marks the rail to peer dead on this endpoint: the policy mask
+// steers future traffic away, and WRs queued behind the dead QP are rerouted
+// onto survivors immediately (in-flight ones flush through the CQ).
+func (ep *Endpoint) railDown(peer, rail int) {
+	conn := ep.conns[peer]
+	if conn == nil || conn.sh != nil || rail < 0 || rail >= len(conn.rails) {
+		return
+	}
+	conn.sched.Dead.MarkDown(rail)
+	qp := conn.rails[rail]
+	if q := ep.backlog[qp]; len(q) > 0 {
+		delete(ep.backlog, qp)
+		for _, d := range q {
+			ep.post(conn, rail, d.wr, d.onPosted)
+		}
+	}
+}
+
+// railUp marks the rail to peer healthy again and replays any work requests
+// that parked while every rail was dead.
+func (ep *Endpoint) railUp(peer, rail int) {
+	conn := ep.conns[peer]
+	if conn == nil || conn.sh != nil || rail < 0 || rail >= len(conn.rails) {
+		return
+	}
+	conn.sched.Dead.MarkUp(rail)
+	if len(conn.railWait) > 0 {
+		q := conn.railWait
+		conn.railWait = nil
+		for _, d := range q {
+			ep.post(conn, rail, d.wr, d.onPosted)
+		}
+	}
+	ep.wake()
 }

@@ -1,0 +1,112 @@
+package adi
+
+import (
+	"testing"
+)
+
+// naiveMatcher is the reference implementation of MPI matching semantics:
+// two flat queues scanned linearly, exactly what the seed implementation
+// did. The bucketed indexes must agree with it on every interleaving of
+// posts and arrivals, wildcards included.
+type naiveMatcher struct {
+	posted []*Request
+	unex   []*envelope
+}
+
+func srcOK(want, got int) bool { return want == AnySource || want == got }
+
+// matchArrival returns the earliest-posted receive matching env, removing it.
+func (m *naiveMatcher) matchArrival(env *envelope) *Request {
+	for i, r := range m.posted {
+		if r.ctxID == env.ctxID && srcOK(r.peer, env.src) && tagOK(r.tag, env.tag) {
+			m.posted = append(m.posted[:i], m.posted[i+1:]...)
+			return r
+		}
+	}
+	return nil
+}
+
+// matchPost returns the earliest-arrived envelope matching req, removing it.
+func (m *naiveMatcher) matchPost(req *Request) *envelope {
+	for i, env := range m.unex {
+		if env.ctxID == req.ctxID && srcOK(req.peer, env.src) && tagOK(req.tag, env.tag) {
+			m.unex = append(m.unex[:i], m.unex[i+1:]...)
+			return env
+		}
+	}
+	return nil
+}
+
+// FuzzMatchOrder drives the bucketed matching indexes and the naive linear
+// reference through the same randomized interleaving of receive posts and
+// envelope arrivals — concrete and wildcard sources and tags across two
+// contexts — and requires identical matching decisions at every step.
+func FuzzMatchOrder(f *testing.F) {
+	f.Add([]byte{0x00, 0x12, 0x01, 0x12, 0x02, 0xff})
+	f.Add([]byte{0x01, 0x34, 0x00, 0xf4, 0x01, 0x3f})
+	f.Add([]byte{0x00, 0xff, 0x00, 0xff, 0x01, 0x00, 0x01, 0x77})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		var (
+			rix     recvIndex
+			uix     unexIndex
+			ref     naiveMatcher
+			postSeq uint64
+			arrSeq  uint64
+		)
+		if len(ops) > 512 {
+			ops = ops[:512]
+		}
+		for len(ops) >= 2 {
+			b0, b1 := ops[0], ops[1]
+			ops = ops[2:]
+			ctx := int(b0>>1) & 1
+			if b0&1 == 0 {
+				// Post a receive. High bits of b1 select the source
+				// (3 = AnySource), low bits the tag (7 = AnyTag).
+				src := int(b1>>4) & 3
+				if src == 3 {
+					src = AnySource
+				}
+				tag := int(b1) & 7
+				if tag == 7 {
+					tag = AnyTag
+				}
+				req := &Request{peer: src, tag: tag, ctxID: ctx, postSeq: postSeq}
+				postSeq++
+
+				got := uix.takeFor(req)
+				want := ref.matchPost(req)
+				if got != want {
+					t.Fatalf("post (src=%d tag=%d ctx=%d): indexed matched %+v, reference matched %+v",
+						src, tag, ctx, got, want)
+				}
+				if got == nil {
+					rix.add(req)
+					ref.posted = append(ref.posted, req)
+				}
+			} else {
+				// An envelope arrives: always a concrete source and tag.
+				env := &envelope{src: int(b1>>4) & 3, tag: int(b1) & 7, ctxID: ctx}
+
+				got := rix.match(env)
+				want := ref.matchArrival(env)
+				if got != want {
+					t.Fatalf("arrival (src=%d tag=%d ctx=%d): indexed matched %+v, reference matched %+v",
+						env.src, env.tag, ctx, got, want)
+				}
+				if got == nil {
+					env.arrSeq = arrSeq
+					arrSeq++
+					uix.add(env)
+					ref.unex = append(ref.unex, env)
+				}
+			}
+		}
+		if rix.count != len(ref.posted) {
+			t.Fatalf("posted-queue size diverged: indexed %d, reference %d", rix.count, len(ref.posted))
+		}
+		if uix.count != len(ref.unex) {
+			t.Fatalf("unexpected-queue size diverged: indexed %d, reference %d", uix.count, len(ref.unex))
+		}
+	})
+}

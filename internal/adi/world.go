@@ -43,6 +43,56 @@ type World struct {
 	Cluster   *topo.Cluster
 	Realm     *ib.Realm
 	Endpoints []*Endpoint
+
+	railRecovery bool
+}
+
+// EnableRailRecovery arms in-flight work-request tracking on every endpoint.
+// It must be called before the run starts (and before any SetRail) so a
+// flushed WR can always be rerouted; fault-free worlds skip the bookkeeping.
+func (w *World) EnableRailRecovery() {
+	if w.railRecovery {
+		return
+	}
+	w.railRecovery = true
+	for _, ep := range w.Endpoints {
+		ep.trackWR = true
+		ep.inflight = make(map[uint64]inflightWR)
+	}
+}
+
+// SetRail fails (up=false) or recovers (up=true) rail index rail of every
+// inter-node connection touching the given node: both QP halves transition
+// together, and both endpoints update their policy-visible health masks.
+// Failing a rail requires EnableRailRecovery to have been called.
+func (w *World) SetRail(node, rail int, up bool) {
+	if !up && !w.railRecovery {
+		panic("adi: SetRail(down) without EnableRailRecovery")
+	}
+	for i, epi := range w.Endpoints {
+		if w.Cluster.NodeOf(i) != node {
+			continue
+		}
+		for j, epj := range w.Endpoints {
+			conn := epi.conns[j]
+			if conn == nil || conn.sh != nil || rail < 0 || rail >= len(conn.rails) {
+				continue
+			}
+			qpi := conn.rails[rail]
+			qpj := epj.conns[i].rails[rail]
+			if up {
+				qpi.SetUp()
+				qpj.SetUp()
+				epi.railUp(j, rail)
+				epj.railUp(i, rail)
+			} else {
+				qpi.SetDown()
+				qpj.SetDown()
+				epi.railDown(j, rail)
+				epj.railDown(i, rail)
+			}
+		}
+	}
 }
 
 // NewWorld builds the cluster hardware and wires every process pair:

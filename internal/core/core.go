@@ -52,6 +52,73 @@ type Stripe struct {
 	N    int
 }
 
+// RailMask is a bitmask of dead rails on a connection. The zero value means
+// every rail is healthy, so fault-free runs never pay for health checks.
+// Rail indices ≥ 64 are treated as always healthy (no real configuration in
+// the paper's design space comes close).
+type RailMask uint64
+
+// IsDown reports whether rail r is marked dead.
+func (m RailMask) IsDown(r int) bool {
+	return r >= 0 && r < 64 && m&(1<<uint(r)) != 0
+}
+
+// MarkDown records rail r as dead.
+func (m *RailMask) MarkDown(r int) {
+	if r >= 0 && r < 64 {
+		*m |= 1 << uint(r)
+	}
+}
+
+// MarkUp records rail r as healthy again.
+func (m *RailMask) MarkUp(r int) {
+	if r >= 0 && r < 64 {
+		*m &^= 1 << uint(r)
+	}
+}
+
+// NextLive returns the first healthy rail at or after from, searching
+// cyclically over rails entries, or -1 if every rail is dead.
+func (m RailMask) NextLive(from, rails int) int {
+	if rails <= 0 {
+		return -1
+	}
+	if from < 0 || from >= rails {
+		from = 0
+	}
+	for k := 0; k < rails; k++ {
+		r := from + k
+		if r >= rails {
+			r -= rails
+		}
+		if !m.IsDown(r) {
+			return r
+		}
+	}
+	return -1
+}
+
+// LiveCount reports how many of the first rails rails are healthy.
+func (m RailMask) LiveCount(rails int) int {
+	n := 0
+	for r := 0; r < rails; r++ {
+		if !m.IsDown(r) {
+			n++
+		}
+	}
+	return n
+}
+
+// LiveRails appends the healthy rail indices (ascending) to buf.
+func (m RailMask) LiveRails(rails int, buf []int) []int {
+	for r := 0; r < rails; r++ {
+		if !m.IsDown(r) {
+			buf = append(buf, r)
+		}
+	}
+	return buf
+}
+
 // ConnState is the per-connection scheduling state a policy may read and
 // update: the round-robin cursor, the bound rail, and the live
 // outstanding-transfer count the ADI layer maintains.
@@ -64,6 +131,12 @@ type ConnState struct {
 	// this connection (maintained by the ADI layer; consumed by the
 	// adaptive policy).
 	Outstanding int
+
+	// Dead is the connection's rail health mask (maintained by the ADI
+	// layer under fault injection). Policies route around dead rails: a
+	// binding rebinds to the next live rail, round robin skips dead ones,
+	// and the striping planners re-plan over the survivors.
+	Dead RailMask
 
 	// scratch backs whole-message (single-stripe) plans so the policies
 	// that place one stripe per call return it without allocating.
@@ -178,22 +251,68 @@ type planCache struct {
 	m map[planKey][]Stripe
 }
 
-type planKey struct{ size, rails int }
+type planKey struct {
+	size, rails int
+	dead        RailMask
+}
 
 // planCacheMax bounds the cache; sweeping workloads with unbounded distinct
 // sizes reset it rather than grow it forever.
 const planCacheMax = 4096
 
-func (c *planCache) get(size, rails int) ([]Stripe, bool) {
-	p, ok := c.m[planKey{size, rails}]
+func (c *planCache) get(size, rails int, dead RailMask) ([]Stripe, bool) {
+	p, ok := c.m[planKey{size, rails, dead}]
 	return p, ok
 }
 
-func (c *planCache) put(size, rails int, p []Stripe) {
+func (c *planCache) put(size, rails int, dead RailMask, p []Stripe) {
 	if c.m == nil || len(c.m) >= planCacheMax {
 		c.m = make(map[planKey][]Stripe)
 	}
-	c.m[planKey{size, rails}] = p
+	c.m[planKey{size, rails, dead}] = p
+}
+
+// maskedEven is EvenStripes restricted to the live rails of dead: the plan
+// is computed over the survivor count and remapped onto the surviving rail
+// indices. With every rail dead it plans as if all were live — the ADI layer
+// parks those posts until a rail recovers.
+func maskedEven(size, rails, minStripe int, dead RailMask) []Stripe {
+	if dead == 0 {
+		return EvenStripes(size, rails, minStripe)
+	}
+	live := dead.LiveRails(rails, make([]int, 0, rails))
+	if len(live) == 0 {
+		return EvenStripes(size, rails, minStripe)
+	}
+	pl := EvenStripes(size, len(live), minStripe)
+	for i := range pl {
+		pl[i].Rail = live[pl[i].Rail]
+	}
+	return pl
+}
+
+// maskedWeighted is WeightedStripes over the surviving rails, preserving
+// each survivor's configured weight.
+func maskedWeighted(size, rails, minStripe int, weights []float64, dead RailMask) []Stripe {
+	if dead == 0 {
+		return WeightedStripes(size, rails, minStripe, weights)
+	}
+	live := dead.LiveRails(rails, make([]int, 0, rails))
+	if len(live) == 0 {
+		return WeightedStripes(size, rails, minStripe, weights)
+	}
+	w := make([]float64, len(live))
+	for i, r := range live {
+		w[i] = 1
+		if r < len(weights) && weights[r] > 0 {
+			w[i] = weights[r]
+		}
+	}
+	pl := WeightedStripes(size, len(live), minStripe, w)
+	for i := range pl {
+		pl[i].Rail = live[pl[i].Rail]
+	}
+	return pl
 }
 
 // ---- binding ----
@@ -203,11 +322,11 @@ type bindingPolicy struct{ name string }
 func (p *bindingPolicy) Name() string { return p.name }
 
 func (p *bindingPolicy) PickEager(_ Class, _, rails int, st *ConnState) int {
-	return clampRail(st.Bound, rails)
+	return clampRail(st.Bound, rails, st.Dead)
 }
 
 func (p *bindingPolicy) PlanBulk(_ Class, size, rails int, st *ConnState) []Stripe {
-	return st.single(clampRail(st.Bound, rails), size)
+	return st.single(clampRail(st.Bound, rails, st.Dead), size)
 }
 
 // ---- round robin ----
@@ -238,15 +357,15 @@ func (*stripingPolicy) Name() string { return "even striping" }
 func (p *stripingPolicy) PickEager(_ Class, _, rails int, st *ConnState) int {
 	// Below the striping threshold the prior-work striping design sends
 	// on the connection's primary rail.
-	return clampRail(st.Bound, rails)
+	return clampRail(st.Bound, rails, st.Dead)
 }
 
-func (p *stripingPolicy) PlanBulk(_ Class, size, rails int, _ *ConnState) []Stripe {
-	if pl, ok := p.cache.get(size, rails); ok {
+func (p *stripingPolicy) PlanBulk(_ Class, size, rails int, st *ConnState) []Stripe {
+	if pl, ok := p.cache.get(size, rails, st.Dead); ok {
 		return pl
 	}
-	pl := EvenStripes(size, rails, p.minStripe)
-	p.cache.put(size, rails, pl)
+	pl := maskedEven(size, rails, p.minStripe, st.Dead)
+	p.cache.put(size, rails, st.Dead, pl)
 	return pl
 }
 
@@ -261,15 +380,15 @@ type weightedPolicy struct {
 func (*weightedPolicy) Name() string { return "weighted striping" }
 
 func (p *weightedPolicy) PickEager(_ Class, _, rails int, st *ConnState) int {
-	return clampRail(st.Bound, rails)
+	return clampRail(st.Bound, rails, st.Dead)
 }
 
-func (p *weightedPolicy) PlanBulk(_ Class, size, rails int, _ *ConnState) []Stripe {
-	if pl, ok := p.cache.get(size, rails); ok {
+func (p *weightedPolicy) PlanBulk(_ Class, size, rails int, st *ConnState) []Stripe {
+	if pl, ok := p.cache.get(size, rails, st.Dead); ok {
 		return pl
 	}
-	pl := WeightedStripes(size, rails, p.minStripe, p.weights)
-	p.cache.put(size, rails, pl)
+	pl := maskedWeighted(size, rails, p.minStripe, p.weights, st.Dead)
+	p.cache.put(size, rails, st.Dead, pl)
 	return pl
 }
 
@@ -291,7 +410,7 @@ func (p *epcPolicy) PickEager(c Class, size, rails int, st *ConnState) int {
 	case Blocking:
 		// One outstanding message; cycling rails buys nothing for
 		// latency, so stay on the primary rail (paper Fig. 3 setup).
-		return clampRail(st.Bound, rails)
+		return clampRail(st.Bound, rails, st.Dead)
 	default:
 		// Non-blocking and collective eager messages cycle rails to
 		// engage multiple engines across the window (Fig. 5).
@@ -304,11 +423,11 @@ func (p *epcPolicy) PlanBulk(c Class, size, rails int, st *ConnState) []Stripe {
 	case NonBlocking:
 		return st.single(nextRR(st, rails), size)
 	default: // Blocking and Collective stripe.
-		if pl, ok := p.cache.get(size, rails); ok {
+		if pl, ok := p.cache.get(size, rails, st.Dead); ok {
 			return pl
 		}
-		pl := EvenStripes(size, rails, p.minStripe)
-		p.cache.put(size, rails, pl)
+		pl := maskedEven(size, rails, p.minStripe, st.Dead)
+		p.cache.put(size, rails, st.Dead, pl)
 		return pl
 	}
 }
@@ -331,18 +450,18 @@ func (p *adaptivePolicy) PickEager(_ Class, _, rails int, st *ConnState) int {
 	if st.Outstanding >= adaptiveDepth {
 		return nextRR(st, rails)
 	}
-	return clampRail(st.Bound, rails)
+	return clampRail(st.Bound, rails, st.Dead)
 }
 
 func (p *adaptivePolicy) PlanBulk(_ Class, size, rails int, st *ConnState) []Stripe {
 	if st.Outstanding >= adaptiveDepth {
 		return st.single(nextRR(st, rails), size)
 	}
-	if pl, ok := p.cache.get(size, rails); ok {
+	if pl, ok := p.cache.get(size, rails, st.Dead); ok {
 		return pl
 	}
-	pl := EvenStripes(size, rails, p.minStripe)
-	p.cache.put(size, rails, pl)
+	pl := maskedEven(size, rails, p.minStripe, st.Dead)
+	p.cache.put(size, rails, st.Dead, pl)
 	return pl
 }
 
@@ -362,6 +481,9 @@ func EvenStripes(size, rails, minStripe int) []Stripe {
 		if k < 1 {
 			k = 1
 		}
+	}
+	if k > size {
+		k = size // never emit zero-byte stripes for tiny unguarded sizes
 	}
 	base, rem := size/k, size%k
 	out := make([]Stripe, 0, k)
@@ -421,15 +543,28 @@ func WeightedStripes(size, rails, minStripe int, weights []float64) []Stripe {
 		} else {
 			n = int(float64(size) * w[r] / sum)
 		}
+		if n == 0 {
+			continue // truncation artifact on tiny sizes; neighbours absorb it
+		}
 		out = append(out, Stripe{Rail: r, Off: off, N: n})
 		off += n
+	}
+	if len(out) == 0 {
+		return []Stripe{{Rail: active[0], Off: 0, N: size}}
 	}
 	return out
 }
 
-func clampRail(r, rails int) int {
+// clampRail folds an out-of-range rail to 0, then steps off a dead rail to
+// the next live one (a bound connection rebinds around failures).
+func clampRail(r, rails int, dead RailMask) int {
 	if r < 0 || r >= rails {
-		return 0
+		r = 0
+	}
+	if dead != 0 {
+		if lr := dead.NextLive(r, rails); lr >= 0 {
+			return lr
+		}
 	}
 	return r
 }
@@ -438,6 +573,11 @@ func nextRR(st *ConnState, rails int) int {
 	r := st.RR % rails
 	if r < 0 {
 		r = 0
+	}
+	if st.Dead != 0 {
+		if lr := st.Dead.NextLive(r, rails); lr >= 0 {
+			r = lr
+		}
 	}
 	st.RR = (r + 1) % rails
 	return r

@@ -1,0 +1,111 @@
+package core
+
+// Native fuzz targets for the stripe planners. The invariants fuzzed here
+// are exactly the Policy contract the ADI layer relies on: plans cover the
+// message exactly and in offset order, never contain zero- or negative-size
+// stripes, respect the minimum stripe size whenever the plan is split, and
+// only name rails that exist.
+
+import "testing"
+
+func checkPlan(t *testing.T, pl []Stripe, size, rails, minStripe int, weighted bool) {
+	t.Helper()
+	if len(pl) == 0 {
+		t.Fatalf("empty plan for size=%d rails=%d minStripe=%d", size, rails, minStripe)
+	}
+	if len(pl) > rails {
+		t.Fatalf("plan has %d stripes for %d rails", len(pl), rails)
+	}
+	off := 0
+	lastRail := -1
+	for i, s := range pl {
+		if s.N <= 0 {
+			t.Fatalf("stripe %d has non-positive size %d (size=%d rails=%d min=%d plan=%v)",
+				i, s.N, size, rails, minStripe, pl)
+		}
+		if s.Off != off {
+			t.Fatalf("stripe %d offset %d, want %d (plan=%v)", i, s.Off, off, pl)
+		}
+		if s.Rail < 0 || s.Rail >= rails {
+			t.Fatalf("stripe %d rail %d out of range [0,%d)", i, s.Rail, rails)
+		}
+		if s.Rail <= lastRail {
+			t.Fatalf("stripe %d rail %d not increasing after %d (plan=%v)", i, s.Rail, lastRail, pl)
+		}
+		lastRail = s.Rail
+		if len(pl) > 1 && minStripe > 0 && s.N < minStripe && !weighted {
+			t.Fatalf("stripe %d size %d below minStripe %d in split plan %v", i, s.N, minStripe, pl)
+		}
+		off += s.N
+	}
+	if off != size {
+		t.Fatalf("plan covers %d bytes, want %d (plan=%v)", off, size, pl)
+	}
+}
+
+func boundFuzzArgs(size, rails, minStripe int) (int, int, int) {
+	size = size%(1<<24) + 1
+	if size < 1 {
+		size = 1
+	}
+	rails = rails%16 + 1
+	if rails < 1 {
+		rails = 1
+	}
+	minStripe %= 1 << 20
+	if minStripe < 0 {
+		minStripe = -minStripe
+	}
+	return size, rails, minStripe
+}
+
+func FuzzEvenStripes(f *testing.F) {
+	f.Add(1, 1, 0)
+	f.Add(3, 4, 0)
+	f.Add(256<<10, 4, 4096)
+	f.Add(16384, 8, 4096)
+	f.Add(5, 16, 1)
+	f.Fuzz(func(t *testing.T, size, rails, minStripe int) {
+		size, rails, minStripe = boundFuzzArgs(size, rails, minStripe)
+		pl := EvenStripes(size, rails, minStripe)
+		checkPlan(t, pl, size, rails, minStripe, false)
+		// Even split: stripe sizes differ by at most one byte.
+		minN, maxN := pl[0].N, pl[0].N
+		for _, s := range pl {
+			if s.N < minN {
+				minN = s.N
+			}
+			if s.N > maxN {
+				maxN = s.N
+			}
+		}
+		if maxN-minN > 1 {
+			t.Fatalf("uneven split: stripe sizes range [%d,%d] (plan=%v)", minN, maxN, pl)
+		}
+	})
+}
+
+func FuzzWeightedStripes(f *testing.F) {
+	f.Add(1, 1, 0, uint64(0))
+	f.Add(3, 4, 0, uint64(0x0102030405060708))
+	f.Add(256<<10, 4, 4096, uint64(0xff01ff01))
+	f.Add(7, 16, 1, uint64(0x8080808080808080))
+	f.Fuzz(func(t *testing.T, size, rails, minStripe int, wbits uint64) {
+		size, rails, minStripe = boundFuzzArgs(size, rails, minStripe)
+		// Derive up to 8 weights from the fuzzed bits; zero bytes exercise
+		// the default-to-1 path.
+		weights := make([]float64, rails)
+		for i := range weights {
+			weights[i] = float64(byte(wbits >> (8 * (i % 8))))
+		}
+		pl := WeightedStripes(size, rails, minStripe, weights)
+		checkPlan(t, pl, size, rails, minStripe, true)
+		// Non-final stripes of a split plan must clear minStripe (the final
+		// one absorbs the remainder and may only exceed its share).
+		for i, s := range pl {
+			if i < len(pl)-1 && minStripe > 0 && s.N < minStripe {
+				t.Fatalf("stripe %d size %d below minStripe %d (plan=%v)", i, s.N, minStripe, pl)
+			}
+		}
+	})
+}

@@ -90,6 +90,15 @@ func (l *Lane) Preempt(at sim.Time, wireBytes int64) (leaves sim.Time) {
 	return leaves
 }
 
+// SetRate changes the lane's service rate from now on. Transfers already
+// booked keep their departure times — the backlog drains at the old speed;
+// only new bookings see the new rate. Non-positive rates are ignored.
+func (l *Lane) SetRate(r float64) {
+	if r > 0 {
+		l.Rate = r
+	}
+}
+
 // FreeAt reports when the lane next becomes idle.
 func (l *Lane) FreeAt() sim.Time { return l.freeAt }
 

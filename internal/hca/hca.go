@@ -69,6 +69,21 @@ type Port struct {
 	// the observable cost of an RC retry. For failure-injection tests.
 	ErrorEvery int64
 
+	// Fault-injection hooks (all zero in healthy operation; driven by the
+	// chaos harness off simulated virtual time, so faulty runs stay
+	// bit-reproducible):
+	//
+	// StallUntil freezes the send-engine stage — WQEs arriving before this
+	// instant wait for it before an engine is picked (a stalled send
+	// engine / hung scheduler).
+	StallUntil sim.Time
+	// LatencyPad adds fixed one-way latency to every chunk entering or
+	// leaving this port (a degraded link retraining at lower speed).
+	LatencyPad sim.Time
+	// AckDelay postpones RC acknowledgment generation by this much
+	// (delayed completions at the responder).
+	AckDelay sim.Time
+
 	// Stats.
 	WQEs        int64 // data descriptors transmitted
 	Acks        int64 // acknowledgments generated
@@ -257,6 +272,9 @@ func (f *Flow) engineStage(x *xfer) {
 	now := f.eng.Now()
 	it := x.it
 
+	if f.src.StallUntil > now {
+		now = f.src.StallUntil
+	}
 	ei := pickEngine(f.src.SendEngines, now)
 	engStart, engEnd := f.src.SendEngines[ei].Reserve(now, int64(it.n))
 	x.t.EngineEnd = engEnd
@@ -326,7 +344,7 @@ func (f *Flow) txChunkSend(x *xfer, n int) {
 		x.t.Leaves = leaves
 	}
 	net := f.src.Net
-	lat := net.OneWay()
+	lat := net.OneWay() + f.src.LatencyPad + f.dst.LatencyPad
 	first := txStart + lat
 	last := leaves + lat
 	if net.CrossLeaf(f.src.Node, f.dst.Node) {
@@ -384,7 +402,7 @@ func (f *Flow) recvChunk(x *xfer, n int) {
 // backlogs, so their wire time is charged but they are never delayed by it.
 func (f *Flow) completeStage(x *xfer) {
 	m := f.dst.M
-	_, done := f.dst.Sched.ReserveDur(f.eng.Now(), m.AckProcTime)
+	_, done := f.dst.Sched.ReserveDur(f.eng.Now()+f.dst.AckDelay, m.AckProcTime)
 	leaves := f.dst.TX.Preempt(done, int64(m.AckWireBytes))
 	f.dst.Acks++
 	x.t.AckArrive = leaves + f.dst.Net.OneWay()
@@ -399,6 +417,25 @@ func max64(a, b int64) int64 {
 		return a
 	}
 	return b
+}
+
+// DegradeLink throttles the port's link to factor × the model's raw link
+// rate (0 < factor ≤ 1) and pads every chunk through the port by pad of
+// extra one-way latency — a link that retrained at a lower width/speed.
+func (p *Port) DegradeLink(factor float64, pad sim.Time) {
+	if factor <= 0 || factor > 1 {
+		factor = 1
+	}
+	p.TX.SetRate(p.M.LinkRawRate * factor)
+	p.RX.SetRate(p.M.LinkRawRate * factor)
+	p.LatencyPad = pad
+}
+
+// RestoreLink returns the port's link to full speed and zero extra latency.
+func (p *Port) RestoreLink() {
+	p.TX.SetRate(p.M.LinkRawRate)
+	p.RX.SetRate(p.M.LinkRawRate)
+	p.LatencyPad = 0
 }
 
 // EngineUtilization reports the mean utilization of the send engines at now.

@@ -7,6 +7,13 @@ type Status int
 const (
 	StatusSuccess Status = iota
 	StatusLocalError
+	// StatusFlushErr reports a work request flushed by a QP failure before
+	// its remote effect happened: the payload never reached (or never left)
+	// the peer, so the requester must retransmit on another rail. Requests
+	// whose effect did land before the failure complete with StatusSuccess
+	// even if the trailing ack was lost — exactly-once semantics, matching
+	// a Reliable Connection's responder-side duplicate suppression.
+	StatusFlushErr
 )
 
 // CQE is a completion queue entry.

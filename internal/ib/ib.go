@@ -24,6 +24,7 @@ var (
 	ErrBadWR        = errors.New("ib: malformed work request")
 	ErrBadRKey      = errors.New("ib: unknown remote key")
 	ErrMRBounds     = errors.New("ib: RDMA access outside memory region")
+	ErrQPDown       = errors.New("ib: queue pair is down")
 )
 
 // Opcode identifies the operation of a work request or completion.

@@ -143,7 +143,36 @@ type QP struct {
 	sqDepth     int
 	outstanding int
 	pool        recvPool
+
+	// Fault-injection state: down rejects new posts, and epoch stamps every
+	// in-flight descriptor so a failure can flush exactly the descriptors
+	// that were in the air when it struck.
+	down  bool
+	epoch uint64
 }
+
+// SetDown transitions the QP into the error state: new posts fail with
+// ErrQPDown, and descriptors currently in flight are flushed — those whose
+// remote effect has not yet happened complete with StatusFlushErr at their
+// originally booked completion time; those already effected at the peer
+// complete successfully (exactly-once).
+func (q *QP) SetDown() {
+	if !q.down {
+		q.down = true
+		q.epoch++
+	}
+}
+
+// SetUp returns a downed QP to service. In-flight descriptors from before
+// the failure stay flushed (their epoch is stale).
+func (q *QP) SetUp() { q.down = false }
+
+// IsDown reports whether the QP is in the error state.
+func (q *QP) IsDown() bool { return q.down }
+
+// lost reports whether a descriptor stamped with epoch e was caught by a
+// failure: the QP is still down, or a down/up cycle happened since.
+func (q *QP) lost(e uint64) bool { return q.down || q.epoch != e }
 
 // NewQP creates a queue pair.
 func (r *Realm) NewQP(cfg QPConfig) *QP {
@@ -206,6 +235,9 @@ func (q *QP) PostSend(wr SendWR) error {
 	if q.remote == nil {
 		return ErrNotConnected
 	}
+	if q.down {
+		return ErrQPDown
+	}
 	if q.outstanding >= q.sqDepth {
 		return ErrSQFull
 	}
@@ -255,17 +287,29 @@ func (q *QP) PostSend(wr SendWR) error {
 	q.outstanding++
 
 	remote := q.remote
+	epoch := q.epoch
+	effected := false // remote effect happened before any failure
 	var delivered func(hca.Timing)
 	switch wr.Op {
 	case OpSend:
 		msg := message{qp: remote, data: wr.Data, n: wr.N, imm: wr.Imm, hasImm: wr.HasImm, ctx: wr.Ctx}
-		delivered = func(hca.Timing) { remote.arrive(msg) }
+		delivered = func(hca.Timing) {
+			if q.lost(epoch) {
+				return
+			}
+			effected = true
+			remote.arrive(msg)
+		}
 	case OpRDMAWrite:
 		data := wr.Data
 		n, off := wr.N, wr.RemoteOff
 		imm, hasImm := wr.Imm, wr.HasImm
 		ctx := wr.Ctx
 		delivered = func(hca.Timing) {
+			if q.lost(epoch) {
+				return
+			}
+			effected = true
 			if mr.Buf != nil && data != nil {
 				k := n
 				if len(data) < k {
@@ -283,8 +327,12 @@ func (q *QP) PostSend(wr SendWR) error {
 	op, n := wr.Op, wr.N
 	acked := func(hca.Timing) {
 		q.outstanding--
+		st := StatusSuccess
+		if q.lost(epoch) && !effected {
+			st = StatusFlushErr
+		}
 		if signaled {
-			q.CQ.push(CQE{QPN: qpn, WRID: wrid, Op: op, Status: StatusSuccess, Bytes: n})
+			q.CQ.push(CQE{QPN: qpn, WRID: wrid, Op: op, Status: st, Bytes: n})
 		}
 	}
 	q.flow.Send(wr.N, delivered, acked)
@@ -301,9 +349,24 @@ func (q *QP) postRead(wr SendWR, mr *MR) {
 	dst := wr.Data
 	n, off := wr.N, wr.RemoteOff
 	wrid, signaled, qpn := wr.WRID, wr.Signaled, q.QPN
+	epoch := q.epoch
+	flush := func() {
+		q.outstanding--
+		if signaled {
+			q.CQ.push(CQE{QPN: qpn, WRID: wrid, Op: OpRDMARead, Status: StatusFlushErr, Bytes: n})
+		}
+	}
 	q.flow.Send(0, func(hca.Timing) {
+		if q.lost(epoch) {
+			flush() // request lost before reaching the responder
+			return
+		}
 		// Request reached the responder: stream the data back.
 		resp.Send(n, func(hca.Timing) {
+			if q.lost(epoch) {
+				flush() // response lost in flight; no local memory was touched
+				return
+			}
 			if dst != nil && mr.Buf != nil {
 				k := n
 				if len(dst) < k {
@@ -329,7 +392,17 @@ func (q *QP) postAtomic(wr SendWR, mr *MR) {
 	off := wr.RemoteOff
 	operand, swap := wr.CompareAdd, wr.Swap
 	wrid, signaled, qpn := wr.WRID, wr.Signaled, q.QPN
+	epoch := q.epoch
 	q.flow.Send(8, func(hca.Timing) {
+		if q.lost(epoch) {
+			// Request lost before the responder applied it: flush, so the
+			// requester may safely retry without double-applying.
+			q.outstanding--
+			if signaled {
+				q.CQ.push(CQE{QPN: qpn, WRID: wrid, Op: op, Status: StatusFlushErr, Bytes: 8})
+			}
+			return
+		}
 		var old uint64
 		if mr.Buf != nil {
 			b := mr.Buf[off : off+8]
@@ -351,6 +424,9 @@ func (q *QP) postAtomic(wr SendWR, mr *MR) {
 			}
 		}
 		resp.Send(8, func(hca.Timing) {
+			// The RMW was applied at the responder: complete successfully
+			// even if a failure struck while the response was in flight —
+			// retrying an applied atomic would double-apply it.
 			q.outstanding--
 			if signaled {
 				q.CQ.push(CQE{QPN: qpn, WRID: wrid, Op: op, Status: StatusSuccess, Bytes: 8, AtomicOld: old})

@@ -1,13 +1,32 @@
-package mpi
+// Failure injection: a lossy link retransmits but never corrupts. The loss
+// knob is expressed as a chaos plan (chaos.LegacyEveryN) rather than the
+// raw Config.FaultEvery magic number; this file lives in package mpi_test
+// because the chaos package imports mpi.
+package mpi_test
 
 import (
 	"bytes"
 	"testing"
 
+	"ib12x/internal/chaos"
 	"ib12x/internal/core"
+	"ib12x/internal/mpi"
 )
 
-// Failure injection: a lossy link retransmits but never corrupts.
+// faultCfg mirrors the in-package test helper: a two-level cluster with the
+// given shape and policy.
+func faultCfg(nodes, ppn, qps int, kind core.Kind) mpi.Config {
+	return mpi.Config{Nodes: nodes, ProcsPerNode: ppn, QPsPerPort: qps, Policy: kind}
+}
+
+func faultRun(t *testing.T, cfg mpi.Config, body func(c *mpi.Comm)) *mpi.Report {
+	t.Helper()
+	rep, err := mpi.Run(cfg, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
 
 func TestFaultyLinkDeliversCorrectPayloads(t *testing.T) {
 	const n = 256 * 1024
@@ -16,9 +35,9 @@ func TestFaultyLinkDeliversCorrectPayloads(t *testing.T) {
 		payload[i] = byte(i * 13)
 	}
 	got := make([]byte, n)
-	cfg := cfg(2, 1, 4, core.EPC)
-	cfg.FaultEvery = 5
-	rep := mustRun(t, cfg, func(c *Comm) {
+	cfg := faultCfg(2, 1, 4, core.EPC)
+	cfg.Chaos = chaos.LegacyEveryN(5)
+	rep := faultRun(t, cfg, func(c *mpi.Comm) {
 		if c.Rank() == 0 {
 			c.Send(1, 0, payload)
 		} else {
@@ -41,9 +60,11 @@ func TestFaultyLinkDeliversCorrectPayloads(t *testing.T) {
 
 func TestFaultyLinkSlowsButCompletes(t *testing.T) {
 	run := func(fault int64) float64 {
-		c := cfg(2, 1, 4, core.EPC)
-		c.FaultEvery = fault
-		rep := mustRun(t, c, func(c *Comm) {
+		c := faultCfg(2, 1, 4, core.EPC)
+		if fault > 0 {
+			c.Chaos = chaos.LegacyEveryN(fault)
+		}
+		rep := faultRun(t, c, func(c *mpi.Comm) {
 			if c.Rank() == 0 {
 				for i := 0; i < 8; i++ {
 					c.SendN(1, i, nil, 128*1024)
@@ -64,11 +85,11 @@ func TestFaultyLinkSlowsButCompletes(t *testing.T) {
 }
 
 func TestFaultyCollectivesCorrect(t *testing.T) {
-	c := cfg(2, 2, 2, core.EPC)
-	c.FaultEvery = 7
-	mustRun(t, c, func(c *Comm) {
+	c := faultCfg(2, 2, 2, core.EPC)
+	c.Chaos = chaos.LegacyEveryN(7)
+	faultRun(t, c, func(c *mpi.Comm) {
 		v := []int64{int64(c.Rank() + 1)}
-		c.AllreduceInt64(v, Sum)
+		c.AllreduceInt64(v, mpi.Sum)
 		if v[0] != 10 {
 			t.Errorf("allreduce under faults = %d, want 10", v[0])
 		}
@@ -85,4 +106,28 @@ func TestFaultyCollectivesCorrect(t *testing.T) {
 			}
 		}
 	})
+}
+
+// TestLegacyKnobAndPlanAgree pins the plan encoding of the loss knob to the
+// raw Config field: both must produce the same virtual run.
+func TestLegacyKnobAndPlanAgree(t *testing.T) {
+	body := func(c *mpi.Comm) {
+		if c.Rank() == 0 {
+			c.SendN(1, 0, nil, 192*1024)
+		} else {
+			c.RecvN(0, 0, nil, 192*1024)
+		}
+	}
+	a := faultCfg(2, 1, 4, core.EvenStriping)
+	a.FaultEvery = 9
+	repA := faultRun(t, a, body)
+
+	b := faultCfg(2, 1, 4, core.EvenStriping)
+	b.Chaos = chaos.LegacyEveryN(9)
+	repB := faultRun(t, b, body)
+
+	if repA.Elapsed != repB.Elapsed {
+		t.Errorf("FaultEvery=9 elapsed %v, chaos.LegacyEveryN(9) elapsed %v — encodings diverge",
+			repA.Elapsed, repB.Elapsed)
+	}
 }

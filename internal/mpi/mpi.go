@@ -65,8 +65,18 @@ type Config struct {
 	// Trace, when non-nil, records every rank's protocol events.
 	Trace *trace.Recorder
 	// FaultEvery injects a deterministic link error on every N-th chunk
-	// (0 = error-free). See hca.Port.ErrorEvery.
+	// (0 = error-free). See hca.Port.ErrorEvery. Prefer the Chaos plan:
+	// chaos.LegacyEveryN(n) expresses this knob as a one-event fault plan.
 	FaultEvery int64
+	// Chaos, when non-nil, is a fault plan armed against the world before
+	// the run starts (implemented by *chaos.Plan; the interface keeps the
+	// chaos package, whose oracle drives this one, out of mpi's imports).
+	Chaos ChaosPlan
+	// Deadline, when positive, bounds the run in virtual time: if any rank
+	// is still alive when the clock reaches it, Run returns a watchdog
+	// error listing the stuck ranks instead of simulating forever. The
+	// chaos oracle's no-deadlock invariant runs on this.
+	Deadline sim.Time
 	// NodesPerSwitch groups nodes under leaf switches of a two-level fat
 	// tree (0 = the paper's single switch); TrunkRate sets the per-leaf
 	// trunk bandwidth (0 = 1:1 with the link rate).
@@ -98,6 +108,13 @@ func (c Config) withDefaults() Config {
 
 // Size reports the world size the config produces.
 func (c Config) Size() int { return c.withDefaults().Nodes * c.withDefaults().ProcsPerNode }
+
+// ChaosPlan is a scheduled fault plan injectable into a run (see
+// internal/chaos). Arm schedules the plan's events on the engine against the
+// freshly built world, before any rank starts.
+type ChaosPlan interface {
+	Arm(eng *sim.Engine, w *adi.World)
+}
 
 // Report summarises a finished run.
 type Report struct {
@@ -132,6 +149,7 @@ func Run(cfg Config, body func(c *Comm)) (*Report, error) {
 	eng := sim.NewEngine()
 	world := adi.NewWorld(eng, cfg.Model, spec, adi.Options{
 		Policy:     cfg.Policy,
+		PolicyImpl: cfg.PolicyImpl,
 		MinStripe:  cfg.MinStripe,
 		BindRail:   cfg.BindRail,
 		SQDepth:    cfg.SQDepth,
@@ -144,6 +162,9 @@ func Run(cfg Config, body func(c *Comm)) (*Report, error) {
 		RankStats: make([]adi.Stats, spec.Size()),
 		World:     world,
 	}
+	if cfg.Chaos != nil {
+		cfg.Chaos.Arm(eng, world)
+	}
 	world.Spawn("mpi", func(ep *adi.Endpoint) {
 		c := newWorld(ep, spec.Size())
 		body(c)
@@ -151,7 +172,15 @@ func Run(cfg Config, body func(c *Comm)) (*Report, error) {
 		c.Barrier() // drain
 		rep.RankStats[ep.Rank] = ep.Stats()
 	})
-	if err := eng.Run(); err != nil {
+	if cfg.Deadline > 0 {
+		if err := eng.RunUntil(cfg.Deadline); err != nil {
+			return nil, fmt.Errorf("mpi: %w", err)
+		}
+		if n := eng.LiveProcs(); n > 0 {
+			return nil, fmt.Errorf("mpi: watchdog: %d ranks still running at virtual deadline %v; parked: %v",
+				n, cfg.Deadline, eng.ParkedProcs())
+		}
+	} else if err := eng.Run(); err != nil {
 		return nil, fmt.Errorf("mpi: %w", err)
 	}
 	for _, t := range rep.BodyEnd {

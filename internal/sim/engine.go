@@ -251,6 +251,24 @@ func (e *Engine) deadlock() *DeadlockError {
 // performance analysis of the simulator itself).
 func (e *Engine) EventsFired() uint64 { return e.fired }
 
+// LiveProcs reports spawned procs whose bodies have not returned. A nonzero
+// value after RunUntil means the run did not complete within the horizon —
+// the virtual-time watchdog signal used by the chaos harness.
+func (e *Engine) LiveProcs() int { return e.nprocs }
+
+// ParkedProcs lists "name: reason" for every live parked proc, sorted, for
+// watchdog diagnostics.
+func (e *Engine) ParkedProcs() []string {
+	var out []string
+	for _, p := range e.procRegistry {
+		if !p.dead && p.parked {
+			out = append(out, p.name+": "+p.why)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
 // RunUntil executes the simulation until the clock would pass the deadline:
 // all events at times ≤ deadline run; the engine then stops with pending
 // later events intact. It returns nil even if procs remain parked (they

@@ -26,6 +26,10 @@ const (
 	KindDeliver
 	KindShmem
 	KindRMA
+	// KindRetransmit records a work request rerouted onto a surviving rail
+	// after its original rail died mid-flight (chaos harness); Rail is the
+	// rail the WR was flushed from.
+	KindRetransmit
 )
 
 func (k Kind) String() string {
@@ -48,6 +52,8 @@ func (k Kind) String() string {
 		return "SHMEM"
 	case KindRMA:
 		return "RMA"
+	case KindRetransmit:
+		return "RETRANS"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
