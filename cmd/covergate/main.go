@@ -56,7 +56,7 @@ func main() {
 	pct := 100 * float64(hit) / float64(total)
 
 	if *record {
-		body := fmt.Sprintf("%.1f\n", pct)
+		body := fmt.Sprintf("%s%.1f\n", floorHeader, pct)
 		if err := os.WriteFile(*floorFile, []byte(body), 0o644); err != nil {
 			fatalf("recording floor: %v", err)
 		}
@@ -110,6 +110,14 @@ func readProfile(path string, covered map[block]bool) error {
 }
 
 // readFloor parses the floor percentage, tolerating comments and blank lines.
+// floorHeader keeps the floor file self-documenting across -record
+// rewrites (readFloor skips # lines).
+const floorHeader = `# Statement-coverage floor for internal/{core,adi,sim,chaos,buf,harness},
+# enforced by ` + "`make cover`" + ` (cmd/covergate). Re-record with
+#   go run ./cmd/covergate -record
+# only when a PR legitimately moves coverage.
+`
+
 func readFloor(path string) (float64, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {

@@ -1,32 +1,49 @@
 // Command perfgate runs the hot-path wall-clock benchmarks
 // (BenchmarkFig04/06/07/08 with -benchmem), records the results in
 // BENCH_hotpath.json next to the seed baseline, and — in gate mode —
-// fails if the headline benchmark regresses past the budget.
+// fails if any gated figure regresses past its budget.
 //
 // Usage:
 //
 //	perfgate                 # run, print, write BENCH_hotpath.json
-//	perfgate -gate           # also enforce the Fig06 improvement floor
+//	perfgate -gate           # also enforce the per-figure floors
 //	perfgate -benchtime 5x   # more iterations (steadier numbers)
+//	perfgate -samples 5      # repeat each benchmark, report mean ± stddev
 //	perfgate -o path.json    # alternate output file
 //
-// The gate asserts BenchmarkFig06UniBW (the window-64 bandwidth sweep,
-// the allocation-heaviest figure) holds the improvement the hot-path
-// overhaul landed: ns/op at least 25% below the seed and allocs/op at
-// least 50% below the seed. The other figures are recorded but not
-// gated — they are smaller and noisier on shared machines.
+// The test binary is compiled once; each (benchmark, sample) cell then
+// runs as its own child process, fanned out over the harness pool. The
+// virtual-time results inside every simulation are deterministic, so
+// parallel cells only affect wall-clock noise: allocs/op is exact
+// regardless of concurrency, and ns/op on a loaded multicore machine is
+// read as "loaded machine" — force IB12X_WORKERS=1 for quiet timings.
+//
+// Gates: BenchmarkFig06UniBW (the window-64 bandwidth sweep, the
+// allocation-heaviest figure) must hold ns/op at least 25% below the
+// seed and allocs/op at least 50% below it (with -samples > 1 the ns
+// gate judges the fastest sample — background load only ever inflates
+// wall clock). The zero-copy payload path
+// cut the other figures' allocations by >90% as well, so Fig04/Fig07/
+// Fig08 gate allocs/op too (allocation counts are exact, so the floors
+// are tight); their ns/op is recorded but not gated — those runs are
+// shorter and noisier on shared machines.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
+
+	"ib12x/internal/harness"
 )
 
 // seedBaseline holds the pre-overhaul numbers, measured on the growth
@@ -39,35 +56,66 @@ var seedBaseline = map[string]Result{
 	"BenchmarkFig08Alltoall":     {NsPerOp: 17535687, AllocsPerOp: 110807},
 }
 
-// Gate thresholds (fractions of the seed value that must be shaved).
-const (
-	gateBench      = "BenchmarkFig06UniBW"
-	gateNsFloor    = 0.25
-	gateAllocFloor = 0.50
-)
+// gate is one benchmark's budget, expressed as the fraction of the seed
+// value that must be shaved. nsFloor 0 means ns/op is not gated.
+type gateSpec struct {
+	nsFloor    float64
+	allocFloor float64
+}
 
-// Result is one benchmark measurement.
+// gates: Fig06 carries the headline ns+alloc floor; the other figures
+// gate allocations only. The alloc floors sit far above the measured
+// post-overhaul counts (98%+ cuts) but far below the seed, so they trip
+// on any real leak of per-chunk or per-WR garbage without flaking.
+var gates = map[string]gateSpec{
+	"BenchmarkFig06UniBW":        {nsFloor: 0.25, allocFloor: 0.50},
+	"BenchmarkFig04LargeLatency": {allocFloor: 0.80},
+	"BenchmarkFig07BiBW":         {allocFloor: 0.80},
+	"BenchmarkFig08Alltoall":     {allocFloor: 0.80},
+}
+
+// Result is one benchmark measurement. With -samples > 1 the fields are
+// means across samples, NsStddev carries the ns/op spread, and NsMin the
+// fastest sample — the least noise-inflated wall-clock estimate, which
+// is what the ns gate judges.
 type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
+	NsStddev    float64 `json:"ns_stddev,omitempty"`
+	NsMin       float64 `json:"ns_min,omitempty"`
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// gateNs is the ns/op value a gate judges: the fastest sample when
+// several were taken (background load only ever inflates wall clock),
+// else the single measurement.
+func (r Result) gateNs() float64 {
+	if r.NsMin > 0 {
+		return r.NsMin
+	}
+	return r.NsPerOp
 }
 
 // Report is the BENCH_hotpath.json document.
 type Report struct {
 	Date      string            `json:"date"`
 	Benchtime string            `json:"benchtime"`
+	Samples   int               `json:"samples,omitempty"`
 	Seed      map[string]Result `json:"seed"`
 	Current   map[string]Result `json:"current"`
 }
 
 func main() {
-	gate := flag.Bool("gate", false, "fail unless the Fig06 improvement floor holds")
+	gate := flag.Bool("gate", false, "fail unless every per-figure floor holds")
 	benchtime := flag.String("benchtime", "3x", "go test -benchtime value")
+	samples := flag.Int("samples", 1, "runs per benchmark; >1 reports mean ± stddev")
 	out := flag.String("o", "BENCH_hotpath.json", "output file")
 	flag.Parse()
 
-	current, err := runBenchmarks(*benchtime)
+	if *samples < 1 {
+		*samples = 1
+	}
+	current, err := runBenchmarks(*benchtime, *samples)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "perfgate:", err)
 		os.Exit(1)
@@ -78,6 +126,9 @@ func main() {
 		Benchtime: *benchtime,
 		Seed:      seedBaseline,
 		Current:   current,
+	}
+	if *samples > 1 {
+		rep.Samples = *samples
 	}
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -90,41 +141,54 @@ func main() {
 		os.Exit(1)
 	}
 
-	for name, seed := range seedBaseline {
+	for _, name := range benchNames() {
+		seed := seedBaseline[name]
 		cur, ok := current[name]
 		if !ok {
 			fmt.Printf("%-28s (missing)\n", name)
 			continue
 		}
-		fmt.Printf("%-28s ns/op %12.0f (seed %12.0f, %+6.1f%%)  allocs/op %9d (seed %9d, %+6.1f%%)\n",
-			name, cur.NsPerOp, seed.NsPerOp, pct(cur.NsPerOp, seed.NsPerOp),
+		spread := ""
+		if cur.NsStddev > 0 {
+			spread = fmt.Sprintf(" ±%.0f", cur.NsStddev)
+		}
+		fmt.Printf("%-28s ns/op %12.0f%s (seed %12.0f, %+6.1f%%)  allocs/op %9d (seed %9d, %+6.1f%%)\n",
+			name, cur.NsPerOp, spread, seed.NsPerOp, pct(cur.NsPerOp, seed.NsPerOp),
 			cur.AllocsPerOp, seed.AllocsPerOp, pct(float64(cur.AllocsPerOp), float64(seed.AllocsPerOp)))
 	}
 	fmt.Println("wrote", *out)
 
 	if *gate {
-		cur, ok := current[gateBench]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "perfgate: gate benchmark %s missing from output\n", gateBench)
-			os.Exit(1)
-		}
-		seed := seedBaseline[gateBench]
 		failed := false
-		if cur.NsPerOp > seed.NsPerOp*(1-gateNsFloor) {
-			fmt.Fprintf(os.Stderr, "perfgate: %s ns/op %.0f exceeds the budget %.0f (seed %.0f - %.0f%%)\n",
-				gateBench, cur.NsPerOp, seed.NsPerOp*(1-gateNsFloor), seed.NsPerOp, gateNsFloor*100)
-			failed = true
-		}
-		if float64(cur.AllocsPerOp) > float64(seed.AllocsPerOp)*(1-gateAllocFloor) {
-			fmt.Fprintf(os.Stderr, "perfgate: %s allocs/op %d exceeds the budget %.0f (seed %d - %.0f%%)\n",
-				gateBench, cur.AllocsPerOp, float64(seed.AllocsPerOp)*(1-gateAllocFloor), seed.AllocsPerOp, gateAllocFloor*100)
-			failed = true
+		for _, name := range benchNames() {
+			g, gated := gates[name]
+			if !gated {
+				continue
+			}
+			cur, ok := current[name]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "perfgate: gated benchmark %s missing from output\n", name)
+				failed = true
+				continue
+			}
+			seed := seedBaseline[name]
+			if g.nsFloor > 0 && cur.gateNs() > seed.NsPerOp*(1-g.nsFloor) {
+				fmt.Fprintf(os.Stderr, "perfgate: %s ns/op %.0f exceeds the budget %.0f (seed %.0f - %.0f%%); rerun with -samples 3 on a noisy machine\n",
+					name, cur.gateNs(), seed.NsPerOp*(1-g.nsFloor), seed.NsPerOp, g.nsFloor*100)
+				failed = true
+			}
+			if float64(cur.AllocsPerOp) > float64(seed.AllocsPerOp)*(1-g.allocFloor) {
+				fmt.Fprintf(os.Stderr, "perfgate: %s allocs/op %d exceeds the budget %.0f (seed %d - %.0f%%)\n",
+					name, cur.AllocsPerOp, float64(seed.AllocsPerOp)*(1-g.allocFloor), seed.AllocsPerOp, g.allocFloor*100)
+				failed = true
+			}
 		}
 		if failed {
 			os.Exit(1)
 		}
-		fmt.Printf("gate OK: %s holds ns/op -%.0f%% and allocs/op -%.0f%% vs seed\n",
-			gateBench, gateNsFloor*100, gateAllocFloor*100)
+		fmt.Printf("gate OK: Fig06 holds ns/op -%.0f%% and allocs/op -%.0f%%; Fig04/07/08 hold allocs/op -%.0f%% vs seed\n",
+			gates["BenchmarkFig06UniBW"].nsFloor*100, gates["BenchmarkFig06UniBW"].allocFloor*100,
+			gates["BenchmarkFig04LargeLatency"].allocFloor*100)
 	}
 }
 
@@ -135,22 +199,90 @@ func pct(cur, seed float64) float64 {
 	return (cur - seed) / seed * 100
 }
 
+// benchNames returns the benchmark set in stable order.
+func benchNames() []string {
+	ks := make([]string, 0, len(seedBaseline))
+	for k := range seedBaseline {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
 // benchLine matches `go test -bench -benchmem` output, e.g.
 // BenchmarkFig06UniBW  3  182581294 ns/op ... 58294416 B/op  1140271 allocs/op
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(.*)$`)
 
-func runBenchmarks(benchtime string) (map[string]Result, error) {
-	pattern := "^(" + strings.Join(keys(seedBaseline), "|") + ")$"
-	cmd := exec.Command("go", "test", "-run", "^$",
-		"-bench", pattern, "-benchmem", "-benchtime", benchtime, ".")
+// runBenchmarks compiles the test binary once, then runs every
+// (benchmark, sample) cell as its own child process through the harness
+// pool, and folds the samples into per-benchmark means.
+func runBenchmarks(benchtime string, samples int) (map[string]Result, error) {
+	dir, err := os.MkdirTemp("", "perfgate-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	bin := filepath.Join(dir, "ib12x.test")
+	if out, err := exec.Command("go", "test", "-c", "-o", bin, ".").CombinedOutput(); err != nil {
+		return nil, fmt.Errorf("go test -c: %v\n%s", err, out)
+	}
+
+	type cell struct {
+		bench  string
+		sample int
+	}
+	var cells []cell
+	for _, name := range benchNames() {
+		for s := 0; s < samples; s++ {
+			cells = append(cells, cell{name, s})
+		}
+	}
+	raw, err := harness.Map(cells, func(c cell) (Result, error) {
+		return runOne(bin, c.bench, benchtime)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	results := map[string]Result{}
+	for _, name := range benchNames() {
+		var ns []float64
+		var agg Result
+		for i, c := range cells {
+			if c.bench != name {
+				continue
+			}
+			ns = append(ns, raw[i].NsPerOp)
+			agg.BytesPerOp += raw[i].BytesPerOp
+			agg.AllocsPerOp += raw[i].AllocsPerOp
+		}
+		n := int64(len(ns))
+		agg.BytesPerOp /= n
+		agg.AllocsPerOp /= n
+		agg.NsPerOp, agg.NsStddev = meanStddev(ns)
+		if len(ns) > 1 {
+			agg.NsMin = ns[0]
+			for _, x := range ns[1:] {
+				agg.NsMin = math.Min(agg.NsMin, x)
+			}
+		}
+		results[name] = agg
+	}
+	return results, nil
+}
+
+// runOne executes a single benchmark in a child process and parses its
+// one result line.
+func runOne(bin, bench, benchtime string) (Result, error) {
+	cmd := exec.Command(bin, "-test.run", "^$",
+		"-test.bench", "^"+bench+"$", "-test.benchmem", "-test.benchtime", benchtime)
 	out, err := cmd.CombinedOutput()
 	if err != nil {
-		return nil, fmt.Errorf("go test -bench: %v\n%s", err, out)
+		return Result{}, fmt.Errorf("%s: %v\n%s", bench, err, out)
 	}
-	results := map[string]Result{}
 	for _, line := range strings.Split(string(out), "\n") {
 		m := benchLine.FindStringSubmatch(line)
-		if m == nil {
+		if m == nil || m[1] != bench {
 			continue
 		}
 		r := Result{}
@@ -165,18 +297,24 @@ func runBenchmarks(benchtime string) (map[string]Result, error) {
 				r.AllocsPerOp, _ = strconv.ParseInt(rest[i-1], 10, 64)
 			}
 		}
-		results[m[1]] = r
+		return r, nil
 	}
-	if len(results) == 0 {
-		return nil, fmt.Errorf("no benchmark lines parsed from output:\n%s", out)
-	}
-	return results, nil
+	return Result{}, fmt.Errorf("%s: no benchmark line in output:\n%s", bench, out)
 }
 
-func keys(m map[string]Result) []string {
-	ks := make([]string, 0, len(m))
-	for k := range m {
-		ks = append(ks, k)
+// meanStddev returns the mean and (for n > 1) the sample standard
+// deviation of xs.
+func meanStddev(xs []float64) (mean, stddev float64) {
+	for _, x := range xs {
+		mean += x
 	}
-	return ks
+	mean /= float64(len(xs))
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		ss += (x - mean) * (x - mean)
+	}
+	return mean, math.Sqrt(ss / float64(len(xs)-1))
 }

@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"ib12x/internal/bench"
+	"ib12x/internal/harness"
 	"ib12x/internal/stats"
 )
 
@@ -56,12 +57,21 @@ func supplementary(o bench.FigOpts) error {
 		bench.HCAGenerationTable,
 		func(bench.FigOpts) (*stats.Table, error) { return bench.NoDegradationTable() },
 	}
-	for _, g := range gens {
+	// Each generator runs its own simulations against a fresh world, so the
+	// set fans out across the harness pool; printing stays in order, so the
+	// output is byte-identical to a serial loop.
+	tables, err := harness.Map(gens, func(g func(bench.FigOpts) (*stats.Table, error)) (string, error) {
 		t, err := g(o)
 		if err != nil {
-			return err
+			return "", err
 		}
-		fmt.Println(t.Format())
+		return t.Format(), nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, t := range tables {
+		fmt.Println(t)
 	}
 	return nil
 }
@@ -105,26 +115,33 @@ func run(fig string, o bench.FigOpts) error {
 		}
 		fmt.Println()
 	}
+	var selected []string
 	for _, k := range order {
-		if fig != "all" && fig != k {
-			continue
+		if fig == "all" || fig == k {
+			selected = append(selected, k)
 		}
+	}
+	if len(selected) == 0 {
+		return fmt.Errorf("unknown figure %q (want 3..12, headline, all)", fig)
+	}
+	// Every figure generator builds fresh simulations, so the whole sweep
+	// fans out over the harness pool; results print in figure order, making
+	// the output byte-identical to the serial loop regardless of worker
+	// count.
+	tables, err := harness.Map(selected, func(k string) (string, error) {
+		t, err := gens[k].fn(o)
+		if err != nil {
+			return "", err
+		}
+		return t.Format(), nil
+	})
+	if err != nil {
+		return err
+	}
+	for i, k := range selected {
 		g := gens[k]
 		fmt.Printf("==== %s ====\n(%s)\n", g.name, g.notes)
-		t, err := g.fn(o)
-		if err != nil {
-			return err
-		}
-		fmt.Println(t.Format())
-		if fig != "all" {
-			return nil
-		}
-	}
-	if fig == "all" {
-		return nil
-	}
-	if _, ok := gens[fig]; !ok {
-		return fmt.Errorf("unknown figure %q (want 3..12, headline, all)", fig)
+		fmt.Println(tables[i])
 	}
 	return nil
 }

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 
+	"ib12x/internal/buf"
 	"ib12x/internal/core"
 )
 
@@ -68,6 +69,13 @@ type Request struct {
 	// Rendezvous send state.
 	writesLeft int
 	mrKey      uint32
+
+	// owner is the payload view a bulk send/put holds while its bytes are
+	// exposed to the transport: a Wrap of the user's buffer (zero-copy, no
+	// capture) retained until the protocol guarantees remote placement
+	// (FIN/DONE or the final stripe ack), so a stripe retransmitted after a
+	// rail death always references live bytes.
+	owner buf.View
 
 	// Atomic result (FetchAtomic requests).
 	atomicOld uint64
@@ -143,16 +151,17 @@ type envelope struct {
 	size  int
 	seq   uint64
 	class core.Class // sender-side marker class (RTS; drives RGET striping)
-	data  []byte     // owned eager payload (nil = synthetic)
-	shm   bool       // arrived via the shared-memory channel
+
+	// pay is the envelope's owned payload view (zero = synthetic): the one
+	// capture copy an eager/message-RMA send makes. Every downstream layer
+	// borrows it; the receiver's pool.put releases it after delivery.
+	pay buf.View
+
+	shm bool // arrived via the shared-memory channel
 
 	// arrSeq orders unexpected arrivals globally on the receiving endpoint
 	// (assigned when the envelope parks in the unexpected index).
 	arrSeq uint64
-
-	// scratch is the bounce-buffer capacity retained across pool recycling;
-	// data is carved from it via ensureBuf for owned payload copies.
-	scratch []byte
 
 	// Request references: stand-ins for the request identifiers MVAPICH
 	// embeds in its control messages.

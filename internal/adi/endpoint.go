@@ -3,6 +3,7 @@ package adi
 import (
 	"fmt"
 
+	"ib12x/internal/buf"
 	"ib12x/internal/core"
 	"ib12x/internal/ib"
 	"ib12x/internal/model"
@@ -44,7 +45,6 @@ type Conn struct {
 type pendingEnvelope struct {
 	rail     int
 	env      *envelope
-	data     []byte
 	wireN    int
 	onPosted func()
 }
@@ -92,6 +92,7 @@ type Endpoint struct {
 	arrSeq  uint64    // next unexpected arrival-order stamp
 
 	pool    *envPool   // World-shared envelope pool
+	bufs    *buf.Pool  // World-shared payload block pool
 	reqFree []*Request // recycled requests of this endpoint
 
 	wrID       uint64
@@ -122,7 +123,7 @@ type inflightWR struct {
 
 // newEndpoint wires the passive state; connections are added by the World
 // builder.
-func newEndpoint(rank int, eng *sim.Engine, m *model.Params, realm *ib.Realm, policy core.Policy, rndv RndvProto, nranks int, pool *envPool) *Endpoint {
+func newEndpoint(rank int, eng *sim.Engine, m *model.Params, realm *ib.Realm, policy core.Policy, rndv RndvProto, nranks int, pool *envPool, bufs *buf.Pool) *Endpoint {
 	ep := &Endpoint{
 		Rank:       rank,
 		eng:        eng,
@@ -138,6 +139,7 @@ func newEndpoint(rank int, eng *sim.Engine, m *model.Params, realm *ib.Realm, po
 		onAtomic:   make(map[uint64]*Request),
 		backlog:    make(map[*ib.QP][]deferredWR),
 		pool:       pool,
+		bufs:       bufs,
 	}
 	ep.cq.SetNotify(func() { ep.wake() })
 	for i := 0; i < srqPrepost; i++ {
@@ -247,6 +249,19 @@ func (ep *Endpoint) PostRecv(src, tag, ctxID int, buf []byte, n int) *Request {
 	return req
 }
 
+// capture copies the first n bytes of data into a pooled payload view — the
+// single capture copy of the bounce-buffered paths. nil data (synthetic
+// traffic) yields the zero view. The caller owns the returned reference and
+// accounts the copy's CPU cost where its path models it.
+func (ep *Endpoint) capture(data []byte, n int) buf.View {
+	if data == nil {
+		return buf.View{}
+	}
+	v := ep.bufs.Get(n)
+	copy(v.Bytes(), data[:n])
+	return v
+}
+
 // sendSelf loops a message back to the sending rank through the normal
 // matching path: the payload is buffered (one copy charge) and matched
 // against posted receives or parked on the unexpected queue. All sizes are
@@ -255,7 +270,7 @@ func (ep *Endpoint) sendSelf(req *Request) {
 	env := ep.pool.get()
 	env.kind, env.src, env.tag, env.ctxID, env.size = envEager, ep.Rank, req.tag, req.ctxID, req.n
 	if req.data != nil {
-		copy(env.ensureBuf(req.n), req.data[:req.n])
+		env.pay = ep.capture(req.data, req.n)
 		ep.charge(sim.TransferTime(int64(req.n), ep.m.EagerCopyRate))
 	}
 	req.status = Status{Source: ep.Rank, Tag: req.tag, Count: req.n}
@@ -338,7 +353,7 @@ func (ep *Endpoint) progressOnce() bool {
 		if !ok2 {
 			panic("adi: shmem message without envelope")
 		}
-		env.data = msg.Data // payload rides the channel, not the envelope
+		env.pay = msg.Pay // payload view rides the channel, not the envelope
 		ep.inbound(env)
 		return true
 	}
@@ -439,11 +454,13 @@ func (ep *Endpoint) inbound(env *envelope) {
 // sendEnvelope transmits a channel message (anything carried by an OpSend:
 // eager data, RTS/CTS/FIN/DONE, message-based RMA), consuming one credit
 // and piggybacking any owed credits. With the pool empty the message waits
-// in the connection's credit queue.
-func (ep *Endpoint) sendEnvelope(conn *Conn, rail int, env *envelope, data []byte, wireN int, onPosted func()) {
+// in the connection's credit queue. The WR borrows the envelope's payload
+// view; the envelope outlives the WR (it is freed by the receiver after
+// delivery), so no extra reference is needed even across retransmissions.
+func (ep *Endpoint) sendEnvelope(conn *Conn, rail int, env *envelope, wireN int, onPosted func()) {
 	if conn.credits <= 0 {
 		ep.stats.CreditStalls++
-		conn.creditQueue = append(conn.creditQueue, pendingEnvelope{rail, env, data, wireN, onPosted})
+		conn.creditQueue = append(conn.creditQueue, pendingEnvelope{rail, env, wireN, onPosted})
 		return
 	}
 	conn.credits--
@@ -451,7 +468,7 @@ func (ep *Endpoint) sendEnvelope(conn *Conn, rail int, env *envelope, data []byt
 	conn.owed = 0
 	ep.post(conn, rail, ib.SendWR{
 		WRID: ep.nextWRID(nil), Op: ib.OpSend,
-		Data: data, N: wireN,
+		Data: env.pay.Bytes(), N: wireN,
 		Signaled: true, Ctx: env,
 	}, onPosted)
 }
@@ -466,7 +483,7 @@ func (ep *Endpoint) creditArrived(conn *Conn, n int) {
 		pe := conn.creditQueue[0]
 		conn.creditQueue[0] = pendingEnvelope{} // unpin the shifted-out entry
 		conn.creditQueue = conn.creditQueue[1:]
-		ep.sendEnvelope(conn, pe.rail, pe.env, pe.data, pe.wireN, pe.onPosted)
+		ep.sendEnvelope(conn, pe.rail, pe.env, pe.wireN, pe.onPosted)
 	}
 }
 

@@ -186,8 +186,8 @@ func cutEnv(q []*envelope, i int) []*envelope {
 // envPool recycles protocol envelopes. Envelopes are allocated at the
 // sending endpoint but consumed (and thus freed) at the receiving one, so
 // the pool is shared per World — the single-threaded engine makes that safe
-// without locks. Each envelope retains its bounce-buffer capacity (scratch)
-// across recycling, so steady-state eager traffic with real payloads stops
+// without locks. Payload capacity is recycled separately through the world's
+// buf.Pool, so steady-state eager traffic with real payloads stops
 // allocating buffers too.
 type envPool struct {
 	free []*envelope
@@ -203,22 +203,13 @@ func (p *envPool) get() *envelope {
 	return &envelope{}
 }
 
-// put recycles an envelope whose terminal handler has run. The payload slice
-// is dropped (shared-memory payloads are link-owned); only the scratch
-// capacity survives.
+// put recycles an envelope whose terminal handler has run, releasing the
+// envelope's reference on its payload view (the last one, on the eager and
+// message-RMA paths — the backing block returns to the world's buf.Pool).
 func (p *envPool) put(env *envelope) {
-	*env = envelope{scratch: env.scratch[:0]}
+	env.pay.Release()
+	*env = envelope{}
 	p.free = append(p.free, env)
-}
-
-// ensureBuf returns env.data sized to n, reusing the envelope's retained
-// bounce-buffer capacity when it suffices.
-func (env *envelope) ensureBuf(n int) []byte {
-	if cap(env.scratch) < n {
-		env.scratch = make([]byte, n)
-	}
-	env.data = env.scratch[:n]
-	return env.data
 }
 
 // ---- request pool ----
@@ -243,6 +234,10 @@ func (r *Request) Release() {
 	if r == nil || r.ep == nil {
 		return
 	}
+	// The protocol releases r.owner at FIN/DONE/final-ack and clears it;
+	// this release is a defensive no-op unless the request is being
+	// abandoned with its transfer still in flight.
+	r.owner.Release()
 	ep := r.ep
 	*r = Request{}
 	ep.reqFree = append(ep.reqFree, r)

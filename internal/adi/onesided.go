@@ -1,6 +1,7 @@
 package adi
 
 import (
+	"ib12x/internal/buf"
 	"ib12x/internal/core"
 	"ib12x/internal/ib"
 	"ib12x/internal/sim"
@@ -99,19 +100,29 @@ func (ep *Endpoint) PutBulk(peer, winID int, rkey uint32, off int, data []byte, 
 		req.done = true
 		return req, true
 	}
-	// RDMA path: plan stripes; the request completes when all writes ack
-	// (ack implies remote placement under RC).
+	// RDMA path: plan stripes over retained sub-views of the wrapped source
+	// buffer (zero-copy, as in rendezvous); the request completes — and the
+	// base reference drops — when all writes ack (ack implies remote
+	// placement under RC).
+	if data != nil {
+		req.owner = ep.bufs.Wrap(data[:n])
+	}
 	plan := ep.policy.PlanBulk(class, n, len(conn.rails), &conn.sched)
 	req.writesLeft = len(plan)
 	for _, s := range plan {
 		var chunk []byte
-		if data != nil {
-			chunk = data[s.Off : s.Off+s.N]
+		var sv buf.View
+		if !req.owner.Zero() {
+			sv = req.owner.Slice(s.Off, s.N).Retain()
+			chunk = sv.Bytes()
 		}
 		ep.charge(ep.m.CPUPostWQE + ep.m.DoorbellTime)
 		wrid := ep.nextWRID(func() {
+			sv.Release()
 			req.writesLeft--
 			if req.writesLeft == 0 {
+				req.owner.Release()
+				req.owner = buf.View{}
 				req.done = true
 			}
 		})
@@ -251,26 +262,30 @@ func applyAtomic(win *winInfo, off int, cas bool, arg1, arg2 uint64) uint64 {
 }
 
 // sendRMAMsg ships a message-based RMA envelope (put/accumulate/get
-// request) with an owned payload copy over the conn's transport.
+// request) with a captured payload view over the conn's transport. Over
+// shared memory the view rides the channel (attached to the envelope at the
+// receiver); over rails it rides the envelope directly. Either way the
+// receiver's pool.put releases the one reference.
 func (ep *Endpoint) sendRMAMsg(conn *Conn, env *envelope, data []byte, n int) {
+	pay := ep.capture(data, n)
 	if data != nil {
-		copy(env.ensureBuf(n), data[:n])
 		ep.charge(sim.TransferTime(int64(n), ep.m.EagerCopyRate))
 	}
 	env.seq = conn.sendSeq
 	conn.sendSeq++
 	if conn.sh != nil {
 		env.shm = true
-		senderDone := conn.sh.Send(env.data, n, env)
+		senderDone := conn.sh.Send(pay, n, env)
 		if d := senderDone - ep.eng.Now(); d > 0 {
 			ep.proc.Sleep(d)
 		}
 		ep.stats.ShmemSent++
 		return
 	}
+	env.pay = pay
 	ep.charge(ep.m.CPUHeaderProc + ep.m.CPUPostWQE + ep.m.DoorbellTime)
 	rail := ep.policy.PickEager(core.NonBlocking, n, len(conn.rails), &conn.sched)
-	ep.sendEnvelope(conn, rail, env, env.data, n+ep.m.MPIHeaderBytes, nil)
+	ep.sendEnvelope(conn, rail, env, n+ep.m.MPIHeaderBytes, nil)
 	ep.stats.EagerSent++
 }
 
@@ -282,14 +297,14 @@ func (ep *Endpoint) handleRMA(env *envelope) {
 	}
 	switch env.kind {
 	case envPut:
-		if win.buf != nil && env.data != nil {
-			copy(win.buf[env.off:env.off+env.size], env.data[:env.size])
+		if win.buf != nil && !env.pay.Zero() {
+			copy(win.buf[env.off:env.off+env.size], env.pay.Bytes()[:env.size])
 		}
 		ep.charge(sim.TransferTime(int64(env.size), ep.m.EagerCopyRate))
 		win.processed++
 		win.w.WakeAll()
 	case envAccum:
-		applyAccumulate(win, env.off, env.data, env.size, env.accOp)
+		applyAccumulate(win, env.off, env.pay.Bytes(), env.size, env.accOp)
 		ep.charge(sim.TransferTime(int64(env.size), ep.m.EagerCopyRate))
 		win.processed++
 		win.w.WakeAll()
@@ -323,8 +338,8 @@ func (ep *Endpoint) handleAtomicResp(env *envelope) {
 // handleGetResp completes a message-based Get at the requester.
 func (ep *Endpoint) handleGetResp(env *envelope) {
 	req := env.rreq
-	if req.data != nil && env.data != nil {
-		copy(req.data[:env.size], env.data[:env.size])
+	if req.data != nil && !env.pay.Zero() {
+		copy(req.data[:env.size], env.pay.Bytes()[:env.size])
 	}
 	ep.charge(sim.TransferTime(int64(env.size), ep.m.EagerCopyRate))
 	req.done = true

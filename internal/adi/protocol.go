@@ -1,6 +1,7 @@
 package adi
 
 import (
+	"ib12x/internal/buf"
 	"ib12x/internal/ib"
 	"ib12x/internal/sim"
 	"ib12x/internal/trace"
@@ -8,16 +9,16 @@ import (
 
 // ---- eager protocol (size < RendezvousThreshold) ----
 
-// sendEager copies the payload into a bounce buffer and ships it whole on
-// the rail the policy picks. The request completes immediately (buffered
-// send semantics, as in MVAPICH).
+// sendEager captures the payload into a pooled view — the one copy of the
+// eager path — and ships it whole on the rail the policy picks. The request
+// completes immediately (buffered send semantics, as in MVAPICH).
 func (ep *Endpoint) sendEager(conn *Conn, req *Request) {
 	env := ep.pool.get()
 	env.kind, env.src, env.tag, env.ctxID = envEager, ep.Rank, req.tag, req.ctxID
 	env.size, env.seq = req.n, conn.sendSeq
 	conn.sendSeq++
 	if req.data != nil {
-		copy(env.ensureBuf(req.n), req.data[:req.n])
+		env.pay = ep.capture(req.data, req.n)
 		ep.charge(sim.TransferTime(int64(req.n), ep.m.EagerCopyRate))
 	}
 	rail := ep.policy.PickEager(req.class, req.n, len(conn.rails), &conn.sched)
@@ -28,7 +29,7 @@ func (ep *Endpoint) sendEager(conn *Conn, req *Request) {
 	// descriptor reaches the hardware. If the send queue is full or the
 	// credit pool is empty, it completes when the stall drains (so a Wait
 	// keeps progress alive).
-	ep.sendEnvelope(conn, rail, env, env.data, req.n+ep.m.MPIHeaderBytes, func() { req.done = true })
+	ep.sendEnvelope(conn, rail, env, req.n+ep.m.MPIHeaderBytes, func() { req.done = true })
 	ep.stats.EagerSent++
 }
 
@@ -39,8 +40,8 @@ func (ep *Endpoint) deliverEager(req *Request, env *envelope) {
 		n = req.n
 		req.status.Err = ErrTruncated
 	}
-	if req.data != nil && env.data != nil {
-		copy(req.data[:n], env.data[:n])
+	if req.data != nil && !env.pay.Zero() {
+		copy(req.data[:n], env.pay.Bytes()[:n])
 	}
 	rate := ep.m.EagerCopyRate
 	if env.shm {
@@ -65,6 +66,12 @@ func (ep *Endpoint) sendRTS(conn *Conn, req *Request) {
 	env.kind, env.src, env.tag, env.ctxID = envRTS, ep.Rank, req.tag, req.ctxID
 	env.size, env.seq, env.sreq, env.class = req.n, conn.sendSeq, req, req.class
 	conn.sendSeq++
+	// Zero-copy: the rendezvous path never captures the payload — the
+	// request wraps the user's buffer and holds that reference until the
+	// peer confirms placement (FIN under RndvWrite, DONE under RndvRead).
+	if req.data != nil {
+		req.owner = ep.bufs.Wrap(req.data[:req.n])
+	}
 	if ep.rndv == RndvRead {
 		mr := ep.realm.RegisterMR(req.data, req.n)
 		req.mrKey = mr.RKey
@@ -73,7 +80,7 @@ func (ep *Endpoint) sendRTS(conn *Conn, req *Request) {
 	conn.sched.Outstanding++
 	ep.charge(ep.m.CPUHeaderProc + ep.m.CPUPostWQE + ep.m.DoorbellTime)
 	ep.trace(trace.KindRTS, req.peer, req.n, -1)
-	ep.sendEnvelope(conn, conn.ctrlRail(), env, nil, ep.m.CtrlMsgBytes, nil)
+	ep.sendEnvelope(conn, conn.ctrlRail(), env, ep.m.CtrlMsgBytes, nil)
 	ep.stats.RendezvousSent++
 	ep.stats.CtrlMsgs++
 }
@@ -132,13 +139,14 @@ func (ep *Endpoint) finishRead(conn *Conn, req, sreq *Request) {
 	done := ep.pool.get()
 	done.kind, done.src, done.sreq = envDone, ep.Rank, sreq
 	ep.charge(ep.m.CPUHeaderProc + ep.m.CPUPostWQE + ep.m.DoorbellTime)
-	ep.sendEnvelope(conn, conn.ctrlRail(), done, nil, ep.m.CtrlMsgBytes, nil)
+	ep.sendEnvelope(conn, conn.ctrlRail(), done, ep.m.CtrlMsgBytes, nil)
 	ep.stats.CtrlMsgs++
 	req.done = true
 }
 
 // handleDone runs at the sender under RndvRead: the receiver has pulled
-// everything, so the registration is released and the send completes.
+// everything, so the registration and the buffer reference are released and
+// the send completes.
 func (ep *Endpoint) handleDone(env *envelope) {
 	req := env.sreq
 	ep.conns[env.src].sched.Outstanding--
@@ -146,6 +154,8 @@ func (ep *Endpoint) handleDone(env *envelope) {
 	if mr, ok := ep.realm.LookupMR(req.mrKey); ok {
 		ep.realm.DeregisterMR(mr)
 	}
+	req.owner.Release()
+	req.owner = buf.View{}
 	req.status = Status{Source: ep.Rank, Tag: req.tag, Count: req.n}
 	req.done = true
 }
@@ -169,12 +179,15 @@ func (ep *Endpoint) sendCTS(req *Request, env *envelope) {
 	conn := ep.conns[env.src]
 	ep.charge(ep.m.CPUHeaderProc + ep.m.CPUPostWQE + ep.m.DoorbellTime)
 	ep.trace(trace.KindCTS, env.src, xfer, -1)
-	ep.sendEnvelope(conn, conn.ctrlRail(), cts, nil, ep.m.CtrlMsgBytes, nil)
+	ep.sendEnvelope(conn, conn.ctrlRail(), cts, ep.m.CtrlMsgBytes, nil)
 	ep.stats.CtrlMsgs++
 }
 
 // handleCTS runs at the sender: the communication scheduler consults the
 // policy — with the marker's class — and issues the RDMA write stripes.
+// Each stripe is a retained sub-view of the request's wrapped user buffer:
+// no stripe copy exists anywhere, and a stripe retransmitted after a rail
+// death still holds its own live reference on the source bytes.
 func (ep *Endpoint) handleCTS(env *envelope) {
 	sreq := env.sreq
 	conn := ep.conns[env.src]
@@ -184,11 +197,14 @@ func (ep *Endpoint) handleCTS(env *envelope) {
 	rreq, rkey := env.rreq, env.rkey
 	for _, s := range plan {
 		var chunk []byte
-		if sreq.data != nil {
-			chunk = sreq.data[s.Off : s.Off+s.N]
+		var sv buf.View
+		if !sreq.owner.Zero() {
+			sv = sreq.owner.Slice(s.Off, s.N).Retain()
+			chunk = sv.Bytes()
 		}
 		ep.charge(ep.m.CPUPostWQE + ep.m.DoorbellTime)
 		wrid := ep.nextWRID(func() {
+			sv.Release()
 			sreq.writesLeft--
 			if sreq.writesLeft == 0 {
 				ep.finishRendezvous(conn, sreq, rreq)
@@ -205,15 +221,18 @@ func (ep *Endpoint) handleCTS(env *envelope) {
 }
 
 // finishRendezvous runs at the sender when the last stripe completes: the
-// FIN control message releases the receiver, and the send request is done.
+// FIN control message releases the receiver, the buffer reference is
+// dropped, and the send request is done.
 func (ep *Endpoint) finishRendezvous(conn *Conn, sreq, rreq *Request) {
 	fin := ep.pool.get()
 	fin.kind, fin.src, fin.rreq = envFIN, ep.Rank, rreq
 	ep.charge(ep.m.CPUHeaderProc + ep.m.CPUPostWQE + ep.m.DoorbellTime)
-	ep.sendEnvelope(conn, conn.ctrlRail(), fin, nil, ep.m.CtrlMsgBytes, nil)
+	ep.sendEnvelope(conn, conn.ctrlRail(), fin, ep.m.CtrlMsgBytes, nil)
 	ep.stats.CtrlMsgs++
 	ep.trace(trace.KindFIN, conn.peer, 0, -1)
 	conn.sched.Outstanding--
+	sreq.owner.Release()
+	sreq.owner = buf.View{}
 	sreq.status = Status{Source: ep.Rank, Tag: sreq.tag, Count: sreq.n}
 	sreq.done = true
 }
@@ -232,13 +251,16 @@ func (ep *Endpoint) handleFIN(env *envelope) {
 // ---- shared-memory path ----
 
 // sendShmem ships any size message over the intra-node channel: the send
-// completes when the copy into the shared buffer does.
+// completes when the copy into the shared buffer does. The capture copy into
+// a pooled view is that copy — its cost is the link's bandwidth reservation,
+// and the view travels through the channel to the receiving endpoint, which
+// releases it after delivery.
 func (ep *Endpoint) sendShmem(conn *Conn, req *Request) {
 	env := ep.pool.get()
 	env.kind, env.src, env.tag, env.ctxID = envEager, ep.Rank, req.tag, req.ctxID
 	env.size, env.seq, env.shm = req.n, conn.sendSeq, true
 	conn.sendSeq++
-	senderDone := conn.sh.Send(req.data, req.n, env)
+	senderDone := conn.sh.Send(ep.capture(req.data, req.n), req.n, env)
 	if d := senderDone - ep.eng.Now(); d > 0 {
 		ep.proc.Sleep(d)
 	}

@@ -1,6 +1,7 @@
 package adi
 
 import (
+	"ib12x/internal/buf"
 	"ib12x/internal/core"
 	"ib12x/internal/ib"
 	"ib12x/internal/model"
@@ -44,8 +45,14 @@ type World struct {
 	Realm     *ib.Realm
 	Endpoints []*Endpoint
 
+	bufs         *buf.Pool
 	railRecovery bool
 }
+
+// BufLive reports payload blocks handed out of the world's buffer pool and
+// not yet released. After every request of a quiesced run has completed it
+// must be zero — the chaos oracle enforces that as a leak invariant.
+func (w *World) BufLive() int { return w.bufs.Live() }
 
 // EnableRailRecovery arms in-flight work-request tracking on every endpoint.
 // It must be called before the run starts (and before any SetRail) so a
@@ -119,11 +126,13 @@ func NewWorld(eng *sim.Engine, m *model.Params, spec topo.Spec, opt Options) *Wo
 		}
 	}
 	n := spec.Size()
-	// One envelope pool per world: envelopes are allocated at the sender
-	// but freed at the receiver, so the pool must span endpoints.
+	// One envelope pool and one payload-block pool per world: both are
+	// allocated at the sender but freed at the receiver, so they must span
+	// endpoints.
 	pool := &envPool{}
+	w.bufs = &buf.Pool{}
 	for r := 0; r < n; r++ {
-		ep := newEndpoint(r, eng, m, realm, policy, opt.Rndv, n, pool)
+		ep := newEndpoint(r, eng, m, realm, policy, opt.Rndv, n, pool, w.bufs)
 		ep.tr = opt.Trace
 		w.Endpoints = append(w.Endpoints, ep)
 	}

@@ -1,0 +1,148 @@
+package buf
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestGetCopyRecycle(t *testing.T) {
+	var p Pool
+	v := p.Get(100)
+	if v.Len() != 100 || v.Zero() {
+		t.Fatalf("Get(100): len %d zero %v", v.Len(), v.Zero())
+	}
+	copy(v.Bytes(), bytes.Repeat([]byte{7}, 100))
+	if p.Live() != 1 {
+		t.Fatalf("live %d, want 1", p.Live())
+	}
+	v.Release()
+	if p.Live() != 0 {
+		t.Fatalf("live %d after release, want 0", p.Live())
+	}
+	// The next same-class Get must reuse the block, not allocate.
+	w := p.Get(80)
+	if &w.Bytes()[0] != &v.blk.b[0] {
+		t.Error("same-class Get did not reuse the released block")
+	}
+	w.Release()
+}
+
+func TestZeroView(t *testing.T) {
+	var p Pool
+	v := p.Get(0)
+	if !v.Zero() || v.Len() != 0 || v.Bytes() != nil || v.Refs() != 0 {
+		t.Fatalf("zero view misbehaves: %+v", v)
+	}
+	v.Retain()
+	v.Release() // all no-ops
+	if w := p.Wrap(nil); !w.Zero() {
+		t.Error("Wrap(nil) must be the zero view")
+	}
+}
+
+func TestSliceSharesBacking(t *testing.T) {
+	var p Pool
+	v := p.Get(64)
+	for i := range v.Bytes() {
+		v.Bytes()[i] = byte(i)
+	}
+	s := v.Slice(16, 8)
+	if s.Len() != 8 || &s.Bytes()[0] != &v.Bytes()[16] {
+		t.Fatal("Slice must alias the same backing array")
+	}
+	ss := s.Slice(4, 4)
+	if &ss.Bytes()[0] != &v.Bytes()[20] {
+		t.Fatal("nested Slice offset wrong")
+	}
+	v.Release()
+}
+
+func TestRetainKeepsBlockAlive(t *testing.T) {
+	var p Pool
+	v := p.Get(32)
+	s := v.Slice(0, 16).Retain()
+	v.Release() // base ref gone; the retained sub-view keeps the block live
+	if p.Live() != 1 {
+		t.Fatalf("live %d, want 1 while a retained view exists", p.Live())
+	}
+	_ = s.Bytes() // still valid
+	s.Release()
+	if p.Live() != 0 {
+		t.Fatalf("live %d after final release", p.Live())
+	}
+}
+
+func TestUseAfterReleasePanics(t *testing.T) {
+	var p Pool
+	v := p.Get(16)
+	v.Release()
+	p.Get(16).Bytes()[0] = 1 // recycle the block so the hazard is real
+	defer func() {
+		if recover() == nil {
+			t.Error("Bytes on a released view must panic")
+		}
+	}()
+	_ = v.Bytes()
+}
+
+func TestStaleRetainPanics(t *testing.T) {
+	var p Pool
+	v := p.Get(16)
+	v.Release()
+	defer func() {
+		if recover() == nil {
+			t.Error("Retain on a released view must panic")
+		}
+	}()
+	v.Retain()
+}
+
+func TestWrapAliasesCaller(t *testing.T) {
+	var p Pool
+	user := []byte{1, 2, 3, 4}
+	v := p.Wrap(user)
+	user[0] = 9 // zero-copy: mutation is visible through the view
+	if v.Bytes()[0] != 9 {
+		t.Error("Wrap must alias the caller's buffer, not copy it")
+	}
+	v.Release()
+	if p.Live() != 0 {
+		t.Fatalf("live %d after wrap release", p.Live())
+	}
+	// The wrapper header is recycled but never the user's bytes.
+	w := p.Wrap([]byte{5})
+	if w.blk != v.blk {
+		t.Error("wrapper header was not recycled")
+	}
+	if got := w.Bytes(); len(got) != 1 || got[0] != 5 {
+		t.Errorf("recycled wrapper bytes = %v", got)
+	}
+	w.Release()
+}
+
+func TestSliceOutOfRangePanics(t *testing.T) {
+	var p Pool
+	v := p.Get(8)
+	defer func() {
+		v.Release()
+		if recover() == nil {
+			t.Error("out-of-range Slice must panic")
+		}
+	}()
+	v.Slice(4, 8)
+}
+
+func TestSizeClasses(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 1024: 10, 1025: 11}
+	for n, want := range cases {
+		if got := classOf(n); got != want {
+			t.Errorf("classOf(%d) = %d, want %d", n, got, want)
+		}
+	}
+	var p Pool
+	v := p.Get(1000) // class 10: 1024-byte block
+	if len(v.blk.b) != 1024 || v.Len() != 1000 {
+		t.Errorf("block %d view %d, want 1024/1000", len(v.blk.b), v.Len())
+	}
+	v.Release()
+}

@@ -178,6 +178,15 @@ func RunConformance(cfg OracleConfig) (*RunResult, error) {
 		return nil, err
 	}
 
+	// Payload-ownership invariant: with every request complete and every
+	// envelope consumed, no refcounted payload block may still be held —
+	// not even by a retransmission path that re-posted a stripe after a
+	// rail death. A nonzero count means some path leaked (or double-held)
+	// a reference.
+	if live := rep.World.BufLive(); live != 0 {
+		violations = append(violations, fmt.Sprintf("payload leak: %d buffer blocks still referenced after quiesce", live))
+	}
+
 	res := &RunResult{
 		Plan:    "no-faults",
 		Elapsed: rep.Elapsed,

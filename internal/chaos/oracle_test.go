@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"ib12x/internal/core"
+	"ib12x/internal/harness"
 	"ib12x/internal/sim"
 )
 
@@ -52,23 +53,24 @@ func faultPlans() []*Plan {
 
 // TestDifferentialOracle runs the seeded workload under every policy x every
 // fault plan and requires a byte-identical user-visible digest everywhere,
-// with zero invariant violations.
+// with zero invariant violations. The cells of one plan run concurrently on
+// the harness pool — each conformance run owns a fresh engine and world, so
+// parallel execution must (and this test verifies it does) produce the same
+// digests a serial loop would.
 func TestDifferentialOracle(t *testing.T) {
 	for _, plan := range faultPlans() {
 		plan := plan
 		t.Run(plan.Name, func(t *testing.T) {
-			var ref *RunResult
-			for _, kind := range allPolicies {
-				res, err := RunConformance(OracleConfig{Seed: oracleSeed, Policy: kind, Plan: plan})
-				if err != nil {
-					t.Fatalf("%v under %s: %v", kind, plan.Name, err)
-				}
+			results, err := harness.Map(allPolicies, func(kind core.Kind) (*RunResult, error) {
+				return RunConformance(OracleConfig{Seed: oracleSeed, Policy: kind, Plan: plan})
+			})
+			if err != nil {
+				t.Fatalf("under %s: %v", plan.Name, err)
+			}
+			ref := results[0]
+			for i, res := range results {
 				for _, v := range res.Violations {
-					t.Errorf("%v under %s: %s", kind, plan.Name, v)
-				}
-				if ref == nil {
-					ref = res
-					continue
+					t.Errorf("%v under %s: %s", allPolicies[i], plan.Name, v)
 				}
 				if res.Digest != ref.Digest {
 					t.Errorf("digest split under %s: %s=%#x vs %s=%#x",
@@ -76,6 +78,32 @@ func TestDifferentialOracle(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestConformanceSerialParallelIdentical pins the harness contract directly:
+// the same matrix row run on one worker and on many workers must yield
+// bit-identical digests, trace digests, and elapsed virtual times cell by
+// cell.
+func TestConformanceSerialParallelIdentical(t *testing.T) {
+	plan := faultPlans()[5] // kitchen sink: the most event-heavy plan
+	run := func(workers int) []*RunResult {
+		res, err := harness.MapN(workers, allPolicies, func(kind core.Kind) (*RunResult, error) {
+			return RunConformance(OracleConfig{Seed: oracleSeed, Policy: kind, Plan: plan})
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(1)
+	parallel := run(8)
+	for i := range serial {
+		s, p := serial[i], parallel[i]
+		if s.Digest != p.Digest || s.TraceDigest != p.TraceDigest || s.Elapsed != p.Elapsed {
+			t.Errorf("%s: serial/parallel diverge: digest %#x/%#x trace %#x/%#x elapsed %v/%v",
+				s.Policy, s.Digest, p.Digest, s.TraceDigest, p.TraceDigest, s.Elapsed, p.Elapsed)
+		}
 	}
 }
 
@@ -226,23 +254,31 @@ func TestWatchdogFires(t *testing.T) {
 // matrix: whatever Generate throws at the fabric, every policy must still
 // deliver the same answer.
 func TestGeneratedPlansConverge(t *testing.T) {
+	type cell struct {
+		kind core.Kind
+		plan *Plan
+	}
+	var cells []cell
 	for seed := int64(1); seed <= 3; seed++ {
 		plan := Generate(seed, 900*sim.Microsecond, 2, 4, 1)
-		var ref *RunResult
 		for _, kind := range allPolicies {
-			res, err := RunConformance(OracleConfig{Seed: oracleSeed, Policy: kind, Plan: plan})
-			if err != nil {
-				t.Fatalf("%v under %s: %v", kind, plan.Name, err)
-			}
-			for _, v := range res.Violations {
-				t.Errorf("%v under %s: %s", kind, plan.Name, v)
-			}
-			if ref == nil {
-				ref = res
-			} else if res.Digest != ref.Digest {
-				t.Errorf("digest split under %s: %s=%#x vs %s=%#x",
-					plan.Name, ref.Policy, ref.Digest, res.Policy, res.Digest)
-			}
+			cells = append(cells, cell{kind, plan})
+		}
+	}
+	results, err := harness.Map(cells, func(c cell) (*RunResult, error) {
+		return RunConformance(OracleConfig{Seed: oracleSeed, Policy: c.kind, Plan: c.plan})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		for _, v := range res.Violations {
+			t.Errorf("%v under %s: %s", cells[i].kind, cells[i].plan.Name, v)
+		}
+		ref := results[i-i%len(allPolicies)] // first cell of this plan's row
+		if res.Digest != ref.Digest {
+			t.Errorf("digest split under %s: %s=%#x vs %s=%#x",
+				cells[i].plan.Name, ref.Policy, ref.Digest, res.Policy, res.Digest)
 		}
 	}
 }

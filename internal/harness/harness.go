@@ -1,0 +1,95 @@
+// Package harness runs independent simulations concurrently. A simulation
+// (one mpi.Run, one conformance cell, one figure sweep) builds a fresh
+// engine and world and shares no mutable state with its siblings, so a
+// fleet of them can execute on parallel OS threads while each stays
+// bit-for-bit deterministic inside — virtual-time results are identical to
+// a serial loop, only the wall clock shrinks.
+//
+// Map preserves order and failure determinism: results come back indexed by
+// input position, and when several inputs fail (or panic) the lowest index
+// wins, so a parallel run reports exactly what its serial counterpart would.
+package harness
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+)
+
+// Workers reports the concurrency level: the IB12X_WORKERS environment
+// variable when set to a positive integer, else GOMAXPROCS. A single worker
+// degenerates Map to the serial loop, which is how the determinism suite
+// pins serial/parallel equivalence.
+func Workers() int {
+	if s := os.Getenv("IB12X_WORKERS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map applies fn to every item on Workers() goroutines and returns the
+// results in input order. Every item runs to completion even after a
+// failure elsewhere; then the error of the lowest failing index is
+// returned, and if any item panicked, the panic of the lowest panicking
+// index is re-raised (panics outrank errors). fn must not share mutable
+// state across items.
+func Map[I, O any](items []I, fn func(I) (O, error)) ([]O, error) {
+	return MapN(Workers(), items, fn)
+}
+
+// MapN is Map with an explicit worker count.
+func MapN[I, O any](workers int, items []I, fn func(I) (O, error)) ([]O, error) {
+	out := make([]O, len(items))
+	errs := make([]error, len(items))
+	panics := make([]any, len(items))
+	if workers > len(items) {
+		workers = len(items)
+	}
+	if workers <= 1 {
+		for i, it := range items {
+			runOne(fn, it, i, out, errs, panics)
+		}
+	} else {
+		next := make(chan int)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					runOne(fn, items[i], i, out, errs, panics)
+				}
+			}()
+		}
+		for i := range items {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// runOne executes one item, capturing a panic instead of unwinding the
+// worker (the fleet must finish before failures are arbitrated).
+func runOne[I, O any](fn func(I) (O, error), item I, i int, out []O, errs []error, panics []any) {
+	defer func() {
+		if r := recover(); r != nil {
+			panics[i] = r
+		}
+	}()
+	out[i], errs[i] = fn(item)
+}

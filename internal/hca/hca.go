@@ -151,18 +151,40 @@ type Flow struct {
 	src *Port
 	dst *Port
 
-	prevEngEnd sim.Time   // engine-phase end of the last WQE to enter the pool
-	busy       bool       // a WQE is waiting for / holding the engine stage
-	pending    []flowItem // WQEs queued behind the in-order rule
-	xpool      []*xfer    // recycled per-WQE pipeline states
+	prevEngEnd sim.Time           // engine-phase end of the last WQE to enter the pool
+	busy       bool               // a WQE is waiting for / holding the engine stage
+	pending    sim.Ring[flowItem] // WQEs queued behind the in-order rule
+	xpool      []*xfer            // recycled per-WQE pipeline states
 }
 
+// flowItem carries one WQE's completion callbacks in closure-free form: ctx
+// is handed back to the package-level delivered/acked functions, so a caller
+// with a pooled per-WR state object posts without allocating.
 type flowItem struct {
 	n         int
 	posted    sim.Time
 	schedEnd  sim.Time
-	delivered func(Timing) // invoked when the payload is in remote memory
-	acked     func(Timing) // invoked when the RC ack returns
+	ctx       any
+	delivered func(any, Timing) // invoked when the payload is in remote memory
+	acked     func(any, Timing) // invoked when the RC ack returns
+}
+
+// cbPair adapts the closure-based Send to the ctx-carrying pipeline.
+type cbPair struct {
+	delivered func(Timing)
+	acked     func(Timing)
+}
+
+func pairDelivered(a any, t Timing) {
+	if p := a.(*cbPair); p.delivered != nil {
+		p.delivered(t)
+	}
+}
+
+func pairAcked(a any, t Timing) {
+	if p := a.(*cbPair); p.acked != nil {
+		p.acked(t)
+	}
 }
 
 // NewFlow creates the transmit pipeline from p toward dst.
@@ -178,13 +200,21 @@ func (f *Flow) Dst() *Port { return f.dst }
 
 // Send enqueues one WQE of n payload bytes. delivered fires at the instant
 // the payload is fully placed in destination memory; acked fires when the
-// RC acknowledgment reaches the requester. Either may be nil.
+// RC acknowledgment reaches the requester. Either may be nil. Each call
+// allocates an adapter; allocation-sensitive callers use SendCtx.
 func (f *Flow) Send(n int, delivered, acked func(Timing)) {
+	f.SendCtx(n, &cbPair{delivered: delivered, acked: acked}, pairDelivered, pairAcked)
+}
+
+// SendCtx is the closure-free form of Send: delivered and acked are
+// package-level (or otherwise non-capturing) functions that receive ctx
+// back, so a caller pooling its per-WR state posts without allocating.
+func (f *Flow) SendCtx(n int, ctx any, delivered, acked func(any, Timing)) {
 	now := f.eng.Now()
 	// The doorbell rings at post time; the HW scheduler arbitration is a
 	// short serial booking at (or just after) the current instant.
 	_, schedEnd := f.src.Sched.Reserve(now, 0)
-	f.pending = append(f.pending, flowItem{n: n, posted: now, schedEnd: schedEnd, delivered: delivered, acked: acked})
+	f.pending.Push(flowItem{n: n, posted: now, schedEnd: schedEnd, ctx: ctx, delivered: delivered, acked: acked})
 	f.src.WQEs++
 	f.src.TxBytes += int64(n)
 	f.dst.RxBytes += int64(n)
@@ -194,13 +224,11 @@ func (f *Flow) Send(n int, delivered, acked func(Timing)) {
 // kick starts the next pending WQE's engine stage once the previous one's
 // engine phase has ended (the RC in-order rule).
 func (f *Flow) kick() {
-	if f.busy || len(f.pending) == 0 {
+	if f.busy || f.pending.Len() == 0 {
 		return
 	}
 	f.busy = true
-	it := f.pending[0]
-	f.pending[0] = flowItem{} // drop the callback references before shifting
-	f.pending = f.pending[1:]
+	it := f.pending.Pop()
 	at := f.eng.Now()
 	if it.schedEnd > at {
 		at = it.schedEnd
@@ -258,7 +286,7 @@ func stageAck(a any, _, _, _ int64) {
 	f := x.f
 	f.src.RX.Preempt(f.eng.Now(), int64(f.dst.M.AckWireBytes))
 	if x.it.acked != nil {
-		x.it.acked(x.t)
+		x.it.acked(x.it.ctx, x.t)
 	}
 	f.putXfer(x)
 }
@@ -407,7 +435,7 @@ func (f *Flow) completeStage(x *xfer) {
 	f.dst.Acks++
 	x.t.AckArrive = leaves + f.dst.Net.OneWay()
 	if x.it.delivered != nil {
-		x.it.delivered(x.t)
+		x.it.delivered(x.it.ctx, x.t)
 	}
 	f.eng.PostCall(x.t.AckArrive, stageAck, x, 0, 0, 0)
 }

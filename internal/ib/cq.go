@@ -1,5 +1,7 @@
 package ib
 
+import "ib12x/internal/sim"
+
 // Status of a completed work request.
 type Status int
 
@@ -42,7 +44,7 @@ type CQE struct {
 // fires on every push, letting a progress engine wake its rank.
 type CQ struct {
 	realm  *Realm
-	q      []CQE
+	q      sim.Ring[CQE]
 	notify func()
 }
 
@@ -54,19 +56,17 @@ func (cq *CQ) SetNotify(fn func()) { cq.notify = fn }
 
 // Poll removes and returns the oldest completion, if any.
 func (cq *CQ) Poll() (CQE, bool) {
-	if len(cq.q) == 0 {
+	if cq.q.Len() == 0 {
 		return CQE{}, false
 	}
-	e := cq.q[0]
-	cq.q = cq.q[1:]
-	return e, true
+	return cq.q.Pop(), true
 }
 
 // Len reports the number of undrained completions.
-func (cq *CQ) Len() int { return len(cq.q) }
+func (cq *CQ) Len() int { return cq.q.Len() }
 
 func (cq *CQ) push(e CQE) {
-	cq.q = append(cq.q, e)
+	cq.q.Push(e)
 	if cq.notify != nil {
 		cq.notify()
 	}

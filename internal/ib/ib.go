@@ -66,6 +66,7 @@ type Realm struct {
 	qpn   int
 	rkey  uint32
 	mrs   map[uint32]*MR
+	ops   []*wrOp // free list of recycled work-request descriptors
 	stats RealmStats
 }
 

@@ -1,0 +1,123 @@
+package mpi
+
+import (
+	"bytes"
+	"testing"
+
+	"ib12x/internal/adi"
+	"ib12x/internal/model"
+)
+
+// Buffer-aliasing semantics of the zero-copy payload path. An eager send
+// captures one snapshot of the user buffer at post time (buffered-send
+// semantics: the application may scribble on the buffer immediately after
+// Isend returns). A rendezvous send does NOT copy — the transport wraps
+// the caller's buffer in a refcounted view and reads it when CTS-driven
+// stripes go to the wire, so the buffer belongs to the library until Wait
+// returns. Both behaviours are deterministic in virtual time, so they are
+// pinned here as contract tests.
+
+// TestEagerSnapshotOnPost scribbles on the send buffer right after a
+// small (eager) Isend: the receiver must see the pre-mutation snapshot.
+func TestEagerSnapshotOnPost(t *testing.T) {
+	n := model.Default().RendezvousThreshold / 2
+	var got []byte
+	rep, err := Run(Config{Nodes: 2}, func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			data := bytes.Repeat([]byte{0xAB}, n)
+			req := c.Isend(1, 7, data)
+			for i := range data {
+				data[i] = 0xCD // erase after post: eager owns a snapshot
+			}
+			c.Wait(req)
+			req.Release()
+		case 1:
+			buf := make([]byte, n)
+			c.Recv(0, 7, buf)
+			got = append([]byte(nil), buf...)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range got {
+		if b != 0xAB {
+			t.Fatalf("byte %d = %#x, want the pre-mutation snapshot 0xAB", i, b)
+		}
+	}
+	if live := rep.World.BufLive(); live != 0 {
+		t.Errorf("BufLive() = %d after quiesce, want 0", live)
+	}
+}
+
+// TestRendezvousAliasesSenderBuffer scribbles on the send buffer right
+// after a large (rendezvous) Isend, before Wait: the RPUT stripes read
+// the caller's buffer when CTS arrives — later in virtual time — so the
+// receiver must see the mutated bytes. This is the observable proof the
+// bulk path is zero-copy (and why MPI says the buffer is the library's
+// until Wait).
+func TestRendezvousAliasesSenderBuffer(t *testing.T) {
+	n := model.Default().RendezvousThreshold * 4
+	var got []byte
+	rep, err := Run(Config{Nodes: 2}, func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			data := bytes.Repeat([]byte{0xAB}, n)
+			req := c.Isend(1, 7, data)
+			for i := range data {
+				data[i] = 0xCD // mutate before Wait: rendezvous aliases this buffer
+			}
+			c.Wait(req)
+			req.Release()
+		case 1:
+			buf := make([]byte, n)
+			c.Recv(0, 7, buf)
+			got = append([]byte(nil), buf...)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range got {
+		if b != 0xCD {
+			t.Fatalf("byte %d = %#x, want the aliased mutation 0xCD (bulk path copied instead of aliasing)", i, b)
+		}
+	}
+	if live := rep.World.BufLive(); live != 0 {
+		t.Errorf("BufLive() = %d after quiesce, want 0", live)
+	}
+}
+
+// TestPayloadViewsReleasedAfterRun drives every payload-owning path —
+// eager, rendezvous (both protocols), self-send, and intra-node shmem —
+// and requires the world's buffer pool to report zero live views after
+// the drain barrier: every capture and every Wrap must have been
+// released exactly once.
+func TestPayloadViewsReleasedAfterRun(t *testing.T) {
+	thr := model.Default().RendezvousThreshold
+	for _, proto := range []struct {
+		name string
+		rndv adi.RndvProto
+	}{{"write", adi.RndvWrite}, {"read", adi.RndvRead}} {
+		t.Run(proto.name, func(t *testing.T) {
+			rep, err := Run(Config{Nodes: 2, ProcsPerNode: 2, QPsPerPort: 2, Rndv: proto.rndv}, func(c *Comm) {
+				small := bytes.Repeat([]byte{byte(c.Rank())}, thr/4)
+				big := bytes.Repeat([]byte{byte(c.Rank())}, thr*2)
+				buf := make([]byte, thr*2)
+				next := (c.Rank() + 1) % c.Size()
+				prev := (c.Rank() + c.Size() - 1) % c.Size()
+				c.SendrecvN(next, 1, small, len(small), prev, 1, buf, len(small)) // eager + shmem
+				c.SendrecvN(next, 2, big, len(big), prev, 2, buf, len(big))       // rendezvous
+				c.SendN(c.Rank(), 3, small, len(small))                           // self-send
+				c.RecvN(c.Rank(), 3, buf, len(small))
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if live := rep.World.BufLive(); live != 0 {
+				t.Errorf("BufLive() = %d after quiesce, want 0", live)
+			}
+		})
+	}
+}

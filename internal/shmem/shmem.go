@@ -5,20 +5,23 @@
 // The model is a two-copy channel through a shared buffer: the sender's copy
 // into the buffer is paced by a per-direction bandwidth server plus a fixed
 // wake-up latency; the receiver's copy out of the buffer is charged by the
-// ADI layer when it matches the message. Payloads are duplicated at send
-// time so the sender may legally reuse its buffer once the send completes.
+// ADI layer when it matches the message. The caller captures the payload
+// into a refcounted view before Send (so the sender may legally reuse its
+// buffer once the send completes); the link passes the view through
+// unchanged and the receiver releases it after delivery.
 package shmem
 
 import (
+	"ib12x/internal/buf"
 	"ib12x/internal/model"
 	"ib12x/internal/sim"
 )
 
 // Msg is a delivered shared-memory message.
 type Msg struct {
-	Data []byte
-	N    int
-	Ctx  any // sender's opaque protocol header
+	Pay buf.View // payload view, ownership transferred to the receiver
+	N   int
+	Ctx any // sender's opaque protocol header
 }
 
 // Link is one direction of a shared-memory connection between two ranks on
@@ -60,16 +63,13 @@ func (l *Link) SetDeliver(fn func(Msg)) { l.deliver = fn }
 
 // Send books the copy into the shared buffer and schedules delivery. It
 // returns when the sender-side copy completes, i.e. when the sending rank's
-// CPU is free again; the caller charges that time to its rank. The payload
-// is duplicated, so the caller may reuse data immediately after.
-func (l *Link) Send(data []byte, n int, ctx any) (senderDone sim.Time) {
+// CPU is free again; the caller charges that time to its rank. The link
+// takes ownership of the payload view's reference — the receiver (or its
+// protocol layer) releases it after consuming the message. The zero view
+// models synthetic traffic.
+func (l *Link) Send(pay buf.View, n int, ctx any) (senderDone sim.Time) {
 	if l.deliver == nil {
 		panic("shmem: Send before SetDeliver")
-	}
-	var owned []byte
-	if data != nil {
-		owned = make([]byte, n)
-		copy(owned, data[:n])
 	}
 	_, end := l.srv.Reserve(l.eng.Now(), int64(n))
 	l.sent++
@@ -82,7 +82,7 @@ func (l *Link) Send(data []byte, n int, ctx any) (senderDone sim.Time) {
 	} else {
 		d = &delivery{l: l}
 	}
-	d.msg = Msg{Data: owned, N: n, Ctx: ctx}
+	d.msg = Msg{Pay: pay, N: n, Ctx: ctx}
 	l.eng.PostCall(end+l.m.ShmemLatency, deliverThunk, d, 0, 0, 0)
 	return end
 }

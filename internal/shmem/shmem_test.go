@@ -4,11 +4,12 @@ import (
 	"bytes"
 	"testing"
 
+	"ib12x/internal/buf"
 	"ib12x/internal/model"
 	"ib12x/internal/sim"
 )
 
-func TestSendDeliversCopy(t *testing.T) {
+func TestSendDeliversView(t *testing.T) {
 	m := model.Default()
 	eng := sim.NewEngine()
 	l := New(eng, m)
@@ -16,20 +17,32 @@ func TestSendDeliversCopy(t *testing.T) {
 	var at sim.Time
 	l.SetDeliver(func(msg Msg) { got = msg; at = eng.Now() })
 
+	// The caller captures the payload into a view before Send; the link
+	// hands that exact view (same backing bytes, no copy) to the receiver.
+	var p buf.Pool
 	payload := []byte{1, 2, 3, 4}
-	done := l.Send(payload, 4, "hdr")
-	payload[0] = 99 // sender reuses its buffer immediately
+	v := p.Get(4)
+	copy(v.Bytes(), payload)
+	done := l.Send(v, 4, "hdr")
+	payload[0] = 99 // sender reuses its buffer immediately; the capture holds
 	if err := eng.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Equal(got.Data, []byte{1, 2, 3, 4}) {
-		t.Errorf("delivered %v, want the pre-mutation copy", got.Data)
+	if !bytes.Equal(got.Pay.Bytes(), []byte{1, 2, 3, 4}) {
+		t.Errorf("delivered %v, want the captured bytes", got.Pay.Bytes())
+	}
+	if &got.Pay.Bytes()[0] != &v.Bytes()[0] {
+		t.Error("delivered view must alias the sent view, not a copy")
 	}
 	if got.Ctx != "hdr" || got.N != 4 {
 		t.Errorf("msg = %+v", got)
 	}
 	if at != done+m.ShmemLatency {
 		t.Errorf("delivered at %v, want senderDone+latency = %v", at, done+m.ShmemLatency)
+	}
+	got.Pay.Release()
+	if p.Live() != 0 {
+		t.Errorf("live blocks after receiver release = %d", p.Live())
 	}
 }
 
@@ -39,8 +52,8 @@ func TestSendPacedByBandwidth(t *testing.T) {
 	l := New(eng, m)
 	l.SetDeliver(func(Msg) {})
 	const n = 1 << 20
-	d1 := l.Send(nil, n, nil)
-	d2 := l.Send(nil, n, nil)
+	d1 := l.Send(buf.View{}, n, nil)
+	d2 := l.Send(buf.View{}, n, nil)
 	per := sim.TransferTime(n, m.ShmemRate)
 	if d1 != per || d2 != 2*per {
 		t.Errorf("copy-in ends %v, %v; want %v, %v", d1, d2, per, 2*per)
@@ -57,12 +70,12 @@ func TestSyntheticPayloadNotAllocated(t *testing.T) {
 	l := New(eng, m)
 	var got Msg
 	l.SetDeliver(func(msg Msg) { got = msg })
-	l.Send(nil, 1<<20, nil)
+	l.Send(buf.View{}, 1<<20, nil)
 	if err := eng.Run(); err != nil {
 		t.Fatal(err)
 	}
-	if got.Data != nil || got.N != 1<<20 {
-		t.Errorf("synthetic msg = %+v, want nil data with length", got)
+	if !got.Pay.Zero() || got.N != 1<<20 {
+		t.Errorf("synthetic msg = %+v, want zero view with length", got)
 	}
 }
 
@@ -75,5 +88,5 @@ func TestSendBeforeSetDeliverPanics(t *testing.T) {
 			t.Error("Send before SetDeliver must panic")
 		}
 	}()
-	l.Send(nil, 8, nil)
+	l.Send(buf.View{}, 8, nil)
 }

@@ -24,8 +24,8 @@ type Engine struct {
 	free    []*Timer // recycled pooled timer nodes
 	ncancel int      // cancelled timers still in pq (lazy compaction)
 
-	ready  []*Proc // FIFO ready queue
-	cur    *Proc   // proc currently holding the baton (nil in handlers)
+	ready  Ring[*Proc] // FIFO ready queue
+	cur    *Proc       // proc currently holding the baton (nil in handlers)
 	yield  chan struct{}
 	nprocs int // live (spawned, not yet finished) procs
 
@@ -96,7 +96,7 @@ func (e *Engine) enqueue(p *Proc) {
 	p.queued = true
 	p.parked = false
 	p.why = ""
-	e.ready = append(e.ready, p)
+	e.ready.Push(p)
 }
 
 // Ready moves a parked proc to the back of the ready queue. Readying a proc
@@ -169,10 +169,8 @@ func (e *Engine) Run() error {
 	for !e.stopped {
 		// Drain the ready queue first: all work at the current instant
 		// completes before the clock advances.
-		for len(e.ready) > 0 && !e.stopped {
-			p := e.ready[0]
-			e.ready[0] = nil
-			e.ready = e.ready[1:]
+		for e.ready.Len() > 0 && !e.stopped {
+			p := e.ready.Pop()
 			p.queued = false
 			e.cur = p
 			p.resume <- struct{}{}

@@ -11,13 +11,13 @@ package sim
 //
 // A Waiter's zero value is ready to use.
 type Waiter struct {
-	ps []*Proc
+	ps Ring[*Proc]
 }
 
 // Wait parks the calling proc on w until woken. why is recorded for
 // deadlock diagnostics.
 func (w *Waiter) Wait(p *Proc, why string) {
-	w.ps = append(w.ps, p)
+	w.ps.Push(p)
 	p.park(why)
 }
 
@@ -31,10 +31,8 @@ func (w *Waiter) WaitFor(p *Proc, why string, pred func() bool) {
 // WakeOne readies the longest-waiting proc, if any, and reports whether one
 // was woken.
 func (w *Waiter) WakeOne() bool {
-	for len(w.ps) > 0 {
-		p := w.ps[0]
-		w.ps[0] = nil // drop the reference; the backing array may live on
-		w.ps = w.ps[1:]
+	for w.ps.Len() > 0 {
+		p := w.ps.Pop()
 		if p.dead {
 			continue
 		}
@@ -46,55 +44,46 @@ func (w *Waiter) WakeOne() bool {
 
 // WakeAll readies every waiting proc in FIFO order.
 func (w *Waiter) WakeAll() {
-	ps := w.ps
-	w.ps = nil
-	for _, p := range ps {
-		if !p.dead {
+	for w.ps.Len() > 0 {
+		if p := w.ps.Pop(); !p.dead {
 			p.eng.Ready(p)
 		}
 	}
 }
 
 // Len reports the number of procs currently parked on w.
-func (w *Waiter) Len() int { return len(w.ps) }
+func (w *Waiter) Len() int { return w.ps.Len() }
 
 // Queue is an unbounded FIFO with a blocking Get, the simulation analogue of
 // a buffered channel. Put never blocks. The zero value is ready to use.
 type Queue[T any] struct {
-	items []T
+	items Ring[T]
 	w     Waiter
 }
 
 // Put appends v and wakes one waiting getter.
 func (q *Queue[T]) Put(v T) {
-	q.items = append(q.items, v)
+	q.items.Push(v)
 	q.w.WakeOne()
 }
 
 // Get removes and returns the head item, parking the calling proc while the
 // queue is empty.
 func (q *Queue[T]) Get(p *Proc, why string) T {
-	for len(q.items) == 0 {
+	for q.items.Len() == 0 {
 		q.w.Wait(p, why)
 	}
-	v := q.items[0]
-	var zero T
-	q.items[0] = zero
-	q.items = q.items[1:]
-	return v
+	return q.items.Pop()
 }
 
 // TryGet removes and returns the head item without blocking.
 func (q *Queue[T]) TryGet() (T, bool) {
-	var zero T
-	if len(q.items) == 0 {
+	if q.items.Len() == 0 {
+		var zero T
 		return zero, false
 	}
-	v := q.items[0]
-	q.items[0] = zero
-	q.items = q.items[1:]
-	return v, true
+	return q.items.Pop(), true
 }
 
 // Len reports the number of queued items.
-func (q *Queue[T]) Len() int { return len(q.items) }
+func (q *Queue[T]) Len() int { return q.items.Len() }

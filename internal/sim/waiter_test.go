@@ -123,7 +123,7 @@ func TestWaiterSkipsDeadProcs(t *testing.T) {
 	// possible (a parked proc can't finish), so assert the defensive branch
 	// directly.
 	p := &Proc{eng: e, name: "ghost", dead: true}
-	w.ps = append(w.ps, p)
+	w.ps.Push(p)
 	if w.WakeOne() {
 		t.Error("WakeOne woke a dead proc")
 	}
