@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet check race fuzz cover bench perf perfstat reproduce extra examples clean
+.PHONY: all build test vet check race fuzz cover soak bench perf perfstat reproduce extra examples clean
 
 all: vet test build
 
@@ -22,6 +22,12 @@ check: vet test race fuzz cover
 
 race:
 	$(GO) test -race ./internal/sim/... ./internal/adi/... ./internal/core/... ./internal/mpi/... ./internal/chaos/... ./internal/buf/... ./internal/harness/...
+
+# Self-healing soak: the full chaos conformance matrix with the rail
+# reliability layer armed, the health state machine and replay tests, and
+# the epoch exactly-once audit — all under the race detector.
+soak:
+	$(GO) test -race -run 'TestSelfHealing|TestDifferentialOracle|TestGeneratedPlansConverge|TestHealthTimelineReplay|TestFalseSuspectRecovers|TestChaosReproducible|TestReliability|TestHealthStateMachine|TestBackoff|TestEpochCycle|TestDegradedRailTable' ./internal/chaos/ ./internal/adi/ ./internal/ib/ ./internal/bench/
 
 # Each fuzz target gets a bounded live run on top of its checked-in corpus:
 # the stripe planners against their coverage invariants, and the bucketed

@@ -42,8 +42,9 @@ func main() {
 
 // supplementary prints the beyond-the-paper tables: the rest of the
 // collective suite, the stencil pattern and scalability sweep from the
-// conclusions' future work, the rendezvous-protocol comparison, and the
-// "no degradation on other NAS kernels" check.
+// conclusions' future work, the rendezvous-protocol comparison, the
+// one-rail-dead bandwidth sweep under the self-healing reliability layer,
+// and the "no degradation on other NAS kernels" check.
 func supplementary(o bench.FigOpts) error {
 	gens := []func(bench.FigOpts) (*stats.Table, error){
 		func(o bench.FigOpts) (*stats.Table, error) { return bench.CollectiveTable(bench.CollBcast, o) },
@@ -55,6 +56,7 @@ func supplementary(o bench.FigOpts) error {
 		bench.AlltoallAlgTable,
 		bench.OversubscriptionTable,
 		bench.HCAGenerationTable,
+		bench.DegradedRailTable,
 		func(bench.FigOpts) (*stats.Table, error) { return bench.NoDegradationTable() },
 	}
 	// Each generator runs its own simulations against a fresh world, so the

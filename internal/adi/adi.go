@@ -106,6 +106,7 @@ const (
 	envAtomicReq  // one-sided: message-based atomic request
 	envAtomicResp // one-sided: atomic response with the old value
 	envCredit     // explicit flow-control credit return
+	envProbe      // rail-health probe on a quarantined QP (credit-exempt)
 )
 
 func (k envKind) String() string {
@@ -134,6 +135,8 @@ func (k envKind) String() string {
 		return "ATOMIC_RESP"
 	case envCredit:
 		return "CREDIT"
+	case envProbe:
+		return "PROBE"
 	default:
 		return fmt.Sprintf("envKind(%d)", int(k))
 	}
@@ -211,6 +214,12 @@ type Stats struct {
 	CreditStalls    int64 // channel messages deferred on empty credit pools
 	CreditUpdates   int64 // explicit credit-return messages sent
 	RailRetransmits int64 // WRs rerouted onto survivors after a rail death
+
+	// Rail reliability layer (World.EnableReliability).
+	RailSuspects       int64 // up -> suspect transitions (deadline strikes)
+	RailQuarantines    int64 // rails removed from the policy masks
+	RailProbes         int64 // probe WRs that reached a quarantined QP
+	RailReintegrations int64 // rails returned to service by a probe
 }
 
 // classIsValid guards the marker input.

@@ -39,6 +39,10 @@ type Conn struct {
 	// railWait parks work requests while every rail of the connection is
 	// dead; a rail recovery drains it in order.
 	railWait []deferredWR
+
+	// health is the per-rail reliability state machine, allocated only when
+	// World.EnableReliability arms the self-healing layer (nil otherwise).
+	health []railHealth
 }
 
 // pendingEnvelope is a channel message stalled on an empty credit pool.
@@ -110,15 +114,25 @@ type Endpoint struct {
 	trackWR  bool
 	inflight map[uint64]inflightWR
 
+	// Rail reliability layer (armed by World.EnableReliability): health
+	// state machine config plus the outstanding probe WRs. nil/empty in
+	// legacy operator-driven runs.
+	rel    *ReliabilityConfig
+	probes map[uint64]probeRef
+
 	stats Stats
 }
 
 // inflightWR remembers where a posted work request was headed so a flush can
-// retransmit it elsewhere.
+// retransmit it elsewhere. With the reliability layer on it also carries the
+// completion deadline the health scan judges the rail by, and the retry
+// attempt driving the retransmit backoff.
 type inflightWR struct {
-	conn *Conn
-	rail int
-	wr   ib.SendWR
+	conn     *Conn
+	rail     int
+	wr       ib.SendWR
+	deadline sim.Time
+	attempt  int
 }
 
 // newEndpoint wires the passive state; connections are added by the World
@@ -252,12 +266,13 @@ func (ep *Endpoint) PostRecv(src, tag, ctxID int, buf []byte, n int) *Request {
 // capture copies the first n bytes of data into a pooled payload view — the
 // single capture copy of the bounce-buffered paths. nil data (synthetic
 // traffic) yields the zero view. The caller owns the returned reference and
-// accounts the copy's CPU cost where its path models it.
-func (ep *Endpoint) capture(data []byte, n int) buf.View {
+// accounts the copy's CPU cost where its path models it. tag names the
+// allocation site in the pool's audit report (World.BufLiveReport).
+func (ep *Endpoint) capture(data []byte, n int, tag string) buf.View {
 	if data == nil {
 		return buf.View{}
 	}
-	v := ep.bufs.Get(n)
+	v := ep.bufs.GetTagged(n, tag)
 	copy(v.Bytes(), data[:n])
 	return v
 }
@@ -270,7 +285,7 @@ func (ep *Endpoint) sendSelf(req *Request) {
 	env := ep.pool.get()
 	env.kind, env.src, env.tag, env.ctxID, env.size = envEager, ep.Rank, req.tag, req.ctxID, req.n
 	if req.data != nil {
-		env.pay = ep.capture(req.data, req.n)
+		env.pay = ep.capture(req.data, req.n, "self-send")
 		ep.charge(sim.TransferTime(int64(req.n), ep.m.EagerCopyRate))
 	}
 	req.status = Status{Source: ep.Rank, Tag: req.tag, Count: req.n}
@@ -317,7 +332,9 @@ func (ep *Endpoint) progressOnce() bool {
 			conn := ep.conns[env.src]
 			if conn != nil && conn.sh == nil {
 				ep.creditArrived(conn, env.credits)
-				if env.kind == envCredit {
+				if env.kind == envCredit || env.kind == envProbe {
+					// Credit returns and health probes are control-plane
+					// traffic: credit-exempt, unsequenced, consumed here.
 					ep.pool.put(env)
 					return true
 				}
@@ -325,6 +342,14 @@ func (ep *Endpoint) progressOnce() bool {
 			}
 			ep.inbound(env)
 		} else {
+			if pr, ok := ep.probes[cqe.WRID]; ok {
+				// Probe CQE: never retransmitted, never in the inflight
+				// map — it only moves the rail's health state.
+				delete(ep.probes, cqe.WRID)
+				ep.probeCompleted(pr.conn, pr.rail, cqe.Status == ib.StatusSuccess)
+				ep.drainBacklog(cqe.QPN)
+				return true
+			}
 			if cqe.Status == ib.StatusFlushErr {
 				// The WR was in flight when its rail died and its remote
 				// effect never happened: reroute it onto a survivor. Its
@@ -598,7 +623,11 @@ func (ep *Endpoint) post(conn *Conn, rail int, wr ib.SendWR, onPosted func()) {
 		}
 	}
 	if ep.trackWR {
-		ep.inflight[wr.WRID] = inflightWR{conn: conn, rail: rail, wr: wr}
+		fl := inflightWR{conn: conn, rail: rail, wr: wr}
+		if ep.rel != nil {
+			fl.deadline = ep.wrDeadline(conn, rail, wr.N)
+		}
+		ep.inflight[wr.WRID] = fl
 	}
 	qp := conn.rails[rail]
 	if q := ep.backlog[qp]; len(q) > 0 {
@@ -607,6 +636,14 @@ func (ep *Endpoint) post(conn *Conn, rail int, wr ib.SendWR, onPosted func()) {
 	}
 	if err := qp.PostSend(wr); err == ib.ErrSQFull {
 		ep.backlog[qp] = append(ep.backlog[qp], deferredWR{wr, onPosted})
+		return
+	} else if err == ib.ErrQPDown && ep.rel != nil {
+		// Hard evidence the rail is dead, discovered at post time: the
+		// reliability layer quarantines it (setting its Dead bit) and the
+		// recursive post steps onto a survivor or parks in railWait.
+		delete(ep.inflight, wr.WRID)
+		ep.railFailed(conn, rail)
+		ep.post(conn, rail, wr, onPosted)
 		return
 	} else if err != nil {
 		panic(fmt.Sprintf("adi: PostSend failed: %v", err))
@@ -631,6 +668,10 @@ func (ep *Endpoint) nextWRID(cb func()) uint64 {
 // retransmit reroutes a work request flushed by a rail failure onto a
 // surviving rail of the same connection (in-flight stripe recovery). The WR
 // keeps its identifier, so pending completion callbacks survive the retry.
+// Legacy (operator-driven) runs repost immediately; with the reliability
+// layer on, the flush is hard evidence against the rail — it is quarantined
+// on the spot — and the repost waits out a seed-jittered exponential
+// backoff, so a mass flush does not slam the survivors in one instant.
 func (ep *Endpoint) retransmit(wrid uint64) {
 	fl, ok := ep.inflight[wrid]
 	if !ok {
@@ -640,7 +681,16 @@ func (ep *Endpoint) retransmit(wrid uint64) {
 	ep.stats.RailRetransmits++
 	ep.charge(ep.m.CPUPostWQE + ep.m.DoorbellTime)
 	ep.trace(trace.KindRetransmit, fl.conn.peer, fl.wr.N, fl.rail)
-	ep.post(fl.conn, fl.rail, fl.wr, nil)
+	if ep.rel == nil {
+		ep.post(fl.conn, fl.rail, fl.wr, nil)
+		return
+	}
+	ep.railFailed(fl.conn, fl.rail)
+	delay := ep.backoffDelay(ep.rel.RetryBase, ep.rel.RetryMax, fl.attempt, wrid)
+	conn, rail, wr, attempt := fl.conn, fl.rail, fl.wr, fl.attempt+1
+	ep.eng.Post(ep.eng.Now()+delay, func() {
+		ep.repostAfterBackoff(conn, rail, wr, attempt)
+	})
 }
 
 // railDown marks the rail to peer dead on this endpoint: the policy mask

@@ -105,7 +105,7 @@ func (ep *Endpoint) PutBulk(peer, winID int, rkey uint32, off int, data []byte, 
 	// base reference drops — when all writes ack (ack implies remote
 	// placement under RC).
 	if data != nil {
-		req.owner = ep.bufs.Wrap(data[:n])
+		req.owner = ep.bufs.WrapTagged(data[:n], "rma-owner")
 	}
 	plan := ep.policy.PlanBulk(class, n, len(conn.rails), &conn.sched)
 	req.writesLeft = len(plan)
@@ -267,7 +267,7 @@ func applyAtomic(win *winInfo, off int, cas bool, arg1, arg2 uint64) uint64 {
 // receiver); over rails it rides the envelope directly. Either way the
 // receiver's pool.put releases the one reference.
 func (ep *Endpoint) sendRMAMsg(conn *Conn, env *envelope, data []byte, n int) {
-	pay := ep.capture(data, n)
+	pay := ep.capture(data, n, "rma-msg")
 	if data != nil {
 		ep.charge(sim.TransferTime(int64(n), ep.m.EagerCopyRate))
 	}

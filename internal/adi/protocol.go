@@ -18,7 +18,7 @@ func (ep *Endpoint) sendEager(conn *Conn, req *Request) {
 	env.size, env.seq = req.n, conn.sendSeq
 	conn.sendSeq++
 	if req.data != nil {
-		env.pay = ep.capture(req.data, req.n)
+		env.pay = ep.capture(req.data, req.n, "eager")
 		ep.charge(sim.TransferTime(int64(req.n), ep.m.EagerCopyRate))
 	}
 	rail := ep.policy.PickEager(req.class, req.n, len(conn.rails), &conn.sched)
@@ -70,7 +70,7 @@ func (ep *Endpoint) sendRTS(conn *Conn, req *Request) {
 	// request wraps the user's buffer and holds that reference until the
 	// peer confirms placement (FIN under RndvWrite, DONE under RndvRead).
 	if req.data != nil {
-		req.owner = ep.bufs.Wrap(req.data[:req.n])
+		req.owner = ep.bufs.WrapTagged(req.data[:req.n], "rndv-owner")
 	}
 	if ep.rndv == RndvRead {
 		mr := ep.realm.RegisterMR(req.data, req.n)
@@ -260,7 +260,7 @@ func (ep *Endpoint) sendShmem(conn *Conn, req *Request) {
 	env.kind, env.src, env.tag, env.ctxID = envEager, ep.Rank, req.tag, req.ctxID
 	env.size, env.seq, env.shm = req.n, conn.sendSeq, true
 	conn.sendSeq++
-	senderDone := conn.sh.Send(ep.capture(req.data, req.n), req.n, env)
+	senderDone := conn.sh.Send(ep.capture(req.data, req.n, "shmem"), req.n, env)
 	if d := senderDone - ep.eng.Now(); d > 0 {
 		ep.proc.Sleep(d)
 	}

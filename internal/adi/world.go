@@ -47,12 +47,25 @@ type World struct {
 
 	bufs         *buf.Pool
 	railRecovery bool
+	rel          *ReliabilityConfig
 }
 
 // BufLive reports payload blocks handed out of the world's buffer pool and
 // not yet released. After every request of a quiesced run has completed it
 // must be zero — the chaos oracle enforces that as a leak invariant.
 func (w *World) BufLive() int { return w.bufs.Live() }
+
+// EnableBufAudit arms allocation-site recording on the world's payload pool:
+// every view handed out is stamped with its owner tag and the virtual time
+// of the allocation, so a BufLive leak report names the site, not just the
+// count. Call before the run starts.
+func (w *World) EnableBufAudit() {
+	w.bufs.EnableAudit(func() int64 { return int64(w.Eng.Now()) })
+}
+
+// BufLiveReport names each outstanding payload allocation by owner tag and
+// allocation time ("" when nothing is outstanding or auditing is off).
+func (w *World) BufLiveReport() string { return w.bufs.LiveReport() }
 
 // EnableRailRecovery arms in-flight work-request tracking on every endpoint.
 // It must be called before the run starts (and before any SetRail) so a
@@ -68,10 +81,43 @@ func (w *World) EnableRailRecovery() {
 	}
 }
 
+// EnableReliability arms the self-healing rail layer on every endpoint: the
+// per-rail health state machine, virtual-time completion deadlines, backoff
+// retransmission, and probe-driven reintegration (see reliability.go). It
+// implies EnableRailRecovery and must be called before the run starts. With
+// the layer armed, SetRail only flips QP hardware state — the endpoints
+// detect failures and recoveries on their own, with no operator-injected
+// mask updates.
+func (w *World) EnableReliability(cfg ReliabilityConfig) {
+	if w.rel != nil {
+		return
+	}
+	rc := cfg.withDefaults()
+	w.rel = rc
+	w.EnableRailRecovery()
+	for _, ep := range w.Endpoints {
+		ep.rel = rc
+		ep.probes = make(map[uint64]probeRef)
+		for _, conn := range ep.conns {
+			if conn != nil && conn.sh == nil && len(conn.rails) > 0 {
+				conn.health = make([]railHealth, len(conn.rails))
+			}
+		}
+		ep.startHealthTimer()
+	}
+}
+
+// Reliability reports the armed reliability config (nil when the layer is
+// off).
+func (w *World) Reliability() *ReliabilityConfig { return w.rel }
+
 // SetRail fails (up=false) or recovers (up=true) rail index rail of every
 // inter-node connection touching the given node: both QP halves transition
-// together, and both endpoints update their policy-visible health masks.
-// Failing a rail requires EnableRailRecovery to have been called.
+// together. In legacy (operator-driven) mode both endpoints also update
+// their policy-visible health masks directly; with EnableReliability armed
+// only the hardware state flips, and the endpoints must discover the change
+// themselves. Failing a rail requires EnableRailRecovery to have been
+// called.
 func (w *World) SetRail(node, rail int, up bool) {
 	if !up && !w.railRecovery {
 		panic("adi: SetRail(down) without EnableRailRecovery")
@@ -90,13 +136,17 @@ func (w *World) SetRail(node, rail int, up bool) {
 			if up {
 				qpi.SetUp()
 				qpj.SetUp()
-				epi.railUp(j, rail)
-				epj.railUp(i, rail)
+				if w.rel == nil {
+					epi.railUp(j, rail)
+					epj.railUp(i, rail)
+				}
 			} else {
 				qpi.SetDown()
 				qpj.SetDown()
-				epi.railDown(j, rail)
-				epj.railDown(i, rail)
+				if w.rel == nil {
+					epi.railDown(j, rail)
+					epj.railDown(i, rail)
+				}
 			}
 		}
 	}

@@ -30,6 +30,12 @@ type Setup struct {
 	// (0 = the paper's single switch / 1:1 trunks).
 	NodesPerSwitch int
 	TrunkRate      float64
+
+	// Chaos, when non-nil, arms a fault plan against every run of the
+	// setup; Reliability arms the self-healing rail layer. Together they
+	// drive the degraded-mode figures.
+	Chaos       mpi.ChaosPlan
+	Reliability *adi.ReliabilityConfig
 }
 
 // Config builds the mpi.Config this setup describes.
@@ -45,6 +51,8 @@ func (s Setup) Config() mpi.Config {
 		Rndv:           s.Rndv,
 		NodesPerSwitch: s.NodesPerSwitch,
 		TrunkRate:      s.TrunkRate,
+		Chaos:          s.Chaos,
+		Reliability:    s.Reliability,
 	}
 }
 

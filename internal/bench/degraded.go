@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"ib12x/internal/adi"
+	"ib12x/internal/chaos"
+	"ib12x/internal/core"
+	"ib12x/internal/harness"
+	"ib12x/internal/stats"
+)
+
+// degradedPolicies is every multi-rail policy of the differential matrix —
+// each must degrade gracefully, not just the ones the paper plots.
+var degradedPolicies = []core.Kind{
+	core.Binding,
+	core.RoundRobin,
+	core.EvenStriping,
+	core.WeightedStriping,
+	core.EPC,
+	core.Adaptive,
+}
+
+// DegradedRailTable regenerates the Figure 6 bandwidth sweep with rail 0 of
+// node 0 dead from t=0 and the self-healing reliability layer armed: the
+// endpoints must detect the corpse on their own evidence (the operator only
+// flips QP state), quarantine it out of every policy's mask, and run the
+// sweep on the three survivors. One column per policy, so the supplementary
+// table shows how each planner sheds a quarter of its fabric.
+func DegradedRailTable(o FigOpts) (*stats.Table, error) {
+	return degradedRailTable(harness.Workers(), o)
+}
+
+// degradedRailTable is DegradedRailTable with an explicit worker count; the
+// determinism suite pins serial/parallel bit-identity on it.
+func degradedRailTable(workers int, o FigOpts) (*stats.Table, error) {
+	o = o.defaults()
+	sizes := []int{16 * 1024, 32 * 1024, 64 * 1024, 128 * 1024, 256 * 1024, 512 * 1024, 1 << 20}
+	t := &stats.Table{
+		Title:  "Supplementary: uni-directional bandwidth, one rail dead (self-healing)",
+		XLabel: "Size", Unit: "MB/s",
+	}
+	results, err := harness.MapNAll(workers, degradedPolicies, func(kind core.Kind) ([]float64, error) {
+		s := Setup{
+			QPs:         4,
+			Policy:      kind,
+			Chaos:       chaos.RailDeath(0, 0, 0),
+			Reliability: &adi.ReliabilityConfig{Seed: 1},
+		}
+		return UniBandwidth(s, sizes, o.Window, o.BWIters, o.BWWarmup)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, vals := range results {
+		addSweep(t, degradedPolicies[i].String(), sizes, vals)
+	}
+	return t, nil
+}

@@ -1,0 +1,71 @@
+package buf
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAuditNamesLeakSites pins the leak-report format: outstanding views
+// aggregate by owner tag with the earliest allocation time, sorted by tag,
+// and released views drop out of the report.
+func TestAuditNamesLeakSites(t *testing.T) {
+	var now int64
+	p := &Pool{}
+	p.EnableAudit(func() int64 { return now })
+
+	now = 10
+	a := p.GetTagged(64, "eager")
+	now = 20
+	b := p.GetTagged(64, "eager")
+	now = 30
+	c := p.WrapTagged(make([]byte, 16), "rndv-owner")
+
+	rep := p.LiveReport()
+	if rep != "eager x2 (first at t=10); rndv-owner x1 (first at t=30)" {
+		t.Errorf("report = %q", rep)
+	}
+
+	a.Release()
+	c.Release()
+	rep = p.LiveReport()
+	if rep != "eager x1 (first at t=20)" {
+		t.Errorf("after releases: report = %q", rep)
+	}
+
+	b.Release()
+	if rep := p.LiveReport(); rep != "" {
+		t.Errorf("after full release: report = %q, want empty", rep)
+	}
+	if p.Live() != 0 {
+		t.Errorf("live = %d, want 0", p.Live())
+	}
+}
+
+// TestAuditUntaggedDefaults checks plain Get/Wrap still land in the report
+// (as "?") when auditing is on, so an untagged path cannot hide a leak.
+func TestAuditUntaggedDefaults(t *testing.T) {
+	p := &Pool{}
+	p.EnableAudit(nil) // nil clock: times report 0
+	v := p.Get(8)
+	w := p.Wrap(make([]byte, 8))
+	rep := p.LiveReport()
+	if !strings.Contains(rep, "? x2 (first at t=0)") {
+		t.Errorf("report = %q, want untagged bucket", rep)
+	}
+	v.Release()
+	w.Release()
+}
+
+// TestAuditOffIsFree checks the off state: no report, and tagged variants
+// still hand out working views.
+func TestAuditOffIsFree(t *testing.T) {
+	p := &Pool{}
+	v := p.GetTagged(32, "eager")
+	if v.Len() != 32 {
+		t.Fatalf("len = %d", v.Len())
+	}
+	if rep := p.LiveReport(); rep != "" {
+		t.Errorf("auditing off: report = %q, want empty", rep)
+	}
+	v.Release()
+}

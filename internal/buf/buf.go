@@ -23,6 +23,8 @@ package buf
 import (
 	"fmt"
 	"math/bits"
+	"sort"
+	"strings"
 )
 
 // block is the shared backing store behind one or more Views.
@@ -51,6 +53,106 @@ type Pool struct {
 	classes  [maxClass + 1][]*block // pow2 size-classed free blocks
 	wrapFree []*block               // recycled wrapper headers
 	live     int                    // blocks handed out and not yet released
+
+	// Audit state (EnableAudit): outstanding blocks stamped with the owner
+	// tag and virtual time of their allocation, so a leak report names the
+	// site. nil when auditing is off — the hot paths then pay only a nil
+	// check.
+	audit map[*block]auditInfo
+	clock func() int64
+}
+
+// auditInfo records where and when an outstanding block was handed out.
+type auditInfo struct {
+	tag string
+	at  int64
+}
+
+// EnableAudit arms allocation-site recording: every subsequent Get/Wrap is
+// stamped with its owner tag (the tagged variants) or "?" and the clock's
+// current virtual time. clock may be nil (times report 0).
+func (p *Pool) EnableAudit(clock func() int64) {
+	if p.audit == nil {
+		p.audit = make(map[*block]auditInfo)
+	}
+	p.clock = clock
+}
+
+// record stamps a freshly handed-out block when auditing is on.
+func (p *Pool) record(blk *block, tag string) {
+	if p.audit == nil || blk == nil {
+		return
+	}
+	var at int64
+	if p.clock != nil {
+		at = p.clock()
+	}
+	p.audit[blk] = auditInfo{tag: tag, at: at}
+}
+
+// GetTagged is Get with an owner tag for the audit report.
+func (p *Pool) GetTagged(n int, tag string) View {
+	v := p.Get(n)
+	if p.audit != nil && v.blk != nil {
+		p.audit[v.blk] = auditInfo{tag: tag, at: p.now()}
+	}
+	return v
+}
+
+// WrapTagged is Wrap with an owner tag for the audit report.
+func (p *Pool) WrapTagged(b []byte, tag string) View {
+	v := p.Wrap(b)
+	if p.audit != nil && v.blk != nil {
+		p.audit[v.blk] = auditInfo{tag: tag, at: p.now()}
+	}
+	return v
+}
+
+func (p *Pool) now() int64 {
+	if p.clock == nil {
+		return 0
+	}
+	return p.clock()
+}
+
+// LiveReport summarises the outstanding allocations by owner tag — count
+// and earliest allocation time per site, sites sorted by name. It returns
+// "" when nothing is outstanding or auditing is off; the chaos oracle
+// appends it to its BufLive leak violation so a leak names its source.
+func (p *Pool) LiveReport() string {
+	if len(p.audit) == 0 {
+		return ""
+	}
+	type agg struct {
+		n     int
+		first int64
+	}
+	sites := make(map[string]*agg)
+	for _, info := range p.audit {
+		a := sites[info.tag]
+		if a == nil {
+			a = &agg{first: info.at}
+			sites[info.tag] = a
+		}
+		a.n++
+		if info.at < a.first {
+			a.first = info.at
+		}
+	}
+	tags := make([]string, 0, len(sites))
+	for t := range sites {
+		tags = append(tags, t)
+	}
+	sort.Strings(tags)
+	var b strings.Builder
+	for i, t := range tags {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		a := sites[t]
+		fmt.Fprintf(&b, "%s x%d (first at t=%d)", t, a.n, a.first)
+	}
+	return b.String()
 }
 
 const maxClass = 40 // 2^40 bytes: far beyond any simulated payload
@@ -82,6 +184,7 @@ func (p *Pool) Get(n int) View {
 	}
 	blk.refs = 1
 	p.live++
+	p.record(blk, "?")
 	return View{blk: blk, gen: blk.gen, n: n}
 }
 
@@ -104,6 +207,7 @@ func (p *Pool) Wrap(b []byte) View {
 	blk.b = b
 	blk.refs = 1
 	p.live++
+	p.record(blk, "?")
 	return View{blk: blk, gen: blk.gen, n: len(b)}
 }
 
@@ -182,6 +286,9 @@ func (v View) Release() {
 	p := blk.pool
 	blk.gen++
 	p.live--
+	if p.audit != nil {
+		delete(p.audit, blk)
+	}
 	if blk.wrapped {
 		blk.b = nil // un-alias the caller's buffer
 		p.wrapFree = append(p.wrapFree, blk)

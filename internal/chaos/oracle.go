@@ -7,9 +7,11 @@ import (
 	"math/rand"
 	"sort"
 
+	"ib12x/internal/adi"
 	"ib12x/internal/core"
 	"ib12x/internal/mpi"
 	"ib12x/internal/sim"
+	"ib12x/internal/stats"
 	"ib12x/internal/trace"
 )
 
@@ -20,6 +22,9 @@ type OracleConfig struct {
 	Policy     core.Kind
 	PolicyImpl core.Policy // overrides Policy when non-nil
 	Plan       *Plan       // nil = fault-free
+	// Reliability, when non-nil, arms the self-healing rail layer: the run
+	// must then survive rail chaos with no operator-driven mask updates.
+	Reliability *adi.ReliabilityConfig
 
 	Nodes        int // default 2
 	ProcsPerNode int // default 2
@@ -64,6 +69,15 @@ type RunResult struct {
 	Elapsed          sim.Time
 	RailRetransmits  int64 // WRs rerouted after rail deaths
 	ChunkRetransmits int64 // chunks lost on the wire and resent
+
+	// Rail-health transitions of the reliability layer, summed over ranks
+	// (all zero when OracleConfig.Reliability is nil).
+	RailSuspects       int64
+	RailQuarantines    int64
+	RailProbes         int64
+	RailReintegrations int64
+	// Health renders the transition tallies as an ordered counter block.
+	Health *stats.Counters
 }
 
 // ---- seeded workload script ----
@@ -157,6 +171,10 @@ func RunConformance(cfg OracleConfig) (*RunResult, error) {
 	if cfg.Plan != nil {
 		mcfg.Chaos = cfg.Plan
 	}
+	if cfg.Reliability != nil {
+		mcfg.Reliability = cfg.Reliability
+	}
+	mcfg.BufAudit = true
 
 	rep, err := mpi.Run(mcfg, func(c *mpi.Comm) {
 		r := c.Rank()
@@ -184,7 +202,11 @@ func RunConformance(cfg OracleConfig) (*RunResult, error) {
 	// rail death. A nonzero count means some path leaked (or double-held)
 	// a reference.
 	if live := rep.World.BufLive(); live != 0 {
-		violations = append(violations, fmt.Sprintf("payload leak: %d buffer blocks still referenced after quiesce", live))
+		msg := fmt.Sprintf("payload leak: %d buffer blocks still referenced after quiesce", live)
+		if report := rep.World.BufLiveReport(); report != "" {
+			msg += " [" + report + "]"
+		}
+		violations = append(violations, msg)
 	}
 
 	res := &RunResult{
@@ -233,7 +255,16 @@ func RunConformance(cfg OracleConfig) (*RunResult, error) {
 
 	for _, st := range rep.RankStats {
 		res.RailRetransmits += st.RailRetransmits
+		res.RailSuspects += st.RailSuspects
+		res.RailQuarantines += st.RailQuarantines
+		res.RailProbes += st.RailProbes
+		res.RailReintegrations += st.RailReintegrations
 	}
+	res.Health = &stats.Counters{Title: "rail health transitions"}
+	res.Health.Add("suspects", res.RailSuspects)
+	res.Health.Add("quarantines", res.RailQuarantines)
+	res.Health.Add("probes", res.RailProbes)
+	res.Health.Add("reintegrations", res.RailReintegrations)
 	for _, node := range rep.World.Cluster.Nodes {
 		for _, port := range node.Ports() {
 			res.ChunkRetransmits += port.Retransmits

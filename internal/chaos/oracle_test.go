@@ -61,7 +61,8 @@ func TestDifferentialOracle(t *testing.T) {
 	for _, plan := range faultPlans() {
 		plan := plan
 		t.Run(plan.Name, func(t *testing.T) {
-			results, err := harness.Map(allPolicies, func(kind core.Kind) (*RunResult, error) {
+			// MapAll: a broken cell must not mask its siblings' failures.
+			results, err := harness.MapAll(allPolicies, func(kind core.Kind) (*RunResult, error) {
 				return RunConformance(OracleConfig{Seed: oracleSeed, Policy: kind, Plan: plan})
 			})
 			if err != nil {

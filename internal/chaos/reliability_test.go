@@ -1,0 +1,188 @@
+package chaos
+
+import (
+	"testing"
+
+	"ib12x/internal/adi"
+	"ib12x/internal/core"
+	"ib12x/internal/harness"
+	"ib12x/internal/mpi"
+	"ib12x/internal/sim"
+	"ib12x/internal/trace"
+)
+
+// TestSelfHealingDifferentialOracle reruns the full policy x plan matrix with
+// the reliability layer armed. Self-healing may only shrink the damage, never
+// change the answer: every cell must reproduce the fault-free user-visible
+// digest with zero violations, rail deaths must be quarantined on the
+// endpoints' own evidence (SetRail no longer touches any mask), and the flap
+// plan must see the revived rail reintegrated by a probe — no operator
+// involvement anywhere.
+func TestSelfHealingDifferentialOracle(t *testing.T) {
+	base, err := RunConformance(OracleConfig{Seed: oracleSeed, Policy: allPolicies[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, plan := range faultPlans() {
+		plan := plan
+		t.Run(plan.Name, func(t *testing.T) {
+			results, err := harness.MapAll(allPolicies, func(kind core.Kind) (*RunResult, error) {
+				return RunConformance(OracleConfig{
+					Seed:        oracleSeed,
+					Policy:      kind,
+					Plan:        plan,
+					Reliability: &adi.ReliabilityConfig{Seed: oracleSeed},
+				})
+			})
+			if err != nil {
+				t.Fatalf("under %s: %v", plan.Name, err)
+			}
+			var quarantines, reintegrations int64
+			for i, res := range results {
+				for _, v := range res.Violations {
+					t.Errorf("%v under %s: %s", allPolicies[i], plan.Name, v)
+				}
+				if res.Digest != base.Digest {
+					t.Errorf("self-healing changed the answer under %s: %s=%#x vs fault-free %#x",
+						plan.Name, res.Policy, res.Digest, base.Digest)
+				}
+				quarantines += res.RailQuarantines
+				reintegrations += res.RailReintegrations
+			}
+			switch plan.Name {
+			case "rail-death-n1-r2":
+				if quarantines == 0 {
+					t.Error("permanent rail death never quarantined by any endpoint")
+				}
+			case "rail-flap-n0-r1":
+				if quarantines == 0 || reintegrations == 0 {
+					t.Errorf("flap: quarantines=%d reintegrations=%d, want both > 0",
+						quarantines, reintegrations)
+				}
+			}
+		})
+	}
+}
+
+// healthTimeline runs a seeded ping-pong workload under a rail flap with the
+// reliability layer armed and returns the recorded health-transition events.
+func healthTimeline(t *testing.T, seed int64) []trace.Event {
+	t.Helper()
+	rec := trace.NewRecorder(1 << 16)
+	cfg := mpi.Config{
+		Nodes:      2,
+		QPsPerPort: 2,
+		Policy:     core.RoundRobin,
+		Trace:      rec,
+		Chaos:      RailFlap(80*sim.Microsecond, 400*sim.Microsecond, 1, 1),
+		Reliability: &adi.ReliabilityConfig{
+			Seed:          seed,
+			Deadline:      60 * sim.Microsecond,
+			CheckInterval: 15 * sim.Microsecond,
+			RetryBase:     2 * sim.Microsecond,
+			ProbeBase:     10 * sim.Microsecond,
+			ProbeMax:      40 * sim.Microsecond,
+		},
+		Deadline: 50 * sim.Millisecond,
+	}
+	_, err := mpi.Run(cfg, func(c *mpi.Comm) {
+		buf := make([]byte, 4<<10)
+		for i := 0; i < 120; i++ {
+			if c.Rank() == 0 {
+				c.Send(1, 5, buf)
+			} else {
+				c.Recv(0, 5, buf)
+			}
+			c.Compute(3 * sim.Microsecond)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []trace.Event
+	for _, e := range rec.Events() {
+		switch e.Kind {
+		case trace.KindRailSuspect, trace.KindRailQuarantine, trace.KindRailProbe, trace.KindRailReintegrate:
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TestHealthTimelineReplay pins the reliability layer's determinism: two runs
+// with the same seed must log the exact same health-transition timeline —
+// same virtual times, same kinds, same ranks, same rails.
+func TestHealthTimelineReplay(t *testing.T) {
+	a := healthTimeline(t, 11)
+	b := healthTimeline(t, 11)
+	if len(a) == 0 {
+		t.Fatal("rail flap produced no health transitions; the layer is not engaging")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("replay event count diverged: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("event %d diverged: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// A different seed shifts probe/backoff jitter, so the timeline moves.
+	c := healthTimeline(t, 12)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("seed 11 and 12 produced identical timelines; jitter is not seeded")
+	}
+}
+
+// TestFalseSuspectRecovers forces a false positive: a long send-engine stall
+// with an aggressively short deadline trips suspect -> quarantine even though
+// the rail is physically fine. The layer must recover by itself (the first
+// probe completes once the stall lifts), must not retransmit anything (no WR
+// ever flushed), and must leave the user-visible answer untouched.
+func TestFalseSuspectRecovers(t *testing.T) {
+	base, err := RunConformance(OracleConfig{Seed: oracleSeed, Policy: core.EvenStriping})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunConformance(OracleConfig{
+		Seed:   oracleSeed,
+		Policy: core.EvenStriping,
+		Plan:   StalledEngine(150*sim.Microsecond, 200*sim.Microsecond, 0, 0),
+		Reliability: &adi.ReliabilityConfig{
+			Seed:          oracleSeed,
+			Deadline:      30 * sim.Microsecond,
+			DeadlineScale: 1,
+			CheckInterval: 10 * sim.Microsecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if res.Digest != base.Digest {
+		t.Errorf("false quarantine changed the answer: %#x vs %#x", res.Digest, base.Digest)
+	}
+	if res.RailSuspects == 0 || res.RailQuarantines == 0 {
+		t.Errorf("stall never tripped the deadline: suspects=%d quarantines=%d",
+			res.RailSuspects, res.RailQuarantines)
+	}
+	if res.RailReintegrations == 0 {
+		t.Error("falsely quarantined rail never reintegrated")
+	}
+	if res.RailRetransmits != 0 {
+		t.Errorf("false quarantine retransmitted %d WRs; nothing was ever flushed", res.RailRetransmits)
+	}
+	if res.Health.Get("reintegrations") != res.RailReintegrations {
+		t.Error("Health counter block disagrees with the summed stats")
+	}
+}

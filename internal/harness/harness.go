@@ -11,6 +11,7 @@
 package harness
 
 import (
+	"errors"
 	"os"
 	"runtime"
 	"strconv"
@@ -42,6 +43,33 @@ func Map[I, O any](items []I, fn func(I) (O, error)) ([]O, error) {
 
 // MapN is Map with an explicit worker count.
 func MapN[I, O any](workers int, items []I, fn func(I) (O, error)) ([]O, error) {
+	out, errs := mapCollect(workers, items, fn)
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// MapAll is Map, except that every failing item contributes to the returned
+// error (errors.Join, in input order) instead of only the lowest index. A
+// conformance matrix uses it so one broken cell does not mask the others.
+// Panic arbitration is unchanged: the lowest panicking index re-raises.
+func MapAll[I, O any](items []I, fn func(I) (O, error)) ([]O, error) {
+	return MapNAll(Workers(), items, fn)
+}
+
+// MapNAll is MapAll with an explicit worker count.
+func MapNAll[I, O any](workers int, items []I, fn func(I) (O, error)) ([]O, error) {
+	out, errs := mapCollect(workers, items, fn)
+	return out, errors.Join(errs...)
+}
+
+// mapCollect runs every item to completion on the worker fleet, re-raises
+// the lowest panicking index, and returns results plus per-item errors in
+// input order. Map/MapAll differ only in how they fold the error slice.
+func mapCollect[I, O any](workers int, items []I, fn func(I) (O, error)) ([]O, []error) {
 	out := make([]O, len(items))
 	errs := make([]error, len(items))
 	panics := make([]any, len(items))
@@ -75,12 +103,7 @@ func MapN[I, O any](workers int, items []I, fn func(I) (O, error)) ([]O, error) 
 			panic(p)
 		}
 	}
-	for _, err := range errs {
-		if err != nil {
-			return out, err
-		}
-	}
-	return out, nil
+	return out, errs
 }
 
 // runOne executes one item, capturing a panic instead of unwinding the

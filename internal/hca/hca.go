@@ -466,6 +466,12 @@ func (p *Port) RestoreLink() {
 	p.LatencyPad = 0
 }
 
+// EffectiveRate reports the port's current outbound link rate in bytes/sec,
+// reflecting any DegradeLink in force. The rail reliability layer scales its
+// completion deadlines by transfer estimates at this rate, so a degraded but
+// healthy link is not mistaken for a dead rail.
+func (p *Port) EffectiveRate() float64 { return p.TX.Rate }
+
 // EngineUtilization reports the mean utilization of the send engines at now.
 func (p *Port) EngineUtilization(now sim.Time) float64 {
 	if len(p.SendEngines) == 0 || now <= 0 {

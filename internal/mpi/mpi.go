@@ -72,6 +72,14 @@ type Config struct {
 	// the run starts (implemented by *chaos.Plan; the interface keeps the
 	// chaos package, whose oracle drives this one, out of mpi's imports).
 	Chaos ChaosPlan
+	// Reliability, when non-nil, arms the self-healing rail layer before
+	// the run starts: endogenous failure detection, backoff retransmit,
+	// probe-driven reintegration. With it armed, chaos rail events only
+	// flip QP hardware state — the endpoints discover the change.
+	Reliability *adi.ReliabilityConfig
+	// BufAudit arms allocation-site tagging on the payload pool so a
+	// BufLive leak report names the owning protocol path.
+	BufAudit bool
 	// Deadline, when positive, bounds the run in virtual time: if any rank
 	// is still alive when the clock reaches it, Run returns a watchdog
 	// error listing the stuck ranks instead of simulating forever. The
@@ -161,6 +169,14 @@ func Run(cfg Config, body func(c *Comm)) (*Report, error) {
 		BodyEnd:   make([]sim.Time, spec.Size()),
 		RankStats: make([]adi.Stats, spec.Size()),
 		World:     world,
+	}
+	// Reliability arms before the chaos plan so rail events scheduled at
+	// t=0 already find SetRail in self-healing (hardware-only) mode.
+	if cfg.Reliability != nil {
+		world.EnableReliability(*cfg.Reliability)
+	}
+	if cfg.BufAudit {
+		world.EnableBufAudit()
 	}
 	if cfg.Chaos != nil {
 		cfg.Chaos.Arm(eng, world)

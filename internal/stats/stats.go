@@ -133,6 +133,47 @@ func (t *Table) Format() string {
 	return b.String()
 }
 
+// Counters is an ordered block of named integer tallies — the rendering
+// behind event-count summaries such as the reliability layer's rail-health
+// transitions. Names keep first-appearance order so output is deterministic.
+type Counters struct {
+	Title  string
+	names  []string
+	values map[string]int64
+}
+
+// Add accumulates v into the named counter, creating it on first use.
+func (c *Counters) Add(name string, v int64) {
+	if c.values == nil {
+		c.values = make(map[string]int64)
+	}
+	if _, ok := c.values[name]; !ok {
+		c.names = append(c.names, name)
+	}
+	c.values[name] += v
+}
+
+// Get returns the named counter's value (0 if absent).
+func (c *Counters) Get(name string) int64 { return c.values[name] }
+
+// Format renders the block with aligned columns.
+func (c *Counters) Format() string {
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	w := 0
+	for _, n := range c.names {
+		if len(n) > w {
+			w = len(n)
+		}
+	}
+	for _, n := range c.names {
+		fmt.Fprintf(&b, "%-*s  %d\n", w, n, c.values[n])
+	}
+	return b.String()
+}
+
 // FormatSize renders a byte count the way the paper's axes do (4K, 1M...).
 func FormatSize(n int) string {
 	switch {

@@ -30,6 +30,14 @@ const (
 	// after its original rail died mid-flight (chaos harness); Rail is the
 	// rail the WR was flushed from.
 	KindRetransmit
+	// Rail-health transitions of the self-healing reliability layer
+	// (adi.ReliabilityConfig): a rail turning suspect on a blown completion
+	// deadline, entering quarantine, being probed, and returning to
+	// service. Rail is the rail index, Peer the connection's far rank.
+	KindRailSuspect
+	KindRailQuarantine
+	KindRailProbe
+	KindRailReintegrate
 )
 
 func (k Kind) String() string {
@@ -54,6 +62,14 @@ func (k Kind) String() string {
 		return "RMA"
 	case KindRetransmit:
 		return "RETRANS"
+	case KindRailSuspect:
+		return "SUSPECT"
+	case KindRailQuarantine:
+		return "QUARANTINE"
+	case KindRailProbe:
+		return "PROBE"
+	case KindRailReintegrate:
+		return "REINTEGRATE"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
