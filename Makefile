@@ -21,7 +21,7 @@ vet:
 check: vet test race fuzz cover
 
 race:
-	$(GO) test -race ./internal/sim/... ./internal/adi/... ./internal/core/... ./internal/mpi/... ./internal/chaos/... ./internal/buf/... ./internal/harness/...
+	$(GO) test -race ./internal/sim/... ./internal/adi/... ./internal/core/... ./internal/mpi/... ./internal/chaos/... ./internal/buf/... ./internal/harness/... ./internal/regcache/...
 
 # Self-healing soak: the full chaos conformance matrix with the rail
 # reliability layer armed, the health state machine and replay tests, and
@@ -30,13 +30,15 @@ soak:
 	$(GO) test -race -run 'TestSelfHealing|TestDifferentialOracle|TestGeneratedPlansConverge|TestHealthTimelineReplay|TestFalseSuspectRecovers|TestChaosReproducible|TestReliability|TestHealthStateMachine|TestBackoff|TestEpochCycle|TestDegradedRailTable' ./internal/chaos/ ./internal/adi/ ./internal/ib/ ./internal/bench/
 
 # Each fuzz target gets a bounded live run on top of its checked-in corpus:
-# the stripe planners against their coverage invariants, and the bucketed
-# matcher against the naive linear reference.
+# the stripe planners against their coverage invariants, the bucketed
+# matcher against the naive linear reference, and the pin-down registration
+# cache against its flat-scan LRU reference.
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzEvenStripes -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run='^$$' -fuzz=FuzzWeightedStripes -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run='^$$' -fuzz=FuzzMatchOrder -fuzztime=$(FUZZTIME) ./internal/adi
+	$(GO) test -run='^$$' -fuzz=FuzzRegCacheLRU -fuzztime=$(FUZZTIME) ./internal/regcache
 
 # Statement-coverage floor over the deterministic-simulation core. The gate
 # fails when coverage drops below COVERAGE.txt; re-record the floor with
@@ -46,7 +48,7 @@ fuzz:
 cover:
 	@prof=$$(mktemp -t ib12x-cover-XXXXXX.out); \
 	trap 'rm -f $$prof' EXIT; \
-	$(GO) test -coverprofile=$$prof ./internal/core ./internal/adi ./internal/sim ./internal/chaos ./internal/buf ./internal/harness && \
+	$(GO) test -coverprofile=$$prof ./internal/core ./internal/adi ./internal/sim ./internal/chaos ./internal/buf ./internal/harness ./internal/regcache && \
 	$(GO) run ./cmd/covergate -profile $$prof -floor COVERAGE.txt
 
 # One testing.B benchmark per paper figure, plus ablations.
@@ -63,12 +65,15 @@ perf:
 
 # Statistical view of the same benchmarks: each figure runs SAMPLES times
 # through the harness pool and prints mean ± stddev ns/op. The JSON report
-# goes to a temp file so BENCH_hotpath.json keeps its gating record.
+# goes to a temp file so BENCH_hotpath.json keeps its gating record. The
+# warm-path allocation gate keeps registration-cache lookups alloc-free on
+# the warm rendezvous path.
 SAMPLES ?= 5
 perfstat:
 	@out=$$(mktemp -t ib12x-perfstat-XXXXXX.json); \
 	trap 'rm -f $$out' EXIT; \
 	$(GO) run ./cmd/perfgate -samples $(SAMPLES) -o $$out
+	$(GO) test -run TestWarmRegisterNoAllocs -count=1 ./internal/regcache
 
 # Regenerate every figure of the paper (takes a few minutes: class-B NAS).
 reproduce:

@@ -44,7 +44,8 @@ func main() {
 // collective suite, the stencil pattern and scalability sweep from the
 // conclusions' future work, the rendezvous-protocol comparison, the
 // one-rail-dead bandwidth sweep under the self-healing reliability layer,
-// and the "no degradation on other NAS kernels" check.
+// the pin-down registration cache cold/warm bandwidth split, and the "no
+// degradation on other NAS kernels" check.
 func supplementary(o bench.FigOpts) error {
 	gens := []func(bench.FigOpts) (*stats.Table, error){
 		func(o bench.FigOpts) (*stats.Table, error) { return bench.CollectiveTable(bench.CollBcast, o) },
@@ -57,6 +58,7 @@ func supplementary(o bench.FigOpts) error {
 		bench.OversubscriptionTable,
 		bench.HCAGenerationTable,
 		bench.DegradedRailTable,
+		bench.RegCacheTable,
 		func(bench.FigOpts) (*stats.Table, error) { return bench.NoDegradationTable() },
 	}
 	// Each generator runs its own simulations against a fresh world, so the

@@ -220,6 +220,12 @@ type Stats struct {
 	RailQuarantines    int64 // rails removed from the policy masks
 	RailProbes         int64 // probe WRs that reached a quarantined QP
 	RailReintegrations int64 // rails returned to service by a probe
+
+	// Pin-down registration cache (Options.RegCache; all zero when off).
+	RegHits       int64 // registrations already covered by a pinned region
+	RegMisses     int64 // registrations that pinned new pages
+	RegEvictions  int64 // regions evicted under capacity pressure
+	RegPinnedPeak int64 // pinned-bytes high-water mark on this endpoint
 }
 
 // classIsValid guards the marker input.

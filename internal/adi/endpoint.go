@@ -7,6 +7,7 @@ import (
 	"ib12x/internal/core"
 	"ib12x/internal/ib"
 	"ib12x/internal/model"
+	"ib12x/internal/regcache"
 	"ib12x/internal/shmem"
 	"ib12x/internal/sim"
 	"ib12x/internal/trace"
@@ -43,6 +44,11 @@ type Conn struct {
 	// health is the per-rail reliability state machine, allocated only when
 	// World.EnableReliability arms the self-healing layer (nil otherwise).
 	health []railHealth
+
+	// rateScratch backs sched.Rates, the per-rail link-rate scale fed to
+	// the weighted planner while any rail runs degraded (nil when uniform,
+	// which keeps fault-free planning on the memoized plan cache).
+	rateScratch []float64
 }
 
 // pendingEnvelope is a channel message stalled on an empty credit pool.
@@ -119,6 +125,10 @@ type Endpoint struct {
 	// legacy operator-driven runs.
 	rel    *ReliabilityConfig
 	probes map[uint64]probeRef
+
+	// reg is the pin-down registration cache (Options.RegCache); nil keeps
+	// the historical free-registration model.
+	reg *regcache.Cache
 
 	stats Stats
 }

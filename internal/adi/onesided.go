@@ -45,6 +45,9 @@ func (ep *Endpoint) RegisterWindow(id int, buf []byte, n int) uint32 {
 	if _, dup := ep.windows[id]; dup {
 		panic("adi: window id already registered")
 	}
+	// Window creation registers the exposed region up front (collective
+	// context, no single peer).
+	ep.chargeRegistration(-1, buf, n)
 	mr := ep.realm.RegisterMR(buf, n)
 	ep.windows[id] = &winInfo{buf: buf, n: n, mr: mr}
 	return mr.RKey
@@ -107,6 +110,8 @@ func (ep *Endpoint) PutBulk(peer, winID int, rkey uint32, off int, data []byte, 
 	if data != nil {
 		req.owner = ep.bufs.WrapTagged(data[:n], "rma-owner")
 	}
+	ep.chargeRegistration(peer, data, n)
+	ep.refreshRailRates(conn)
 	plan := ep.policy.PlanBulk(class, n, len(conn.rails), &conn.sched)
 	req.writesLeft = len(plan)
 	for _, s := range plan {
@@ -159,6 +164,8 @@ func (ep *Endpoint) GetBulk(peer, winID int, rkey uint32, off int, buf []byte, n
 		ep.sendRMAMsg(conn, env, nil, 0)
 		return req
 	}
+	ep.chargeRegistration(peer, buf, n)
+	ep.refreshRailRates(conn)
 	plan := ep.policy.PlanBulk(class, n, len(conn.rails), &conn.sched)
 	req.writesLeft = len(plan)
 	for _, s := range plan {

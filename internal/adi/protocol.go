@@ -73,6 +73,9 @@ func (ep *Endpoint) sendRTS(conn *Conn, req *Request) {
 		req.owner = ep.bufs.WrapTagged(req.data[:req.n], "rndv-owner")
 	}
 	if ep.rndv == RndvRead {
+		// RGET exposes the sender's buffer in the RTS, so the sender pays
+		// the registration here, before the key leaves the host.
+		ep.chargeRegistration(req.peer, req.data, req.n)
 		mr := ep.realm.RegisterMR(req.data, req.n)
 		req.mrKey = mr.RKey
 		env.rkey = mr.RKey
@@ -109,6 +112,10 @@ func (ep *Endpoint) startRead(req *Request, env *envelope) {
 	req.status.Count = xfer
 
 	conn := ep.conns[env.src]
+	// The receiver's pull targets its own buffer: registration is charged
+	// before any read posts.
+	ep.chargeRegistration(env.src, req.data, xfer)
+	ep.refreshRailRates(conn)
 	plan := ep.policy.PlanBulk(env.class, xfer, len(conn.rails), &conn.sched)
 	req.writesLeft = len(plan)
 	sreq := env.sreq
@@ -168,6 +175,9 @@ func (ep *Endpoint) sendCTS(req *Request, env *envelope) {
 		xfer = req.n
 		req.status.Err = ErrTruncated
 	}
+	// The destination buffer becomes an RDMA target: the receiver pays the
+	// pin-down charge before granting the key.
+	ep.chargeRegistration(env.src, req.data, xfer)
 	mr := ep.realm.RegisterMR(req.data, xfer)
 	req.mrKey = mr.RKey
 	req.status.Source = env.src
@@ -192,6 +202,10 @@ func (ep *Endpoint) handleCTS(env *envelope) {
 	sreq := env.sreq
 	conn := ep.conns[env.src]
 	ep.charge(ep.m.CPUHeaderProc)
+	// Every stripe of this message reads the source buffer: the whole
+	// region's first touch pays its registration before any WR posts.
+	ep.chargeRegistration(env.src, sreq.data, env.xfer)
+	ep.refreshRailRates(conn)
 	plan := ep.policy.PlanBulk(sreq.class, env.xfer, len(conn.rails), &conn.sched)
 	sreq.writesLeft = len(plan)
 	rreq, rkey := env.rreq, env.rkey

@@ -1,0 +1,70 @@
+package adi
+
+import (
+	"testing"
+
+	"ib12x/internal/core"
+	"ib12x/internal/model"
+	"ib12x/internal/sim"
+	"ib12x/internal/topo"
+	"ib12x/internal/trace"
+)
+
+// stripeBytesByRail runs one 384 KB rendezvous send over a 2-port (2-rail)
+// fabric under weighted striping, optionally degrading the sender's second
+// port first, and returns the bytes each rail carried.
+func stripeBytesByRail(t *testing.T, degrade float64) [2]int {
+	t.Helper()
+	const n = 384 * 1024
+	eng := sim.NewEngine()
+	spec := topo.Spec{Nodes: 2, ProcsPerNode: 1, HCAsPerNode: 1, PortsPerHCA: 2, QPsPerPort: 1}
+	rec := trace.NewRecorder(1 << 16)
+	w := NewWorld(eng, model.Default(), spec, Options{Policy: core.WeightedStriping, Trace: rec})
+	if degrade > 0 {
+		// Degrade the port behind rail 1 of the sender's connection, so the
+		// planner sees a 1 : degrade rate split.
+		w.Endpoints[0].Conn(1).rails[1].Port.DegradeLink(degrade, 0)
+	}
+	payload := fill(n, 5)
+	got := make([]byte, n)
+	bodies := []func(ep *Endpoint){
+		func(ep *Endpoint) { ep.Wait(ep.PostSend(1, 0, CtxPt2Pt, core.Blocking, payload, n)) },
+		func(ep *Endpoint) { ep.Wait(ep.PostRecv(0, 0, CtxPt2Pt, got, n)) },
+	}
+	for i, body := range bodies {
+		ep, body := w.Endpoints[i], body
+		eng.Spawn(procName("t", i), func(p *sim.Proc) {
+			ep.Attach(p)
+			body(ep)
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var by [2]int
+	for _, e := range rec.Events() {
+		if e.Kind == trace.KindStripeWrite && e.Rank == 0 {
+			by[e.Rail] += e.Bytes
+		}
+	}
+	if by[0]+by[1] != n {
+		t.Fatalf("stripes cover %d bytes, want %d (events: %d)", by[0]+by[1], n, rec.Len())
+	}
+	return by
+}
+
+// TestWeightedStripingTracksDegradedRate is the partial-degradation ROADMAP
+// item end to end: with one of two ports throttled to half rate, the
+// weighted-striping planner must shift bytes to the healthy rail in a ~2:1
+// split rather than keep striping evenly against a slow link.
+func TestWeightedStripingTracksDegradedRate(t *testing.T) {
+	even := stripeBytesByRail(t, 0)
+	if even[0] != even[1] {
+		t.Fatalf("healthy fabric not evenly striped: %v", even)
+	}
+	deg := stripeBytesByRail(t, 0.5)
+	ratio := float64(deg[0]) / float64(deg[1])
+	if ratio < 1.9 || ratio > 2.1 {
+		t.Errorf("degraded split %d:%d (ratio %.2f), want ~2:1 tracking the 2:1 rate split", deg[0], deg[1], ratio)
+	}
+}

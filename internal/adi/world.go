@@ -5,6 +5,7 @@ import (
 	"ib12x/internal/core"
 	"ib12x/internal/ib"
 	"ib12x/internal/model"
+	"ib12x/internal/regcache"
 	"ib12x/internal/shmem"
 	"ib12x/internal/sim"
 	"ib12x/internal/topo"
@@ -34,6 +35,11 @@ type Options struct {
 	// chunk of every port (0 = error-free fabric). Lost chunks pay the RC
 	// retransmit timeout; payloads still arrive intact.
 	FaultEvery int64
+	// RegCache, when non-nil, arms the pin-down registration cache on every
+	// endpoint: rendezvous and one-sided bulk transfers pay virtual-time
+	// registration charges for buffers the per-endpoint LRU does not cover.
+	// nil preserves the historical free-registration behavior.
+	RegCache *regcache.Config
 }
 
 // World is a fully wired simulated MPI job: hardware topology plus one
@@ -184,6 +190,12 @@ func NewWorld(eng *sim.Engine, m *model.Params, spec topo.Spec, opt Options) *Wo
 	for r := 0; r < n; r++ {
 		ep := newEndpoint(r, eng, m, realm, policy, opt.Rndv, n, pool, w.bufs)
 		ep.tr = opt.Trace
+		if opt.RegCache != nil {
+			// Per-endpoint state, not a global constant: each rank's cache
+			// warms and evicts on its own traffic (Zambre et al.'s endpoint
+			// independence argument).
+			ep.reg = regcache.New(*opt.RegCache)
+		}
 		w.Endpoints = append(w.Endpoints, ep)
 	}
 

@@ -12,6 +12,7 @@ import (
 	"ib12x/internal/core"
 	"ib12x/internal/model"
 	"ib12x/internal/mpi"
+	"ib12x/internal/regcache"
 	"ib12x/internal/sim"
 )
 
@@ -36,6 +37,10 @@ type Setup struct {
 	// drive the degraded-mode figures.
 	Chaos       mpi.ChaosPlan
 	Reliability *adi.ReliabilityConfig
+
+	// RegCache, when non-nil, arms the pin-down registration cache (the
+	// cold/warm bandwidth split of the supplementary RegCacheTable).
+	RegCache *regcache.Config
 }
 
 // Config builds the mpi.Config this setup describes.
@@ -53,6 +58,7 @@ func (s Setup) Config() mpi.Config {
 		TrunkRate:      s.TrunkRate,
 		Chaos:          s.Chaos,
 		Reliability:    s.Reliability,
+		RegCache:       s.RegCache,
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"ib12x/internal/adi"
 	"ib12x/internal/core"
 	"ib12x/internal/mpi"
+	"ib12x/internal/regcache"
 	"ib12x/internal/sim"
 	"ib12x/internal/stats"
 	"ib12x/internal/trace"
@@ -25,6 +26,10 @@ type OracleConfig struct {
 	// Reliability, when non-nil, arms the self-healing rail layer: the run
 	// must then survive rail chaos with no operator-driven mask updates.
 	Reliability *adi.ReliabilityConfig
+	// RegCache, when non-nil, arms the pin-down registration cache: the
+	// payload digest must stay byte-identical to cache-off runs (charges
+	// shift time, never bytes), and the timeline must still replay.
+	RegCache *regcache.Config
 
 	Nodes        int // default 2
 	ProcsPerNode int // default 2
@@ -78,6 +83,13 @@ type RunResult struct {
 	RailReintegrations int64
 	// Health renders the transition tallies as an ordered counter block.
 	Health *stats.Counters
+
+	// Pin-down registration cache activity summed over ranks (peak is the
+	// worst rank); all zero when OracleConfig.RegCache is nil. RegCacheStats
+	// renders the tallies as an ordered counter block.
+	RegHits, RegMisses, RegEvictions int64
+	RegPinnedPeak                    int64
+	RegCacheStats                    *stats.Counters
 }
 
 // ---- seeded workload script ----
@@ -174,6 +186,7 @@ func RunConformance(cfg OracleConfig) (*RunResult, error) {
 	if cfg.Reliability != nil {
 		mcfg.Reliability = cfg.Reliability
 	}
+	mcfg.RegCache = cfg.RegCache
 	mcfg.BufAudit = true
 
 	rep, err := mpi.Run(mcfg, func(c *mpi.Comm) {
@@ -265,6 +278,19 @@ func RunConformance(cfg OracleConfig) (*RunResult, error) {
 	res.Health.Add("quarantines", res.RailQuarantines)
 	res.Health.Add("probes", res.RailProbes)
 	res.Health.Add("reintegrations", res.RailReintegrations)
+	for _, st := range rep.RankStats {
+		res.RegHits += st.RegHits
+		res.RegMisses += st.RegMisses
+		res.RegEvictions += st.RegEvictions
+		if st.RegPinnedPeak > res.RegPinnedPeak {
+			res.RegPinnedPeak = st.RegPinnedPeak
+		}
+	}
+	res.RegCacheStats = &stats.Counters{Title: "pin-down registration cache"}
+	res.RegCacheStats.Add("hits", res.RegHits)
+	res.RegCacheStats.Add("misses", res.RegMisses)
+	res.RegCacheStats.Add("evictions", res.RegEvictions)
+	res.RegCacheStats.Add("pinned bytes high-water", res.RegPinnedPeak)
 	for _, node := range rep.World.Cluster.Nodes {
 		for _, port := range node.Ports() {
 			res.ChunkRetransmits += port.Retransmits

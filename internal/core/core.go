@@ -138,6 +138,14 @@ type ConnState struct {
 	// and the striping planners re-plan over the survivors.
 	Dead RailMask
 
+	// Rates, when non-nil, is each rail's current link-rate scale relative
+	// to the nominal rate (1.0 = healthy; the ADI layer refreshes it from
+	// hca.Port.EffectiveRate before bulk planning). The weighted planner
+	// multiplies its configured weights by it, so a chaos-degraded but
+	// alive rail carries proportionally less traffic. nil means uniform —
+	// the fault-free fast path, which keeps the memoized plan cache valid.
+	Rates []float64
+
 	// scratch backs whole-message (single-stripe) plans so the policies
 	// that place one stripe per call return it without allocating.
 	scratch [1]Stripe
@@ -315,6 +323,24 @@ func maskedWeighted(size, rails, minStripe int, weights []float64, dead RailMask
 	return pl
 }
 
+// maskedWeightedRates is maskedWeighted with each rail's configured weight
+// scaled by its current link-rate factor, so partially degraded rails keep a
+// proportionally smaller share instead of their full one. Rails with a
+// missing or non-positive rate scale count as healthy (scale 1).
+func maskedWeightedRates(size, rails, minStripe int, weights, rates []float64, dead RailMask) []Stripe {
+	w := make([]float64, rails)
+	for i := 0; i < rails; i++ {
+		w[i] = 1
+		if i < len(weights) && weights[i] > 0 {
+			w[i] = weights[i]
+		}
+		if i < len(rates) && rates[i] > 0 {
+			w[i] *= rates[i]
+		}
+	}
+	return maskedWeighted(size, rails, minStripe, w, dead)
+}
+
 // ---- binding ----
 
 type bindingPolicy struct{ name string }
@@ -384,6 +410,11 @@ func (p *weightedPolicy) PickEager(_ Class, _, rails int, st *ConnState) int {
 }
 
 func (p *weightedPolicy) PlanBulk(_ Class, size, rails int, st *ConnState) []Stripe {
+	if st.Rates != nil {
+		// Degraded fabric: plans depend on the momentary rail rates, so the
+		// (size, rails, dead)-keyed cache cannot serve them. Compute fresh.
+		return maskedWeightedRates(size, rails, p.minStripe, p.weights, st.Rates, st.Dead)
+	}
 	if pl, ok := p.cache.get(size, rails, st.Dead); ok {
 		return pl
 	}

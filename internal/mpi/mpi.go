@@ -20,6 +20,7 @@ import (
 	"ib12x/internal/adi"
 	"ib12x/internal/core"
 	"ib12x/internal/model"
+	"ib12x/internal/regcache"
 	"ib12x/internal/sim"
 	"ib12x/internal/topo"
 	"ib12x/internal/trace"
@@ -77,6 +78,12 @@ type Config struct {
 	// probe-driven reintegration. With it armed, chaos rail events only
 	// flip QP hardware state — the endpoints discover the change.
 	Reliability *adi.ReliabilityConfig
+	// RegCache, when non-nil, arms the pin-down registration cache on
+	// every endpoint: rendezvous and one-sided bulk transfers pay
+	// virtual-time registration charges unless the per-endpoint LRU
+	// already covers the buffer. nil (the default) keeps registration
+	// free, matching all historical digests.
+	RegCache *regcache.Config
 	// BufAudit arms allocation-site tagging on the payload pool so a
 	// BufLive leak report names the owning protocol path.
 	BufAudit bool
@@ -164,6 +171,7 @@ func Run(cfg Config, body func(c *Comm)) (*Report, error) {
 		Rndv:       cfg.Rndv,
 		Trace:      cfg.Trace,
 		FaultEvery: cfg.FaultEvery,
+		RegCache:   cfg.RegCache,
 	})
 	rep := &Report{
 		BodyEnd:   make([]sim.Time, spec.Size()),

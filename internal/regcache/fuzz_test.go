@@ -1,0 +1,201 @@
+package regcache
+
+import (
+	"testing"
+	"unsafe"
+
+	"ib12x/internal/sim"
+)
+
+// refRegion is one live region of the naive reference model.
+type refRegion struct {
+	base, end uintptr
+	pinned    int64
+	stamp     int // last-use order; smaller = older
+}
+
+// refCache reimplements the cache contract with no index and no list: a flat
+// region slice scanned linearly, LRU by explicit use stamps. The fuzzer
+// drives both implementations with the same operation stream and compares
+// observable state after every step.
+type refCache struct {
+	cfg     Config
+	regions []refRegion
+	pinned  int64
+	clock   int
+}
+
+func (rc *refCache) pageRound(n int64) int64 {
+	pg := int64(rc.cfg.PageBytes)
+	return (n + pg - 1) / pg * pg
+}
+
+func (rc *refCache) register(data []byte, n int) (hit bool, newPages, evicted int) {
+	if n <= 0 || data == nil {
+		return true, 0, 0
+	}
+	base := uintptr(unsafe.Pointer(&data[0]))
+	end := base + uintptr(n)
+	rc.clock++
+
+	var covered int64
+	mbase, mend := base, end
+	var overlap []int
+	for i, r := range rc.regions {
+		if r.base <= base && end <= r.end {
+			rc.regions[i].stamp = rc.clock
+			return true, 0, 0
+		}
+		if r.base < end && base < r.end {
+			overlap = append(overlap, i)
+			if o := int64(min(r.end, end) - max(r.base, base)); o > 0 {
+				covered += o
+			}
+			if r.base < mbase {
+				mbase = r.base
+			}
+			if r.end > mend {
+				mend = r.end
+			}
+		}
+	}
+	newPages = int(rc.pageRound(int64(n)-covered) / int64(rc.cfg.PageBytes))
+	mergedPinned := rc.pageRound(int64(mend - mbase))
+	if mergedPinned > rc.cfg.CapacityBytes {
+		return false, newPages, 0
+	}
+	// Remove the overlapped regions (coalesce, not eviction).
+	keep := rc.regions[:0]
+	oi := 0
+	for i, r := range rc.regions {
+		if oi < len(overlap) && overlap[oi] == i {
+			oi++
+			rc.pinned -= r.pinned
+			continue
+		}
+		keep = append(keep, r)
+	}
+	rc.regions = keep
+	// Evict strictly by oldest stamp until the merged region fits.
+	for len(rc.regions) > 0 && (rc.pinned+mergedPinned > rc.cfg.CapacityBytes || len(rc.regions)+1 > rc.cfg.CapacityEntries) {
+		oldest := 0
+		for i, r := range rc.regions {
+			if r.stamp < rc.regions[oldest].stamp {
+				oldest = i
+			}
+			_ = r
+		}
+		rc.pinned -= rc.regions[oldest].pinned
+		rc.regions = append(rc.regions[:oldest], rc.regions[oldest+1:]...)
+		evicted++
+	}
+	rc.regions = append(rc.regions, refRegion{base: mbase, end: mend, pinned: mergedPinned, stamp: rc.clock})
+	rc.pinned += mergedPinned
+	return false, newPages, evicted
+}
+
+func min(a, b uintptr) uintptr {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b uintptr) uintptr {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// FuzzRegCacheLRU drives random register/lookup sequences over slices of one
+// arena and checks, after every operation, that the cache agrees with the
+// naive reference on hit/miss, page charges, eviction counts and the full
+// live-region set — and that the structural invariants hold: pinned bytes
+// never exceed capacity, entry count never exceeds its cap, no two live
+// entries overlap, and the pinned-byte ledger matches the entries.
+func FuzzRegCacheLRU(f *testing.F) {
+	f.Add([]byte{0, 4, 8, 4, 16, 8, 0, 32, 40, 4, 0, 4})
+	f.Add([]byte{1, 255, 0, 255, 128, 64, 7, 7, 7, 7})
+	f.Add([]byte{200, 10, 200, 10, 100, 100, 3, 250, 90, 9, 0, 0, 255, 255})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		const arenaN = 1 << 14
+		arena := make([]byte, arenaN)
+		cfg := Config{
+			CapacityBytes:   8 << 10, // 32 pages of 256 B
+			CapacityEntries: 6,
+			PageBytes:       256,
+			PinPerPage:      10 * sim.Nanosecond,
+			PinSyscall:      100 * sim.Nanosecond,
+		}
+		c := New(cfg)
+		rc := &refCache{cfg: cfg.withDefaults()}
+
+		for i := 0; i+1 < len(ops); i += 2 {
+			off := int(ops[i]) * 37 % arenaN
+			n := (int(ops[i+1]) + 1) * 41
+			if off+n > arenaN {
+				n = arenaN - off
+			}
+			if n == 0 {
+				continue
+			}
+			region := arena[off : off+n]
+
+			out := c.Register(region, n)
+			hit, pages, evicted := rc.register(region, n)
+
+			if out.Hit != hit {
+				t.Fatalf("op %d [%d,%d): hit=%v, reference says %v", i, off, off+n, out.Hit, hit)
+			}
+			if out.NewPages != pages {
+				t.Fatalf("op %d [%d,%d): newPages=%d, reference says %d", i, off, off+n, out.NewPages, pages)
+			}
+			if out.Evicted != evicted {
+				t.Fatalf("op %d [%d,%d): evicted=%d, reference says %d", i, off, off+n, out.Evicted, evicted)
+			}
+			wantCost := sim.Time(0)
+			if !hit {
+				wantCost = rc.cfg.PinSyscall + sim.Time(pages)*rc.cfg.PinPerPage
+			}
+			if out.Cost != wantCost {
+				t.Fatalf("op %d: cost %v, want %v", i, out.Cost, wantCost)
+			}
+
+			// Structural invariants.
+			if c.PinnedBytes() > cfg.CapacityBytes {
+				t.Fatalf("op %d: pinned %d exceeds capacity %d", i, c.PinnedBytes(), cfg.CapacityBytes)
+			}
+			if c.Entries() > cfg.CapacityEntries {
+				t.Fatalf("op %d: %d entries exceed cap %d", i, c.Entries(), cfg.CapacityEntries)
+			}
+			var sum int64
+			for j, e := range c.byAddr {
+				if e.end <= e.base {
+					t.Fatalf("op %d: empty entry %d", i, j)
+				}
+				if j > 0 && c.byAddr[j-1].end > e.base {
+					t.Fatalf("op %d: entries %d and %d overlap after coalescing", i, j-1, j)
+				}
+				sum += e.pinned
+			}
+			if sum != c.PinnedBytes() {
+				t.Fatalf("op %d: pinned ledger %d != entry sum %d", i, c.PinnedBytes(), sum)
+			}
+
+			// Full live-set equivalence (the LRU-order invariant: a stamp
+			// divergence would make the next eviction pick different
+			// victims, so matching sets every step pins matching order).
+			if c.Entries() != len(rc.regions) {
+				t.Fatalf("op %d: %d entries, reference has %d", i, c.Entries(), len(rc.regions))
+			}
+			for _, r := range rc.regions {
+				covered := c.Covered(arena[r.base-uintptr(unsafe.Pointer(&arena[0])):], int(r.end-r.base))
+				if !covered {
+					t.Fatalf("op %d: reference region [%d,%d) missing from cache",
+						i, r.base-uintptr(unsafe.Pointer(&arena[0])), r.end-uintptr(unsafe.Pointer(&arena[0])))
+				}
+			}
+		}
+	})
+}

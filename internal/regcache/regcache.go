@@ -1,0 +1,322 @@
+// Package regcache models MVAPICH's pin-down cache: the per-endpoint LRU of
+// registered memory regions that amortizes memory-registration cost on the
+// zero-copy rendezvous and one-sided RDMA paths. Registering a buffer the
+// cache already covers is free (a hit); an uncovered buffer pays a fixed
+// syscall latency plus a per-page pin cost for the pages not yet pinned (a
+// miss), exactly the cold/warm bandwidth split Liu et al. measured on the
+// RDMA path. Deregistration is lazy: regions stay pinned until LRU pressure
+// evicts them, which is where the warmth comes from.
+//
+// Determinism contract: buffer addresses are used only for identity and
+// interval-overlap comparisons, never numerically in any timing decision.
+// Distinct Go allocations never overlap, and slices of one allocation
+// overlap identically on every run, so the hit/miss/coalesce structure — and
+// therefore every virtual-time charge — is reproducible across runs and
+// worker counts. Two further rules protect that: regions coalesce only when
+// they strictly overlap (never when merely adjacent, since adjacency across
+// distinct allocations is an accident of the allocator), and live entries
+// hold a reference to their buffers so the garbage collector can never
+// recycle a pinned address range into a fresh allocation (the classic
+// pin-down-cache aliasing bug, which here would break replay).
+package regcache
+
+import (
+	"sort"
+	"unsafe"
+
+	"ib12x/internal/sim"
+	"ib12x/internal/stats"
+)
+
+// Config sizes the cache and prices its misses. The zero value of any field
+// takes the default noted on it.
+type Config struct {
+	// CapacityBytes bounds the pinned working set (default 64 MB). A region
+	// whose page-rounded span alone exceeds the capacity is never cached: it
+	// pays the full miss charge on every registration.
+	CapacityBytes int64
+	// CapacityEntries bounds the number of live regions (default 1024).
+	CapacityEntries int
+	// PageBytes is the pin granularity (default 4096). Page counts come
+	// from buffer lengths, not addresses, so they are run-independent.
+	PageBytes int
+	// PinPerPage is the per-page pin cost of a miss (default 250 ns, the
+	// get_user_pages walk).
+	PinPerPage sim.Time
+	// PinSyscall is the fixed per-miss syscall/driver latency (default 2 µs).
+	PinSyscall sim.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.CapacityBytes == 0 {
+		c.CapacityBytes = 64 << 20
+	}
+	if c.CapacityEntries == 0 {
+		c.CapacityEntries = 1024
+	}
+	if c.PageBytes == 0 {
+		c.PageBytes = 4096
+	}
+	if c.PinPerPage == 0 {
+		c.PinPerPage = 250 * sim.Nanosecond
+	}
+	if c.PinSyscall == 0 {
+		c.PinSyscall = 2 * sim.Microsecond
+	}
+	return c
+}
+
+// Outcome reports what one Register call did and what it costs.
+type Outcome struct {
+	// Cost is the virtual-time charge the caller must burn on its rank's
+	// proc before posting the WR (zero on a hit).
+	Cost sim.Time
+	// Hit reports whether a live entry already covered the whole region.
+	Hit bool
+	// NewPages is the number of pages pinned by this miss.
+	NewPages int
+	// Evicted counts the LRU entries evicted to make room; EvictedBytes is
+	// their total pinned span.
+	Evicted      int
+	EvictedBytes int64
+}
+
+// entry is one live pinned region: a half-open address interval on the LRU
+// list. refs keeps every buffer that contributed bytes alive, so the pinned
+// address range cannot be recycled while the entry lives.
+type entry struct {
+	base, end  uintptr
+	pinned     int64 // page-rounded span, the capacity accounting unit
+	refs       [][]byte
+	prev, next *entry
+}
+
+// Cache is one endpoint's pin-down cache. Not safe for concurrent use; an
+// endpoint's operations are serialized by its rank's simulated process.
+type Cache struct {
+	cfg Config
+
+	byAddr     []*entry // live entries sorted by base, pairwise disjoint
+	head, tail *entry   // LRU list, most recently used at head
+	pinned     int64
+
+	hits, misses, evictions int64
+	pinnedPeak              int64
+}
+
+// New builds a cache with the given configuration (zero fields defaulted).
+func New(cfg Config) *Cache {
+	return &Cache{cfg: cfg.withDefaults()}
+}
+
+// pageRound rounds n up to whole pages.
+func (c *Cache) pageRound(n int64) int64 {
+	pg := int64(c.cfg.PageBytes)
+	return (n + pg - 1) / pg * pg
+}
+
+// Register charges for exposing data[:n] to RDMA. A region fully covered by
+// one live entry is a hit: free, and the entry moves to the LRU front. Any
+// other region is a miss: the uncovered bytes are pinned (per-page cost plus
+// the fixed syscall latency), strictly overlapping entries coalesce into one
+// merged region, and LRU entries are evicted until the merged region fits.
+func (c *Cache) Register(data []byte, n int) Outcome {
+	if n <= 0 || data == nil {
+		return Outcome{Hit: true}
+	}
+	if n > len(data) {
+		n = len(data)
+	}
+	base := uintptr(unsafe.Pointer(&data[0]))
+	end := base + uintptr(n)
+
+	// First live entry whose interval ends past base; overlaps are a
+	// contiguous run from there because entries are disjoint and sorted.
+	lo := sort.Search(len(c.byAddr), func(i int) bool { return c.byAddr[i].end > base })
+	if lo < len(c.byAddr) {
+		if e := c.byAddr[lo]; e.base <= base && end <= e.end {
+			c.hits++
+			c.touch(e)
+			return Outcome{Hit: true}
+		}
+	}
+	hi := lo
+	covered := int64(0)
+	mbase, mend := base, end
+	for hi < len(c.byAddr) && c.byAddr[hi].base < end {
+		e := c.byAddr[hi]
+		covered += int64(minPtr(e.end, end) - maxPtr(e.base, base))
+		if e.base < mbase {
+			mbase = e.base
+		}
+		if e.end > mend {
+			mend = e.end
+		}
+		hi++
+	}
+
+	c.misses++
+	newPages := int(c.pageRound(int64(n)-covered) / int64(c.cfg.PageBytes))
+	out := Outcome{
+		Cost:     c.cfg.PinSyscall + sim.Time(newPages)*c.cfg.PinPerPage,
+		NewPages: newPages,
+	}
+
+	mergedPinned := c.pageRound(int64(mend - mbase))
+	if mergedPinned > c.cfg.CapacityBytes {
+		// Oversized: never cached, so it pays the full charge every time.
+		// The overlapped entries stay live untouched.
+		return out
+	}
+
+	// Coalesce: the overlapped entries leave the cache (their pins carry
+	// over into the merged region — not evictions) and the merged entry
+	// takes their keep-alive references.
+	merged := &entry{base: mbase, end: mend, pinned: mergedPinned}
+	for _, e := range c.byAddr[lo:hi] {
+		c.pinned -= e.pinned
+		c.unlink(e)
+		merged.refs = append(merged.refs, e.refs...)
+	}
+	merged.refs = append(merged.refs, data[:n:n])
+	c.byAddr = append(c.byAddr[:lo], c.byAddr[hi:]...)
+
+	// Evict from the LRU tail until the merged region fits both budgets.
+	for c.tail != nil && (c.pinned+mergedPinned > c.cfg.CapacityBytes || len(c.byAddr)+1 > c.cfg.CapacityEntries) {
+		v := c.tail
+		c.evict(v)
+		out.Evicted++
+		out.EvictedBytes += v.pinned
+	}
+
+	c.insert(merged)
+	return out
+}
+
+// touch moves a hit entry to the LRU front.
+func (c *Cache) touch(e *entry) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}
+
+// unlink removes e from the LRU list only (byAddr is managed by callers).
+func (c *Cache) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else if c.head == e {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else if c.tail == e {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *Cache) pushFront(e *entry) {
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+// evict drops a live entry entirely: LRU list, address index, pinned budget,
+// keep-alive references. Deregistration itself is lazy/deferred in MVAPICH
+// and charged nowhere here.
+func (c *Cache) evict(e *entry) {
+	c.unlink(e)
+	i := sort.Search(len(c.byAddr), func(i int) bool { return c.byAddr[i].base >= e.base })
+	if i < len(c.byAddr) && c.byAddr[i] == e {
+		c.byAddr = append(c.byAddr[:i], c.byAddr[i+1:]...)
+	}
+	c.pinned -= e.pinned
+	c.evictions++
+	e.refs = nil
+}
+
+// insert places a merged entry into the address index (evictions may have
+// shifted slots since the lookup, so it finds its own) and at the LRU front.
+func (c *Cache) insert(e *entry) {
+	i := sort.Search(len(c.byAddr), func(i int) bool { return c.byAddr[i].base >= e.base })
+	c.byAddr = append(c.byAddr, nil)
+	copy(c.byAddr[i+1:], c.byAddr[i:])
+	c.byAddr[i] = e
+	c.pushFront(e)
+	c.pinned += e.pinned
+	if c.pinned > c.pinnedPeak {
+		c.pinnedPeak = c.pinned
+	}
+}
+
+// Covered reports whether data[:n] is fully covered by one live entry,
+// without touching the LRU order or the statistics (a test/debug probe).
+func (c *Cache) Covered(data []byte, n int) bool {
+	if n <= 0 || data == nil {
+		return true
+	}
+	if n > len(data) {
+		n = len(data)
+	}
+	base := uintptr(unsafe.Pointer(&data[0]))
+	end := base + uintptr(n)
+	i := sort.Search(len(c.byAddr), func(i int) bool { return c.byAddr[i].end > base })
+	return i < len(c.byAddr) && c.byAddr[i].base <= base && end <= c.byAddr[i].end
+}
+
+// Flush empties the cache (capacity, statistics and peak are kept). The next
+// registration of every region is cold.
+func (c *Cache) Flush() {
+	c.byAddr = c.byAddr[:0]
+	c.head, c.tail = nil, nil
+	c.pinned = 0
+}
+
+// Hits reports registrations fully covered by a live entry.
+func (c *Cache) Hits() int64 { return c.hits }
+
+// Misses reports registrations that pinned new pages.
+func (c *Cache) Misses() int64 { return c.misses }
+
+// Evictions reports entries dropped under capacity pressure.
+func (c *Cache) Evictions() int64 { return c.evictions }
+
+// PinnedBytes reports the current pinned (page-rounded) working set.
+func (c *Cache) PinnedBytes() int64 { return c.pinned }
+
+// PinnedPeak reports the pinned-bytes high-water mark.
+func (c *Cache) PinnedPeak() int64 { return c.pinnedPeak }
+
+// Entries reports the number of live regions.
+func (c *Cache) Entries() int { return len(c.byAddr) }
+
+// Counters renders the cache statistics as an ordered counter block.
+func (c *Cache) Counters() *stats.Counters {
+	b := &stats.Counters{Title: "pin-down registration cache"}
+	b.Add("hits", c.hits)
+	b.Add("misses", c.misses)
+	b.Add("evictions", c.evictions)
+	b.Add("pinned bytes high-water", c.pinnedPeak)
+	return b
+}
+
+func minPtr(a, b uintptr) uintptr {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxPtr(a, b uintptr) uintptr {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -38,6 +38,12 @@ const (
 	KindRailQuarantine
 	KindRailProbe
 	KindRailReintegrate
+	// Pin-down registration cache (internal/regcache): a registration miss
+	// that pinned new pages (Bytes is the region size), and the evictions it
+	// forced (Bytes is the total pinned span dropped). Hits are silent — the
+	// warm path records nothing.
+	KindRegMiss
+	KindRegEvict
 )
 
 func (k Kind) String() string {
@@ -70,6 +76,10 @@ func (k Kind) String() string {
 		return "PROBE"
 	case KindRailReintegrate:
 		return "REINTEGRATE"
+	case KindRegMiss:
+		return "REGMISS"
+	case KindRegEvict:
+		return "REGEVICT"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
