@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet check race fuzz cover soak bench perf perfstat reproduce extra examples clean
+.PHONY: all build test vet check race fuzz cover soak shardrace bench perf perfstat reproduce extra examples clean
 
 all: vet test build
 
@@ -29,16 +29,25 @@ race:
 soak:
 	$(GO) test -race -run 'TestSelfHealing|TestDifferentialOracle|TestGeneratedPlansConverge|TestHealthTimelineReplay|TestFalseSuspectRecovers|TestChaosReproducible|TestReliability|TestHealthStateMachine|TestBackoff|TestEpochCycle|TestDegradedRailTable' ./internal/chaos/ ./internal/adi/ ./internal/ib/ ./internal/bench/
 
+# Sharded-engine soak: the shard group's unit tests and the sharded chaos
+# conformance matrix (serial-vs-sharded digest identity at 1/2/4/8 shards)
+# under the race detector — the determinism merge rule's standing proof.
+shardrace:
+	$(GO) test -race -run 'TestGroup|TestShard|TestProcRegistryPrune' ./internal/sim/
+	$(GO) test -race -run 'TestShardedSerialIdentical' -timeout 30m ./internal/chaos/
+
 # Each fuzz target gets a bounded live run on top of its checked-in corpus:
 # the stripe planners against their coverage invariants, the bucketed
-# matcher against the naive linear reference, and the pin-down registration
-# cache against its flat-scan LRU reference.
+# matcher against the naive linear reference, the pin-down registration
+# cache against its flat-scan LRU reference, and the sharded engine
+# differentially against the serial engine.
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzEvenStripes -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run='^$$' -fuzz=FuzzWeightedStripes -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run='^$$' -fuzz=FuzzMatchOrder -fuzztime=$(FUZZTIME) ./internal/adi
 	$(GO) test -run='^$$' -fuzz=FuzzRegCacheLRU -fuzztime=$(FUZZTIME) ./internal/regcache
+	$(GO) test -run='^$$' -fuzz=FuzzShardMerge -fuzztime=$(FUZZTIME) ./internal/sim
 
 # Statement-coverage floor over the deterministic-simulation core. The gate
 # fails when coverage drops below COVERAGE.txt; re-record the floor with

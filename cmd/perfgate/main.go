@@ -9,6 +9,7 @@
 //	perfgate -gate           # also enforce the per-figure floors
 //	perfgate -benchtime 5x   # more iterations (steadier numbers)
 //	perfgate -samples 5      # repeat each benchmark, report mean ± stddev
+//	perfgate -shards 8       # shard count for the sharded-engine rows
 //	perfgate -o path.json    # alternate output file
 //
 // The test binary is compiled once; each (benchmark, sample) cell then
@@ -27,6 +28,19 @@
 // Fig08 gate allocs/op too (allocation counts are exact, so the floors
 // are tight); their ns/op is recorded but not gated — those runs are
 // shorter and noisier on shared machines.
+//
+// The sharded-engine rows (BenchmarkFig06UniBWSharded and the
+// BenchmarkShardScale256 serial/sharded pair) have no seed baseline; the
+// 256-node pair is instead compared against itself, and the gate requires
+// the sharded run to beat serial by at least 1.5x wall clock. Those cells
+// run sequentially after the pool drains — a sharded simulation spreads
+// over several OS threads, so the comparison is only honest on an
+// otherwise idle machine. On a host without parallel hardware
+// (runtime.NumCPU() < 2) the speedup row still records what the machine
+// measured — there it is the pure synchronization overhead of the
+// conservative protocol — but the floor is not enforced: a parallel
+// speedup cannot exist without a second core. The report's "cpus" field
+// says which reading applies.
 package main
 
 import (
@@ -38,6 +52,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"regexp"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -74,6 +89,20 @@ var gates = map[string]gateSpec{
 	"BenchmarkFig08Alltoall":     {allocFloor: 0.80},
 }
 
+// Sharded-engine rows. These have no seed baseline (the seed had no
+// sharded engine); the serial/sharded pair on the 256-node fat-tree ring
+// is compared against each other instead, and the gate requires the
+// sharded run to hold at least shardSpeedupFloor× the serial wall clock.
+const (
+	shardSerialBench  = "BenchmarkShardScale256Serial"
+	shardShardedBench = "BenchmarkShardScale256Sharded"
+	shardFig06Bench   = "BenchmarkFig06UniBWSharded"
+
+	shardSpeedupFloor = 1.5
+)
+
+var shardBenches = []string{shardFig06Bench, shardSerialBench, shardShardedBench}
+
 // Result is one benchmark measurement. With -samples > 1 the fields are
 // means across samples, NsStddev carries the ns/op spread, and NsMin the
 // fastest sample — the least noise-inflated wall-clock estimate, which
@@ -84,6 +113,10 @@ type Result struct {
 	NsMin       float64 `json:"ns_min,omitempty"`
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+
+	// SpeedupVsSerial is set on the sharded 256-node scaling row: serial
+	// wall clock over sharded wall clock on the same workload.
+	SpeedupVsSerial float64 `json:"speedup_vs_serial,omitempty"`
 }
 
 // gateNs is the ns/op value a gate judges: the fastest sample when
@@ -101,6 +134,8 @@ type Report struct {
 	Date      string            `json:"date"`
 	Benchtime string            `json:"benchtime"`
 	Samples   int               `json:"samples,omitempty"`
+	CPUs      int               `json:"cpus"`
+	Shards    int               `json:"shards"`
 	Seed      map[string]Result `json:"seed"`
 	Current   map[string]Result `json:"current"`
 }
@@ -109,21 +144,33 @@ func main() {
 	gate := flag.Bool("gate", false, "fail unless every per-figure floor holds")
 	benchtime := flag.String("benchtime", "3x", "go test -benchtime value")
 	samples := flag.Int("samples", 1, "runs per benchmark; >1 reports mean ± stddev")
+	shards := flag.Int("shards", 4, "shard count for the sharded-engine rows")
 	out := flag.String("o", "BENCH_hotpath.json", "output file")
 	flag.Parse()
 
 	if *samples < 1 {
 		*samples = 1
 	}
-	current, err := runBenchmarks(*benchtime, *samples)
+	if *shards < 2 {
+		*shards = 2
+	}
+	current, err := runBenchmarks(*benchtime, *samples, *shards)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "perfgate:", err)
 		os.Exit(1)
+	}
+	if ser, ok := current[shardSerialBench]; ok {
+		if sh, ok := current[shardShardedBench]; ok && sh.gateNs() > 0 {
+			sh.SpeedupVsSerial = ser.gateNs() / sh.gateNs()
+			current[shardShardedBench] = sh
+		}
 	}
 
 	rep := Report{
 		Date:      time.Now().UTC().Format("2006-01-02"),
 		Benchtime: *benchtime,
+		CPUs:      runtime.NumCPU(),
+		Shards:    *shards,
 		Seed:      seedBaseline,
 		Current:   current,
 	}
@@ -156,6 +203,23 @@ func main() {
 			name, cur.NsPerOp, spread, seed.NsPerOp, pct(cur.NsPerOp, seed.NsPerOp),
 			cur.AllocsPerOp, seed.AllocsPerOp, pct(float64(cur.AllocsPerOp), float64(seed.AllocsPerOp)))
 	}
+	for _, name := range shardBenches {
+		cur, ok := current[name]
+		if !ok {
+			fmt.Printf("%-30s (missing)\n", name)
+			continue
+		}
+		spread := ""
+		if cur.NsStddev > 0 {
+			spread = fmt.Sprintf(" ±%.0f", cur.NsStddev)
+		}
+		extra := ""
+		if cur.SpeedupVsSerial > 0 {
+			extra = fmt.Sprintf("  speedup %.2fx vs serial at %d shards", cur.SpeedupVsSerial, *shards)
+		}
+		fmt.Printf("%-30s ns/op %12.0f%s  allocs/op %9d%s\n",
+			name, cur.NsPerOp, spread, cur.AllocsPerOp, extra)
+	}
 	fmt.Println("wrote", *out)
 
 	if *gate {
@@ -183,12 +247,28 @@ func main() {
 				failed = true
 			}
 		}
+		sh, ok := current[shardShardedBench]
+		shardNote := ""
+		switch {
+		case !ok || sh.SpeedupVsSerial == 0:
+			fmt.Fprintln(os.Stderr, "perfgate: sharded scaling rows missing from output")
+			failed = true
+		case runtime.NumCPU() < 2:
+			shardNote = fmt.Sprintf("; sharded 256-node speedup %.2fx recorded, %.1fx floor not enforced (single-CPU host)",
+				sh.SpeedupVsSerial, shardSpeedupFloor)
+		case sh.SpeedupVsSerial < shardSpeedupFloor:
+			fmt.Fprintf(os.Stderr, "perfgate: sharded 256-node speedup %.2fx below the %.1fx floor; rerun with -samples 3 on a noisy machine\n",
+				sh.SpeedupVsSerial, shardSpeedupFloor)
+			failed = true
+		default:
+			shardNote = fmt.Sprintf("; sharded 256-node speedup %.2fx >= %.1fx", sh.SpeedupVsSerial, shardSpeedupFloor)
+		}
 		if failed {
 			os.Exit(1)
 		}
-		fmt.Printf("gate OK: Fig06 holds ns/op -%.0f%% and allocs/op -%.0f%%; Fig04/07/08 hold allocs/op -%.0f%% vs seed\n",
+		fmt.Printf("gate OK: Fig06 holds ns/op -%.0f%% and allocs/op -%.0f%%; Fig04/07/08 hold allocs/op -%.0f%% vs seed%s\n",
 			gates["BenchmarkFig06UniBW"].nsFloor*100, gates["BenchmarkFig06UniBW"].allocFloor*100,
-			gates["BenchmarkFig04LargeLatency"].allocFloor*100)
+			gates["BenchmarkFig04LargeLatency"].allocFloor*100, shardNote)
 	}
 }
 
@@ -215,8 +295,11 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) n
 
 // runBenchmarks compiles the test binary once, then runs every
 // (benchmark, sample) cell as its own child process through the harness
-// pool, and folds the samples into per-benchmark means.
-func runBenchmarks(benchtime string, samples int) (map[string]Result, error) {
+// pool, and folds the samples into per-benchmark means. The sharded rows
+// run afterwards, one at a time: a sharded cell uses several OS threads,
+// and the serial/sharded wall-clock comparison is only meaningful when
+// neither side shares the machine with other cells.
+func runBenchmarks(benchtime string, samples, shards int) (map[string]Result, error) {
 	dir, err := os.MkdirTemp("", "perfgate-")
 	if err != nil {
 		return nil, err
@@ -238,23 +321,31 @@ func runBenchmarks(benchtime string, samples int) (map[string]Result, error) {
 		}
 	}
 	raw, err := harness.Map(cells, func(c cell) (Result, error) {
-		return runOne(bin, c.bench, benchtime)
+		return runOne(bin, c.bench, benchtime, shards)
 	})
 	if err != nil {
 		return nil, err
 	}
 
+	shardRaw := map[string][]Result{}
+	for _, name := range shardBenches {
+		for s := 0; s < samples; s++ {
+			r, err := runOne(bin, name, benchtime, shards)
+			if err != nil {
+				return nil, err
+			}
+			shardRaw[name] = append(shardRaw[name], r)
+		}
+	}
+
 	results := map[string]Result{}
-	for _, name := range benchNames() {
+	fold := func(name string, rs []Result) {
 		var ns []float64
 		var agg Result
-		for i, c := range cells {
-			if c.bench != name {
-				continue
-			}
-			ns = append(ns, raw[i].NsPerOp)
-			agg.BytesPerOp += raw[i].BytesPerOp
-			agg.AllocsPerOp += raw[i].AllocsPerOp
+		for _, r := range rs {
+			ns = append(ns, r.NsPerOp)
+			agg.BytesPerOp += r.BytesPerOp
+			agg.AllocsPerOp += r.AllocsPerOp
 		}
 		n := int64(len(ns))
 		agg.BytesPerOp /= n
@@ -268,14 +359,27 @@ func runBenchmarks(benchtime string, samples int) (map[string]Result, error) {
 		}
 		results[name] = agg
 	}
+	for _, name := range benchNames() {
+		var rs []Result
+		for i, c := range cells {
+			if c.bench == name {
+				rs = append(rs, raw[i])
+			}
+		}
+		fold(name, rs)
+	}
+	for _, name := range shardBenches {
+		fold(name, shardRaw[name])
+	}
 	return results, nil
 }
 
 // runOne executes a single benchmark in a child process and parses its
 // one result line.
-func runOne(bin, bench, benchtime string) (Result, error) {
+func runOne(bin, bench, benchtime string, shards int) (Result, error) {
 	cmd := exec.Command(bin, "-test.run", "^$",
 		"-test.bench", "^"+bench+"$", "-test.benchmem", "-test.benchtime", benchtime)
+	cmd.Env = append(os.Environ(), "IB12X_BENCH_SHARDS="+strconv.Itoa(shards))
 	out, err := cmd.CombinedOutput()
 	if err != nil {
 		return Result{}, fmt.Errorf("%s: %v\n%s", bench, err, out)

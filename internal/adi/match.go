@@ -27,6 +27,8 @@ package adi
 // The determinism digests in determinism_test.go pin this equivalence
 // against the seed's linear scans.
 
+import "sync"
+
 // matchKey addresses one (context, source) bucket.
 type matchKey struct {
 	ctx, src int
@@ -186,14 +188,21 @@ func cutEnv(q []*envelope, i int) []*envelope {
 // envPool recycles protocol envelopes. Envelopes are allocated at the
 // sending endpoint but consumed (and thus freed) at the receiving one, so
 // the pool is shared per World — the single-threaded engine makes that safe
-// without locks. Payload capacity is recycled separately through the world's
-// buf.Pool, so steady-state eager traffic with real payloads stops
-// allocating buffers too.
+// without locks; a sharded world switches the pool to locked mode, since
+// sender and receiver can live on different shards. Payload capacity is
+// recycled separately through the world's buf.Pool, so steady-state eager
+// traffic with real payloads stops allocating buffers too.
 type envPool struct {
-	free []*envelope
+	free   []*envelope
+	locked bool
+	mu     sync.Mutex
 }
 
 func (p *envPool) get() *envelope {
+	if p.locked {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+	}
 	if n := len(p.free); n > 0 {
 		env := p.free[n-1]
 		p.free[n-1] = nil
@@ -209,6 +218,10 @@ func (p *envPool) get() *envelope {
 func (p *envPool) put(env *envelope) {
 	env.pay.Release()
 	*env = envelope{}
+	if p.locked {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+	}
 	p.free = append(p.free, env)
 }
 

@@ -41,6 +41,11 @@ type Setup struct {
 	// RegCache, when non-nil, arms the pin-down registration cache (the
 	// cold/warm bandwidth split of the supplementary RegCacheTable).
 	RegCache *regcache.Config
+
+	// Shards runs the setup on the sharded parallel DES engine (0/1 =
+	// serial). Virtual-time results are bit-identical either way; only the
+	// host wall clock changes.
+	Shards int
 }
 
 // Config builds the mpi.Config this setup describes.
@@ -59,6 +64,7 @@ func (s Setup) Config() mpi.Config {
 		Chaos:          s.Chaos,
 		Reliability:    s.Reliability,
 		RegCache:       s.RegCache,
+		Shards:         s.Shards,
 	}
 }
 

@@ -35,6 +35,9 @@ type OracleConfig struct {
 	ProcsPerNode int // default 2
 	QPsPerPort   int // default 4 rails
 	Deadline     sim.Time
+	// Shards runs the workload on a sharded engine group (mpi.Config.Shards).
+	// Every digest must be byte-identical to the serial run's.
+	Shards int
 }
 
 func (c OracleConfig) withDefaults() OracleConfig {
@@ -169,7 +172,7 @@ func RunConformance(cfg OracleConfig) (*RunResult, error) {
 
 	rec := trace.NewRecorder(1 << 20)
 	recs := make([][]uint64, size)
-	var violations []string
+	viols := make([][]string, size)
 
 	mcfg := mpi.Config{
 		Nodes:        cfg.Nodes,
@@ -179,6 +182,7 @@ func RunConformance(cfg OracleConfig) (*RunResult, error) {
 		PolicyImpl:   cfg.PolicyImpl,
 		Trace:        rec,
 		Deadline:     cfg.Deadline,
+		Shards:       cfg.Shards,
 	}
 	if cfg.Plan != nil {
 		mcfg.Chaos = cfg.Plan
@@ -192,10 +196,12 @@ func RunConformance(cfg OracleConfig) (*RunResult, error) {
 	rep, err := mpi.Run(mcfg, func(c *mpi.Comm) {
 		r := c.Rank()
 		push := func(vs ...uint64) { recs[r] = append(recs[r], vs...) }
-		// Ranks run one at a time on the simulator baton, so appending to
-		// the shared violation slice needs no lock.
+		// Each rank writes only its own stream slots, so neither serial runs
+		// (one rank at a time on the baton) nor sharded runs (ranks of
+		// different shards in parallel) need a lock; flattening in rank order
+		// below keeps the report deterministic either way.
 		violf := func(format string, args ...any) {
-			violations = append(violations, fmt.Sprintf("rank %d: %s", r, fmt.Sprintf(format, args...)))
+			viols[r] = append(viols[r], fmt.Sprintf("rank %d: %s", r, fmt.Sprintf(format, args...)))
 		}
 		phaseStreams(c, sc, push, violf)
 		c.Barrier()
@@ -207,6 +213,11 @@ func RunConformance(cfg OracleConfig) (*RunResult, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+
+	var violations []string
+	for _, vs := range viols {
+		violations = append(violations, vs...)
 	}
 
 	// Payload-ownership invariant: with every request complete and every

@@ -283,3 +283,60 @@ func TestGeneratedPlansConverge(t *testing.T) {
 		}
 	}
 }
+
+// TestShardedSerialIdentical pins the sharded engine's determinism contract
+// end to end: the full policy x fault-plan chaos matrix run on a sharded
+// group (mpi.Config.Shards) must be BIT-identical to the serial engine —
+// payload digest, protocol trace digest, and elapsed virtual time — at
+// every shard count, with zero invariant violations. Shard counts above the
+// topology's unit count clamp (topo.ShardPlan), so the 8-way sweep runs on
+// an 8-node fabric where all 8 shards are real.
+func TestShardedSerialIdentical(t *testing.T) {
+	type cell struct {
+		plan   *Plan
+		policy core.Kind
+	}
+	var cells []cell
+	for _, plan := range faultPlans() {
+		for _, kind := range allPolicies {
+			cells = append(cells, cell{plan, kind})
+		}
+	}
+	matrix := func(nodes, shards int) []*RunResult {
+		t.Helper()
+		res, err := harness.Map(cells, func(c cell) (*RunResult, error) {
+			return RunConformance(OracleConfig{
+				Seed: oracleSeed, Policy: c.policy, Plan: c.plan,
+				Nodes: nodes, Shards: shards,
+			})
+		})
+		if err != nil {
+			t.Fatalf("nodes=%d shards=%d: %v", nodes, shards, err)
+		}
+		return res
+	}
+	for _, sweep := range []struct {
+		nodes  int
+		shards []int
+	}{
+		{nodes: 4, shards: []int{1, 2, 4}},
+		{nodes: 8, shards: []int{8}},
+	} {
+		serial := matrix(sweep.nodes, 0)
+		for _, shards := range sweep.shards {
+			sharded := matrix(sweep.nodes, shards)
+			for i, res := range sharded {
+				ref := serial[i]
+				for _, v := range res.Violations {
+					t.Errorf("nodes=%d shards=%d %v under %s: %s",
+						sweep.nodes, shards, cells[i].policy, cells[i].plan.Name, v)
+				}
+				if res.Digest != ref.Digest || res.TraceDigest != ref.TraceDigest || res.Elapsed != ref.Elapsed {
+					t.Errorf("nodes=%d shards=%d %v under %s diverged from serial: digest %#x/%#x trace %#x/%#x elapsed %v/%v",
+						sweep.nodes, shards, cells[i].policy, cells[i].plan.Name,
+						res.Digest, ref.Digest, res.TraceDigest, ref.TraceDigest, res.Elapsed, ref.Elapsed)
+				}
+			}
+		}
+	}
+}

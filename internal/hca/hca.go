@@ -58,6 +58,11 @@ type Port struct {
 	Net  *fabric.Net
 	Bus  *gx.Bus
 
+	// Ctx addresses the owning node's shard engine in a sharded world (nil
+	// in a serial world; flows then fall back to the engine they were built
+	// with). Set once during world construction.
+	Ctx *sim.NodeCtx
+
 	Sched       sim.Server   // HW send scheduler (serial, PerItem per WQE)
 	SendEngines []sim.Server // send DMA engines
 	RecvEngines []sim.Server // receive DMA engines
@@ -83,6 +88,13 @@ type Port struct {
 	// AckDelay postpones RC acknowledgment generation by this much
 	// (delayed completions at the responder).
 	AckDelay sim.Time
+
+	// PadSched, when non-nil, is the precomputed LatencyPad timeline
+	// (sorted by At). Sharded chaos runs install it so that flows on OTHER
+	// shards evaluate this port's pad at any virtual time without reading
+	// the mutable LatencyPad field across threads; it reproduces exactly
+	// the values the serial run's inline transitions would yield.
+	PadSched []PadPoint
 
 	// Stats.
 	WQEs        int64 // data descriptors transmitted
@@ -143,13 +155,44 @@ type Timing struct {
 	AckArrive sim.Time // RC acknowledgment back at the requester
 }
 
+// PadPoint is one scheduled LatencyPad transition: the pad in force from
+// At onward (until the next point).
+type PadPoint struct {
+	At  sim.Time
+	Pad sim.Time
+}
+
+// padAt evaluates the port's one-way latency pad at virtual time t: from
+// the precomputed schedule when present (sharded runs), else the live
+// field (serial runs, where transitions apply inline).
+func (p *Port) padAt(t sim.Time) sim.Time {
+	if p.PadSched == nil {
+		return p.LatencyPad
+	}
+	pad := sim.Time(0)
+	for _, pt := range p.PadSched {
+		if pt.At > t {
+			break
+		}
+		pad = pt.Pad
+	}
+	return pad
+}
+
 // Flow is the transmit pipeline of one QP direction: it enforces the
 // per-QP in-order rule at the engine stage and drives each work request
-// through the staged resources.
+// through the staged resources. Source-side stages (scheduler, send
+// engines, GX+ fetch, TX/uplink lanes) execute on the source node's
+// engine; destination-side stages (RX/downlink lanes, receive engines,
+// GX+ store, ack generation) execute on the destination node's engine —
+// the same engine serially, distinct shard engines in a sharded world.
 type Flow struct {
-	eng *sim.Engine
-	src *Port
-	dst *Port
+	eng    *sim.Engine // source-side engine (srcCtx's engine)
+	dstEng *sim.Engine
+	srcCtx *sim.NodeCtx
+	dstCtx *sim.NodeCtx
+	src    *Port
+	dst    *Port
 
 	prevEngEnd sim.Time           // engine-phase end of the last WQE to enter the pool
 	busy       bool               // a WQE is waiting for / holding the engine stage
@@ -187,9 +230,21 @@ func pairAcked(a any, t Timing) {
 	}
 }
 
-// NewFlow creates the transmit pipeline from p toward dst.
+// NewFlow creates the transmit pipeline from p toward dst. In a serial
+// world eng drives both sides; in a sharded world the ports' node contexts
+// (Port.Ctx) place each side on its owning shard.
 func (p *Port) NewFlow(eng *sim.Engine, dst *Port) *Flow {
-	return &Flow{eng: eng, src: p, dst: dst}
+	f := &Flow{src: p, dst: dst}
+	f.srcCtx, f.dstCtx = p.Ctx, dst.Ctx
+	if f.srcCtx == nil {
+		f.srcCtx = eng.NodeCtx(p.Node)
+	}
+	if f.dstCtx == nil {
+		f.dstCtx = eng.NodeCtx(dst.Node)
+	}
+	f.eng = f.srcCtx.Engine()
+	f.dstEng = f.dstCtx.Engine()
+	return f
 }
 
 // Src and Dst report the flow's endpoints.
@@ -217,7 +272,6 @@ func (f *Flow) SendCtx(n int, ctx any, delivered, acked func(any, Timing)) {
 	f.pending.Push(flowItem{n: n, posted: now, schedEnd: schedEnd, ctx: ctx, delivered: delivered, acked: acked})
 	f.src.WQEs++
 	f.src.TxBytes += int64(n)
-	f.dst.RxBytes += int64(n)
 	f.kick()
 }
 
@@ -372,28 +426,45 @@ func (f *Flow) txChunkSend(x *xfer, n int) {
 		x.t.Leaves = leaves
 	}
 	net := f.src.Net
-	lat := net.OneWay() + f.src.LatencyPad + f.dst.LatencyPad
+	lat := net.OneWay() + f.src.LatencyPad + f.dst.padAt(now)
 	first := txStart + lat
 	last := leaves + lat
 	if net.CrossLeaf(f.src.Node, f.dst.Node) {
 		// Two extra hops through the spine; the shared trunk lanes of
-		// both leaves carry (and possibly throttle) the chunk.
+		// both leaves carry (and possibly throttle) the chunk. The uplink
+		// belongs to the source leaf (booked inline); the downlink belongs
+		// to the destination leaf, which in a sharded run may live on
+		// another shard whose lane bookings from several shards must apply
+		// in the serial (posting-key) order — so the booking is deferred to
+		// the window barrier, with the rx event's key reserved here to keep
+		// this node's sequence stream serial-identical.
 		upStart, upLeaves := net.Uplink(net.Leaf(f.src.Node)).Send(first, wire, last)
-		downStart, downLeaves := net.Downlink(net.Leaf(f.dst.Node)).Send(upStart+lat, wire, upLeaves+lat)
+		down := net.Downlink(net.Leaf(f.dst.Node))
+		inFirst, inLast := upStart+lat, upLeaves+lat
+		if f.eng.Sharded() {
+			stub := f.eng.ReserveStub()
+			e := f.eng
+			f.eng.DeferOrdered(func() {
+				downStart, downLeaves := down.Send(inFirst, wire, inLast)
+				e.PostCallStubTo(stub, f.dstCtx, downLeaves+lat, stageRx, x, int64(n), int64(downStart+lat), wire)
+			})
+			return
+		}
+		downStart, downLeaves := down.Send(inFirst, wire, inLast)
 		first = downStart + lat
 		last = downLeaves + lat
 	}
-	f.eng.PostCall(last, stageRx, x, int64(n), int64(first), wire)
+	f.eng.PostCallTo(f.dstCtx, last, stageRx, x, int64(n), int64(first), wire)
 }
 
 // rxChunk books the destination RX lane at arrival (fan-in serializes here)
 // and then the receive engine + GX+ store for this chunk.
 func (f *Flow) rxChunk(x *xfer, n int, first sim.Time, wire int64) {
-	delivered := f.dst.RX.Recv(first, f.eng.Now(), wire)
+	delivered := f.dst.RX.Recv(first, f.dstEng.Now(), wire)
 	if delivered > x.t.Delivered {
 		x.t.Delivered = delivered
 	}
-	f.eng.PostCall(delivered, stageRecv, x, int64(n), 0, 0)
+	f.dstEng.PostCall(delivered, stageRecv, x, int64(n), 0, 0)
 }
 
 // recvChunk runs the receive-side DMA of one chunk. Inbound processing is
@@ -401,7 +472,8 @@ func (f *Flow) rxChunk(x *xfer, n int, first sim.Time, wire int64) {
 // receive engine; the per-WQE setup cost is paid once, on the first chunk.
 func (f *Flow) recvChunk(x *xfer, n int) {
 	m := f.dst.M
-	now := f.eng.Now()
+	now := f.dstEng.Now()
+	f.dst.RxBytes += int64(n)
 	var dur sim.Time
 	if x.recvEng < 0 {
 		x.recvEng = 1 // marker: setup cost paid
@@ -420,7 +492,7 @@ func (f *Flow) recvChunk(x *xfer, n int) {
 	}
 	x.chunksOut--
 	if x.chunksOut == 0 {
-		f.eng.PostCall(x.t.InMemory, stageComplete, x, 0, 0, 0)
+		f.dstEng.PostCall(x.t.InMemory, stageComplete, x, 0, 0, 0)
 	}
 }
 
@@ -430,14 +502,14 @@ func (f *Flow) recvChunk(x *xfer, n int) {
 // backlogs, so their wire time is charged but they are never delayed by it.
 func (f *Flow) completeStage(x *xfer) {
 	m := f.dst.M
-	_, done := f.dst.Sched.ReserveDur(f.eng.Now()+f.dst.AckDelay, m.AckProcTime)
+	_, done := f.dst.Sched.ReserveDur(f.dstEng.Now()+f.dst.AckDelay, m.AckProcTime)
 	leaves := f.dst.TX.Preempt(done, int64(m.AckWireBytes))
 	f.dst.Acks++
 	x.t.AckArrive = leaves + f.dst.Net.OneWay()
 	if x.it.delivered != nil {
 		x.it.delivered(x.it.ctx, x.t)
 	}
-	f.eng.PostCall(x.t.AckArrive, stageAck, x, 0, 0, 0)
+	f.dstEng.PostCallTo(f.srcCtx, x.t.AckArrive, stageAck, x, 0, 0, 0)
 }
 
 func max64(a, b int64) int64 {

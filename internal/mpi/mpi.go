@@ -97,6 +97,13 @@ type Config struct {
 	// trunk bandwidth (0 = 1:1 with the link rate).
 	NodesPerSwitch int
 	TrunkRate      float64
+	// Shards splits the discrete-event engine into per-shard engines (one
+	// per node, or per leaf switch on a fat tree; clamped to the topology's
+	// unit count) synchronized by conservative lookahead on the fabric's
+	// one-way wire latency. 0 or 1 keeps the historical serial engine
+	// byte-for-byte. Results — digests, traces, reports — are bit-identical
+	// either way; only host wall-clock time changes.
+	Shards int
 }
 
 func (c Config) withDefaults() Config {
@@ -131,6 +138,15 @@ type ChaosPlan interface {
 	Arm(eng *sim.Engine, w *adi.World)
 }
 
+// ShardedChaosPlan is a chaos plan that can also arm against a sharded
+// world, decomposing each fault into per-shard sub-events (implemented by
+// *chaos.Plan). A Config with Shards > 1 and a Chaos plan lacking this
+// interface is an error — arming serially would race across shards.
+type ShardedChaosPlan interface {
+	ChaosPlan
+	ArmSharded(g *sim.Group, w *adi.World)
+}
+
 // Report summarises a finished run.
 type Report struct {
 	// Elapsed is the virtual time at which the slowest rank finished the
@@ -161,23 +177,12 @@ func Run(cfg Config, body func(c *Comm)) (*Report, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	eng := sim.NewEngine()
-	world := adi.NewWorld(eng, cfg.Model, spec, adi.Options{
-		Policy:     cfg.Policy,
-		PolicyImpl: cfg.PolicyImpl,
-		MinStripe:  cfg.MinStripe,
-		BindRail:   cfg.BindRail,
-		SQDepth:    cfg.SQDepth,
-		Rndv:       cfg.Rndv,
-		Trace:      cfg.Trace,
-		FaultEvery: cfg.FaultEvery,
-		RegCache:   cfg.RegCache,
-	})
-	rep := &Report{
-		BodyEnd:   make([]sim.Time, spec.Size()),
-		RankStats: make([]adi.Stats, spec.Size()),
-		World:     world,
+	if cfg.Shards > 1 {
+		return runSharded(cfg, spec, body)
 	}
+	eng := sim.NewEngine()
+	world := adi.NewWorld(eng, cfg.Model, spec, cfg.adiOptions())
+	rep := newReport(world, spec.Size())
 	// Reliability arms before the chaos plan so rail events scheduled at
 	// t=0 already find SetRail in self-healing (hardware-only) mode.
 	if cfg.Reliability != nil {
@@ -189,13 +194,7 @@ func Run(cfg Config, body func(c *Comm)) (*Report, error) {
 	if cfg.Chaos != nil {
 		cfg.Chaos.Arm(eng, world)
 	}
-	world.Spawn("mpi", func(ep *adi.Endpoint) {
-		c := newWorld(ep, spec.Size())
-		body(c)
-		rep.BodyEnd[ep.Rank] = ep.Now()
-		c.Barrier() // drain
-		rep.RankStats[ep.Rank] = ep.Stats()
-	})
+	spawnRanks(world, spec.Size(), rep, body)
 	if cfg.Deadline > 0 {
 		if err := eng.RunUntil(cfg.Deadline); err != nil {
 			return nil, fmt.Errorf("mpi: %w", err)
@@ -207,12 +206,99 @@ func Run(cfg Config, body func(c *Comm)) (*Report, error) {
 	} else if err := eng.Run(); err != nil {
 		return nil, fmt.Errorf("mpi: %w", err)
 	}
+	rep.finish()
+	return rep, nil
+}
+
+// runSharded is Run over a sharded engine group: same world, same workload,
+// same results, with each node's (or leaf's) events simulated by its own
+// shard engine under conservative-lookahead synchronization.
+func runSharded(cfg Config, spec topo.Spec, body func(c *Comm)) (*Report, error) {
+	shardOf, shards := spec.ShardPlan(cfg.Shards)
+	// The lookahead bound is the fabric's minimum cross-node latency: every
+	// cross-shard event chain pays at least one wire traversal
+	// (fabric.Net.OneWay(), built from this same model constant; trunk hops
+	// only add to it).
+	g := sim.NewGroup(shardOf, shards, cfg.Model.WireLatency)
+	world := adi.NewWorldSharded(g, shardOf, cfg.Model, spec, cfg.adiOptions())
+	rep := newReport(world, spec.Size())
+	if cfg.Reliability != nil {
+		world.EnableReliability(*cfg.Reliability)
+	}
+	if cfg.BufAudit {
+		world.EnableBufAudit()
+	}
+	if cfg.Chaos != nil {
+		sp, ok := cfg.Chaos.(ShardedChaosPlan)
+		if !ok {
+			return nil, fmt.Errorf("mpi: chaos plan %T cannot arm a sharded run (no ArmSharded)", cfg.Chaos)
+		}
+		sp.ArmSharded(g, world)
+	}
+	spawnRanks(world, spec.Size(), rep, body)
+	var runErr error
+	if cfg.Deadline > 0 {
+		runErr = g.RunUntil(cfg.Deadline)
+	} else {
+		runErr = g.Run()
+	}
+	if cfg.Trace != nil {
+		cfg.Trace.Merge() // fold shard recorders back into serial order
+	}
+	if runErr != nil {
+		return nil, fmt.Errorf("mpi: %w", runErr)
+	}
+	if cfg.Deadline > 0 {
+		if n := g.LiveProcs(); n > 0 {
+			return nil, fmt.Errorf("mpi: watchdog: %d ranks still running at virtual deadline %v; parked: %v",
+				n, cfg.Deadline, g.ParkedProcs())
+		}
+	}
+	rep.finish()
+	return rep, nil
+}
+
+// adiOptions maps the config onto world-construction options.
+func (c Config) adiOptions() adi.Options {
+	return adi.Options{
+		Policy:     c.Policy,
+		PolicyImpl: c.PolicyImpl,
+		MinStripe:  c.MinStripe,
+		BindRail:   c.BindRail,
+		SQDepth:    c.SQDepth,
+		Rndv:       c.Rndv,
+		Trace:      c.Trace,
+		FaultEvery: c.FaultEvery,
+		RegCache:   c.RegCache,
+	}
+}
+
+func newReport(world *adi.World, size int) *Report {
+	return &Report{
+		BodyEnd:   make([]sim.Time, size),
+		RankStats: make([]adi.Stats, size),
+		World:     world,
+	}
+}
+
+// spawnRanks launches the per-rank procs (on each rank's own shard engine
+// in a sharded world).
+func spawnRanks(world *adi.World, size int, rep *Report, body func(c *Comm)) {
+	world.Spawn("mpi", func(ep *adi.Endpoint) {
+		c := newWorld(ep, size)
+		body(c)
+		rep.BodyEnd[ep.Rank] = ep.Now()
+		c.Barrier() // drain
+		rep.RankStats[ep.Rank] = ep.Stats()
+	})
+}
+
+func (rep *Report) finish() {
 	for _, t := range rep.BodyEnd {
 		if t > rep.Elapsed {
 			rep.Elapsed = t
 		}
 	}
-	return rep, nil
 }
 
 // Comm is a communicator. Run hands every rank MPI_COMM_WORLD; Split

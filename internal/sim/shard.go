@@ -1,0 +1,889 @@
+package sim
+
+// Sharded conservative parallel DES.
+//
+// A Group partitions the simulated nodes across several Engines (shards).
+// Each shard runs its own event heap and proc scheduler on a dedicated
+// goroutine; the group coordinator advances all shards in lockstep windows
+// [W0, W0+L) where L is the conservative lookahead — the minimum virtual
+// latency of any cross-shard interaction (the fabric wire latency). Within
+// a window shards run fully in parallel: the lookahead bound guarantees no
+// event fired in the window can affect another shard inside the same
+// window, so every post that targets an instant at or beyond the window end
+// (cross-shard or not) is parked on an escape list and released at the
+// barrier.
+//
+// Determinism — the serial-order reconstruction. The serial engine executes
+// events in (at, globalPostSeq) order; reproducing it bit-for-bit means
+// reproducing the global post sequence, which interleaves posts from all
+// shards. The group rebuilds it from three invariants:
+//
+//  1. Window-local events (posted and fired inside the same window) are
+//     posted and fired entirely on one shard. The shard's own post order IS
+//     the serial post order restricted to those events (induction over
+//     windows: both engines fire the same prefix in the same order), so a
+//     per-shard counter keys them: (at, schedT, srcLocal, localSeq).
+//
+//  2. Events that escape their posting window fire at a strictly later
+//     instant than every event of that window (their at is outside the
+//     window), so their serial seq only has to be ordered against OTHER
+//     escapes and later posts — never against the window's locals at the
+//     same instant. At the barrier all escapes of the window are sorted by
+//     (posting-context serial position, per-context post ordinal) — exactly
+//     the serial post interleaving — and renumbered from a single group
+//     counter: (at, schedT, srcEscape, groupSeq).
+//
+//  3. The posting-context serial position needed by (2) is rebuilt at the
+//     same barrier: each shard logs its fired events (its window log, in
+//     execution = key order), and a k-way merge of the logs under the
+//     serial key order assigns every fired event a global execution
+//     ordinal. The merge is well-founded: a window-local entry is compared
+//     via its own poster's ordinal, and that poster fired earlier on the
+//     same shard, so its ordinal is already assigned when the entry reaches
+//     the merge front.
+//
+// Setup-phase events (armed before Run, src = srcSetup = -1) keep global
+// setup keys and sort ahead of all runtime events at the same instant,
+// exactly as their small global seq did on the serial engine. Merged-mode
+// windows (below) are single-threaded in serial order, so their posts take
+// group-counter keys inline.
+//
+// Zero-latency hazards. A flushed RDMA read or atomic completes on the
+// requester with responder-side effects at zero virtual latency, which the
+// lookahead cannot cover. The affected layers raise a hazard count
+// (HazardInc/HazardDec); while it is nonzero the coordinator runs windows
+// in MERGED mode — single-threaded, firing the globally minimal key across
+// all shards — which is exactly the serial semantics, then returns to
+// parallel windows when the hazard drains.
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Timer src classes in a shard group (plain engines keep src == 0):
+//
+//   - srcSetup: posted during the setup phase; seq is the global setup
+//     counter. Sorts first at equal (at, schedT), as small serial seqs do.
+//   - srcEscape: renumbered at a barrier (or posted inline during a merged
+//     window); seq is the global group counter.
+//   - srcLocal: window-local post; seq is the posting shard's per-window
+//     counter. Locals from different shards never meet (they die inside
+//     their window, on their own heap), and never tie with an escape at
+//     equal (at, schedT) — same (at, schedT) implies the same posting
+//     window, and a local's at lies inside it while an escape's lies
+//     beyond.
+const (
+	srcSetup  int32 = -1
+	srcEscape int32 = 0
+	srcLocal  int32 = 1
+
+	// srcProv marks a provisional context key: Seq holds the event's index
+	// in its shard's window log until the barrier resolves it to the global
+	// execution ordinal. Provisional keys are attribution tags only — they
+	// are never compared, and every consumer (trace records, deferred ops,
+	// escape sorting) is rewritten at the barrier before any ordering use.
+	srcProv int32 = math.MinInt32
+)
+
+// EventKey is the shard-count-invariant total order on events. See the
+// package comment above for the derivation.
+type EventKey struct {
+	At     Time   // fire time
+	SchedT Time   // virtual time of the posting context (0 = setup/plain)
+	Src    int32  // post class (see src* constants; 0 on a plain engine)
+	Seq    uint64 // class-specific sequence counter
+}
+
+// Less reports whether k orders strictly before o.
+func (k EventKey) Less(o EventKey) bool {
+	if k.At != o.At {
+		return k.At < o.At
+	}
+	if k.SchedT != o.SchedT {
+		return k.SchedT < o.SchedT
+	}
+	if k.Src != o.Src {
+		return k.Src < o.Src
+	}
+	return k.Seq < o.Seq
+}
+
+// windowBound is an EventKey strictly below every key with At == end and
+// at or above every key with At < end: the exclusive bound of a window.
+func windowBound(end Time) EventKey {
+	return EventKey{At: end, SchedT: math.MinInt64, Src: math.MinInt32}
+}
+
+// Window-log entry kinds: how a fired event is keyed in the barrier merge
+// that reconstructs global execution order.
+const (
+	wlSetup uint8 = iota // a = global setup seq
+	wlEsc                // a = global escape/group seq
+	wlLocal              // a = index into the shard's postTags
+)
+
+// wlogEntry records one fired event of the current window.
+type wlogEntry struct {
+	at     Time
+	schedT Time
+	kind   uint8
+	a      uint64
+	ord    uint64 // global execution ordinal, assigned by the barrier merge
+}
+
+// postTag is the attribution of one window-local post: the posting
+// context's key (possibly provisional) and its per-context ordinal.
+type postTag struct {
+	key EventKey
+	sub uint64
+}
+
+// escapeRec parks a timer that outlives its posting window until the
+// barrier renumbers it.
+type escapeRec struct {
+	tm  *Timer
+	te  *Engine  // target engine (heap to push onto after renumbering)
+	by  *Engine  // posting engine (resolves a provisional key)
+	key EventKey // posting context (possibly provisional)
+	sub uint64   // per-context post ordinal
+}
+
+// NodeCtx addresses one simulated node inside a group: the shard engine
+// that owns it plus the node id used for event attribution. On a plain
+// engine a NodeCtx is just a thin wrapper (see Engine.NodeCtx) and every
+// method degenerates to the classic single-engine call.
+type NodeCtx struct {
+	eng  *Engine
+	node int32
+}
+
+// Engine reports the shard engine that owns the node.
+func (c *NodeCtx) Engine() *Engine { return c.eng }
+
+// Node reports the node id.
+func (c *NodeCtx) Node() int { return int(c.node) }
+
+// Now reports the owning engine's current virtual time.
+func (c *NodeCtx) Now() Time { return c.eng.now }
+
+// Post schedules fn on the node from code already executing on the node's
+// own engine (node-local work such as retransmit backoff timers).
+func (c *NodeCtx) Post(t Time, fn func()) { c.eng.PostTo(c, t, fn) }
+
+// PostCall is the closure-free variant of Post.
+func (c *NodeCtx) PostCall(t Time, fn func(a any, i0, i1, i2 int64), a any, i0, i1, i2 int64) {
+	c.eng.PostCallTo(c, t, fn, a, i0, i1, i2)
+}
+
+// Spawn registers a proc attributed to (and scheduled on) this node.
+func (c *NodeCtx) Spawn(name string, body func(*Proc)) *Proc {
+	return c.eng.spawnNode(c.node, name, body)
+}
+
+// NodeCtx wraps a node id for a plain (ungrouped) engine, so callers can
+// hold one ctx type for both serial and sharded worlds. Contexts are
+// cached per node: a serial world creating hundreds of thousands of flows
+// would otherwise allocate two fresh ctxs per flow, all scanned by every
+// GC cycle for the rest of the run. A NodeCtx is immutable once built, so
+// pointers taken before a cache growth stay valid (they just alias the
+// pre-growth backing array).
+func (e *Engine) NodeCtx(node int) *NodeCtx {
+	if node < len(e.nodeCtxs) {
+		return &e.nodeCtxs[node]
+	}
+	for len(e.nodeCtxs) <= node {
+		n := len(e.nodeCtxs)
+		e.nodeCtxs = append(e.nodeCtxs, NodeCtx{eng: e, node: int32(n)})
+	}
+	return &e.nodeCtxs[node]
+}
+
+// PostStub is an ordering tag reserved at capture time for an event that
+// will be posted later (from a barrier-ordered deferred op). Reserving at
+// capture pins the post's serial position to the capture point, where the
+// serial engine would have posted inline.
+type PostStub struct {
+	plain  bool
+	schedT Time
+	key    EventKey
+	sub    uint64
+}
+
+// ReserveStub captures the posting position the current context would
+// stamp on an event posted right now.
+func (e *Engine) ReserveStub() PostStub {
+	g := e.grp
+	if g == nil || g.setup || g.merged {
+		// Single-threaded modes post inline at the deferred-op apply point,
+		// which runs immediately — no position to pin.
+		return PostStub{plain: true}
+	}
+	return PostStub{schedT: e.now, key: e.contextKey(), sub: e.nextSub()}
+}
+
+// orderedOp is a deferred side effect applied at the barrier in posting
+// order (cross-shard lane bookings whose apply order is observable).
+type orderedOp struct {
+	eng *Engine  // capturing engine (resolves a provisional key)
+	key EventKey // capturing context (possibly provisional)
+	sub uint64
+	fn  func()
+}
+
+// Group is a set of shard engines advanced in conservative-lookahead
+// lockstep. Build the world between NewGroup and Run ("setup phase"),
+// then call Run or RunUntil exactly like on a plain Engine.
+type Group struct {
+	engines   []*Engine
+	ctxs      []NodeCtx // node -> owning ctx
+	lookahead Time
+
+	setup    bool   // before Run: single-threaded build phase
+	setupSeq uint64 // key sequence for setup-phase events
+
+	parallel  bool // a parallel window is in flight (set/cleared by coordinator)
+	windowEnd Time // exclusive bound of the window in flight (set before workers start)
+
+	// ord is the global serial counter for runtime events: execution
+	// ordinals assigned by the barrier merge, inline keys of merged-mode
+	// posts, and escape renumbering all draw from it, so every value is
+	// unique and increases in serial execution order.
+	ord uint64
+
+	merged      bool    // executing a merged (serial-order) window
+	mergedReady []*Proc // global FIFO of readied procs during merged windows
+	curKey      EventKey
+	curSub      uint64
+
+	live        atomic.Int64 // live procs across all shards
+	hazard      atomic.Int64 // zero-latency cross-shard hazards outstanding
+	windowStart atomic.Int64 // W0 of the current window (race-free clock for audits)
+
+	orderedMu sync.Mutex
+	ordered   []orderedOp
+
+	coEscapes []escapeRec // escapes captured outside parallel windows (barrier stubs)
+	escBuf    []escapeRec // reusable gather buffer for barrier renumbering
+	mergeIdx  []int       // reusable per-shard cursor for the barrier merge
+
+	startCh []chan Time
+	doneCh  chan struct{}
+}
+
+// NewGroup builds shard engines and assigns node n to shard shardOf[n].
+// lookahead is the conservative bound: no cross-shard interaction may take
+// effect sooner than lookahead after the action that caused it.
+func NewGroup(shardOf []int, shards int, lookahead Time) *Group {
+	if shards < 1 {
+		panic("sim: NewGroup needs at least one shard")
+	}
+	if lookahead <= 0 {
+		panic("sim: NewGroup needs a positive lookahead")
+	}
+	g := &Group{
+		lookahead: lookahead,
+		setup:     true,
+	}
+	g.engines = make([]*Engine, shards)
+	for s := range g.engines {
+		e := NewEngine()
+		e.grp, e.self = g, int32(s)
+		g.engines[s] = e
+	}
+	g.ctxs = make([]NodeCtx, len(shardOf))
+	for n, s := range shardOf {
+		if s < 0 || s >= shards {
+			panic("sim: NewGroup shard assignment out of range")
+		}
+		g.ctxs[n] = NodeCtx{eng: g.engines[s], node: int32(n)}
+	}
+	return g
+}
+
+// Ctx returns the NodeCtx for a node.
+func (g *Group) Ctx(node int) *NodeCtx { return &g.ctxs[node] }
+
+// Shards reports the number of shard engines.
+func (g *Group) Shards() int { return len(g.engines) }
+
+// Engines exposes the shard engines (telemetry; do not drive them directly).
+func (g *Group) Engines() []*Engine { return g.engines }
+
+// Lookahead reports the conservative window width.
+func (g *Group) Lookahead() Time { return g.lookahead }
+
+// WindowStart reports the start time of the current (or last) window. It is
+// safe to call from any shard goroutine mid-window, unlike Engine.Now.
+func (g *Group) WindowStart() Time { return Time(g.windowStart.Load()) }
+
+// LiveProcs reports live procs across all shards.
+func (g *Group) LiveProcs() int { return int(g.live.Load()) }
+
+// EventsFired sums executed events across all shards.
+func (g *Group) EventsFired() uint64 {
+	var n uint64
+	for _, e := range g.engines {
+		n += e.fired
+	}
+	return n
+}
+
+// ParkedProcs lists "name: reason" for every live parked proc, sorted.
+func (g *Group) ParkedProcs() []string {
+	var out []string
+	for _, e := range g.engines {
+		out = append(out, e.ParkedProcs()...)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HazardInc raises the zero-latency hazard count: until the matching
+// HazardDec, windows run in merged (exact serial order) mode. No-op on a
+// plain engine.
+func (e *Engine) HazardInc() {
+	if e.grp != nil {
+		e.grp.hazard.Add(1)
+	}
+}
+
+// HazardDec releases one hazard raised by HazardInc.
+func (e *Engine) HazardDec() {
+	if e.grp != nil {
+		e.grp.hazard.Add(-1)
+	}
+}
+
+// Sharded reports whether the engine belongs to a shard group.
+func (e *Engine) Sharded() bool { return e.grp != nil }
+
+// ShardGroup returns the owning group, or nil on a plain engine.
+func (e *Engine) ShardGroup() *Group { return e.grp }
+
+// contextKey is the ordering key of the currently executing event or proc,
+// used to attribute trace records, deferred ops, and escaped posts.
+func (e *Engine) contextKey() EventKey {
+	if g := e.grp; g != nil && g.merged {
+		return g.curKey
+	}
+	return e.curKey
+}
+
+// setContextKey switches the attribution context. The sub counter resets
+// only on a genuine context change, so a proc resuming inside the event
+// that readied it keeps extending that event's record stream, exactly as
+// the serial engine's insertion order does.
+func (e *Engine) setContextKey(k EventKey) {
+	if g := e.grp; g != nil && g.merged {
+		if g.curKey != k {
+			g.curKey, g.curSub = k, 0
+		}
+		return
+	}
+	if e.curKey != k {
+		e.curKey, e.curSub = k, 0
+	}
+}
+
+// nextSub returns the next per-context ordinal (trace records, deferred
+// ops, and escaped posts share the stream; only relative order within a
+// context matters).
+func (e *Engine) nextSub() uint64 {
+	if g := e.grp; g != nil && g.merged {
+		s := g.curSub
+		g.curSub++
+		return s
+	}
+	s := e.curSub
+	e.curSub++
+	return s
+}
+
+// TraceTag returns the (context key, ordinal) pair identifying the serial
+// position of a record emitted right now. During parallel windows the key
+// is provisional; the engine resolves it through the hooks registered with
+// OnResolveTags at the window's barrier.
+func (e *Engine) TraceTag() (EventKey, uint64) {
+	return e.contextKey(), e.nextSub()
+}
+
+// OnResolveTags registers a hook invoked at each barrier with a resolver
+// mapping provisional attribution keys to final serial-position keys.
+// Consumers holding keys obtained from TraceTag (trace child recorders)
+// must rewrite them through the resolver before ordering on them; keys that
+// are already final pass through unchanged.
+func (e *Engine) OnResolveTags(h func(resolve func(EventKey) EventKey)) {
+	e.tagHooks = append(e.tagHooks, h)
+}
+
+// resolveKey maps a provisional context key (srcProv, window-log index) to
+// its final serial-position key via the log's execution ordinal. Final keys
+// pass through unchanged.
+func (e *Engine) resolveKey(k EventKey) EventKey {
+	if k.Src != srcProv {
+		return k
+	}
+	return EventKey{At: k.At, SchedT: k.SchedT, Src: srcEscape, Seq: e.wlog[k.Seq].ord}
+}
+
+// sched assigns the ordering key of a post targeting execution node
+// tm.exec on engine te and routes the timer: plain engines keep the
+// historical global sequence and push directly; grouped engines classify
+// the post (setup / merged-inline / window-local / escape) per the scheme
+// in the package comment.
+func (e *Engine) sched(te *Engine, tm *Timer, t Time, exec int32) {
+	tm.at, tm.exec = t, exec
+	g := e.grp
+	if g == nil {
+		tm.schedT, tm.src, tm.seq = 0, 0, e.seq
+		e.seq++
+		e.heapPush(tm)
+		return
+	}
+	if g.setup {
+		tm.schedT, tm.src, tm.seq = 0, srcSetup, g.setupSeq
+		g.setupSeq++
+		te.heapPush(tm)
+		return
+	}
+	tm.schedT = e.now
+	if g.merged {
+		// Merged windows execute in exact serial order single-threaded, so
+		// the inline group counter IS the serial post sequence.
+		tm.src, tm.seq = srcEscape, g.ord
+		g.ord++
+		te.heapPush(tm)
+		return
+	}
+	if !g.parallel {
+		panic("sim: event posted outside any window (defer barrier-time posts through ReserveStub)")
+	}
+	if t >= g.windowEnd {
+		// The event outlives the window: park it for barrier renumbering.
+		tm.escaped = true
+		e.escapes = append(e.escapes, escapeRec{tm: tm, te: te, by: e, key: e.contextKey(), sub: e.nextSub()})
+		return
+	}
+	if te != e {
+		panic("sim: cross-shard event inside its own window (lookahead bound violated)")
+	}
+	tm.src, tm.seq = srcLocal, uint64(len(e.postTags))
+	e.postTags = append(e.postTags, postTag{key: e.contextKey(), sub: e.nextSub()})
+	e.heapPush(tm)
+}
+
+// PostTo schedules fn to execute on the target node at t. The caller must
+// be executing on e (the posting context); the target may live on any
+// shard. Like Post, the timer node is pooled and not cancellable.
+func (e *Engine) PostTo(to *NodeCtx, t Time, fn func()) {
+	if t < e.now {
+		panic("sim: PostTo called with a time in the past")
+	}
+	tm := e.alloc()
+	tm.fn = fn
+	e.sched(to.eng, tm, t, to.node)
+}
+
+// PostCallTo is the closure-free cross-node variant of PostCall.
+func (e *Engine) PostCallTo(to *NodeCtx, t Time, fn func(a any, i0, i1, i2 int64), a any, i0, i1, i2 int64) {
+	if t < e.now {
+		panic("sim: PostCallTo called with a time in the past")
+	}
+	tm := e.alloc()
+	tm.afn, tm.a, tm.i0, tm.i1, tm.i2 = fn, a, i0, i1, i2
+	e.sched(to.eng, tm, t, to.node)
+}
+
+// PostCallStubTo posts with the serial position reserved earlier by
+// ReserveStub, for events posted from barrier-ordered deferred ops. On a
+// plain engine (or a plain stub) it is exactly PostCallTo.
+func (e *Engine) PostCallStubTo(stub PostStub, to *NodeCtx, t Time, fn func(a any, i0, i1, i2 int64), a any, i0, i1, i2 int64) {
+	g := e.grp
+	if stub.plain || g == nil || g.setup || g.merged {
+		e.PostCallTo(to, t, fn, a, i0, i1, i2)
+		return
+	}
+	tm := e.alloc()
+	tm.afn, tm.a, tm.i0, tm.i1, tm.i2 = fn, a, i0, i1, i2
+	tm.at, tm.exec = t, to.node
+	tm.schedT = stub.schedT
+	tm.escaped = true
+	rec := escapeRec{tm: tm, te: to.eng, by: e, key: stub.key, sub: stub.sub}
+	if g.parallel {
+		e.escapes = append(e.escapes, rec)
+		return
+	}
+	g.coEscapes = append(g.coEscapes, rec)
+}
+
+// DeferOrdered runs fn immediately when execution is single-threaded, or
+// defers it to the next barrier, where all deferred ops apply in posting
+// order — the serial apply order — regardless of which shard captured them.
+// Use for cross-shard side effects whose apply ORDER is observable (shared
+// fabric lane bookings) but whose apply TIME only needs to precede the next
+// window.
+func (e *Engine) DeferOrdered(fn func()) {
+	g := e.grp
+	if g == nil || !g.parallel {
+		fn()
+		return
+	}
+	op := orderedOp{eng: e, key: e.contextKey(), sub: e.nextSub(), fn: fn}
+	g.orderedMu.Lock()
+	g.ordered = append(g.ordered, op)
+	g.orderedMu.Unlock()
+}
+
+// peek returns the engine's next pending timer, discarding cancelled
+// entries, or nil.
+func (e *Engine) peek() *Timer {
+	for len(e.pq) > 0 {
+		if e.pq[0].cancelled {
+			e.heapPop()
+			e.ncancel--
+			continue
+		}
+		return e.pq[0]
+	}
+	return nil
+}
+
+// runWindow executes this shard's slice of one window: drain ready procs,
+// fire local events strictly below bound, repeat until quiescent.
+func (e *Engine) runWindow(bound Time) {
+	for {
+		e.drainReady()
+		tm := e.peek()
+		if tm == nil || tm.at >= bound {
+			return
+		}
+		e.heapPop()
+		e.fireTimer(tm)
+	}
+}
+
+// Run executes the group until no work remains, mirroring Engine.Run.
+func (g *Group) Run() error {
+	return g.run(0, false)
+}
+
+// RunUntil executes until the clock would pass deadline, mirroring
+// Engine.RunUntil: events at times ≤ deadline run (with the serial guard's
+// tie-break at exactly deadline), later events stay pending, and a
+// deadlock within the horizon is not an error.
+func (g *Group) RunUntil(deadline Time) error {
+	err := g.run(deadline, true)
+	if _, ok := err.(*DeadlockError); ok {
+		return nil
+	}
+	return err
+}
+
+func (g *Group) run(deadline Time, bounded bool) error {
+	g.setup = false
+	var guard EventKey
+	if bounded {
+		// Mirror the serial engine's RunUntil guard: a setup-keyed event at
+		// the deadline. Setup events scheduled before Run (smaller seq) still
+		// fire at the deadline instant; runtime events at the deadline do not.
+		guard = EventKey{At: deadline, Src: srcSetup, Seq: g.setupSeq}
+		g.setupSeq++
+	}
+	g.startWorkers()
+	defer g.stopWorkers()
+	for {
+		w0, ok := g.minPending()
+		if !ok {
+			if g.live.Load() > 0 {
+				return g.deadlock()
+			}
+			return nil
+		}
+		if bounded && w0 >= deadline {
+			if w0 == deadline {
+				// Merged-mode posts push inline with final keys, so this
+				// final partial instant needs no barrier.
+				g.windowEnd = deadline
+				g.runMerged(guard)
+			}
+			return nil
+		}
+		end := w0 + g.lookahead
+		if bounded && end > deadline {
+			end = deadline
+		}
+		g.windowStart.Store(int64(w0))
+		g.windowEnd = end
+		if g.hazard.Load() > 0 {
+			// Zero-latency cross-shard effects outstanding: run this window
+			// in exact serial order.
+			g.runMerged(windowBound(end))
+		} else {
+			g.runParallel(end)
+		}
+		g.barrier(end)
+	}
+}
+
+// minPending reports the earliest pending instant across all shards
+// (events or ready procs), and whether any work exists at all.
+func (g *Group) minPending() (Time, bool) {
+	var w Time
+	ok := false
+	for _, e := range g.engines {
+		if e.ready.Len() > 0 && (!ok || e.now < w) {
+			w, ok = e.now, true
+		}
+		if tm := e.peek(); tm != nil && (!ok || tm.at < w) {
+			w, ok = tm.at, true
+		}
+	}
+	return w, ok
+}
+
+func (g *Group) startWorkers() {
+	g.startCh = make([]chan Time, len(g.engines))
+	g.doneCh = make(chan struct{}, len(g.engines))
+	for i, e := range g.engines {
+		ch := make(chan Time)
+		g.startCh[i] = ch
+		go func(e *Engine, ch chan Time) {
+			for bound := range ch {
+				e.runWindow(bound)
+				g.doneCh <- struct{}{}
+			}
+		}(e, ch)
+	}
+}
+
+func (g *Group) stopWorkers() {
+	for _, ch := range g.startCh {
+		close(ch)
+	}
+	g.startCh = nil
+}
+
+// runParallel executes one window concurrently on every shard that has
+// work below end.
+func (g *Group) runParallel(end Time) {
+	g.parallel = true
+	n := 0
+	for i, e := range g.engines {
+		if e.ready.Len() == 0 {
+			tm := e.peek()
+			if tm == nil || tm.at >= end {
+				continue
+			}
+		}
+		g.startCh[i] <- end
+		n++
+	}
+	for ; n > 0; n-- {
+		<-g.doneCh
+	}
+	g.parallel = false
+}
+
+// runMerged executes events in exact global key order, single-threaded on
+// the coordinator goroutine, until every remaining key is at or beyond
+// bound. Cross-engine proc readies drain through the group FIFO, which in
+// this mode equals the serial engine's single ready ring.
+func (g *Group) runMerged(bound EventKey) {
+	g.merged = true
+	// Adopt procs already sitting in per-shard ready rings (setup spawns —
+	// rings are empty between runtime windows): a stable sort by ready key
+	// reconstructs the global serial ready order — equal keys can only come
+	// from one context, hence one ring, whose relative order is preserved.
+	for _, e := range g.engines {
+		for e.ready.Len() > 0 {
+			g.mergedReady = append(g.mergedReady, e.ready.Pop())
+		}
+	}
+	sort.SliceStable(g.mergedReady, func(i, j int) bool {
+		return g.mergedReady[i].key.Less(g.mergedReady[j].key)
+	})
+	for {
+		for len(g.mergedReady) > 0 {
+			p := g.mergedReady[0]
+			g.mergedReady = g.mergedReady[1:]
+			p.eng.runProc(p)
+		}
+		var best *Engine
+		var bestTm *Timer
+		for _, e := range g.engines {
+			tm := e.peek()
+			if tm == nil {
+				continue
+			}
+			if (EventKey{At: tm.at, SchedT: tm.schedT, Src: tm.src, Seq: tm.seq}).Less(bound) {
+				if bestTm == nil || timerLess(tm, bestTm) {
+					best, bestTm = e, tm
+				}
+			}
+		}
+		if best == nil {
+			break
+		}
+		best.heapPop()
+		best.fireTimer(bestTm)
+	}
+	g.mergedReady = nil
+	g.merged = false
+}
+
+// barrier closes a parallel window: reconstruct global execution order,
+// resolve provisional attribution tags, apply deferred ops in serial post
+// order, then renumber and release every escaped post.
+func (g *Group) barrier(end Time) {
+	g.assignOrds()
+	for _, e := range g.engines {
+		if len(e.wlog) == 0 {
+			continue
+		}
+		for _, h := range e.tagHooks {
+			h(e.resolveKey)
+		}
+	}
+	if len(g.ordered) > 0 {
+		ops := g.ordered
+		for i := range ops {
+			ops[i].key = ops[i].eng.resolveKey(ops[i].key)
+		}
+		sort.Slice(ops, func(i, j int) bool {
+			if ops[i].key != ops[j].key {
+				return ops[i].key.Less(ops[j].key)
+			}
+			return ops[i].sub < ops[j].sub
+		})
+		for i := range ops {
+			ops[i].fn()
+			ops[i].fn = nil
+		}
+		g.ordered = ops[:0]
+	}
+	recs := g.escBuf[:0]
+	recs = append(recs, g.coEscapes...)
+	g.coEscapes = g.coEscapes[:0]
+	for _, e := range g.engines {
+		recs = append(recs, e.escapes...)
+		for i := range e.escapes {
+			e.escapes[i] = escapeRec{}
+		}
+		e.escapes = e.escapes[:0]
+	}
+	if len(recs) > 0 {
+		for i := range recs {
+			recs[i].key = recs[i].by.resolveKey(recs[i].key)
+		}
+		// (key, sub) pairs are unique — key identifies the posting context,
+		// sub its post ordinal — so the sort is a strict total order.
+		sort.Slice(recs, func(i, j int) bool {
+			if recs[i].key != recs[j].key {
+				return recs[i].key.Less(recs[j].key)
+			}
+			return recs[i].sub < recs[j].sub
+		})
+		for _, r := range recs {
+			tm := r.tm
+			tm.escaped = false
+			if tm.cancelled {
+				continue
+			}
+			if tm.at < end {
+				panic("sim: cross-shard event inside its own window (lookahead bound violated)")
+			}
+			tm.src, tm.seq = srcEscape, g.ord
+			g.ord++
+			r.te.heapPush(tm)
+		}
+	}
+	g.escBuf = recs[:0]
+	for _, e := range g.engines {
+		e.wlog, e.postTags = e.wlog[:0], e.postTags[:0]
+	}
+}
+
+// assignOrds k-way-merges the shards' window logs under the serial key
+// order and assigns each fired event its global execution ordinal. Each log
+// is already sorted (shard execution order IS local key order), so the
+// merge repeatedly takes the least head; local entries compare through
+// their poster's ordinal, which is always already assigned because the
+// poster fired earlier on the same shard.
+func (g *Group) assignOrds() {
+	if cap(g.mergeIdx) < len(g.engines) {
+		g.mergeIdx = make([]int, len(g.engines))
+	}
+	idx := g.mergeIdx[:len(g.engines)]
+	active := 0
+	for s, e := range g.engines {
+		idx[s] = 0
+		if len(e.wlog) > 0 {
+			active++
+		}
+	}
+	for active > 0 {
+		best := -1
+		for s, e := range g.engines {
+			if idx[s] >= len(e.wlog) {
+				continue
+			}
+			if best < 0 || g.wlLess(e, &e.wlog[idx[s]], g.engines[best], &g.engines[best].wlog[idx[best]]) {
+				best = s
+			}
+		}
+		e := g.engines[best]
+		e.wlog[idx[best]].ord = g.ord
+		g.ord++
+		idx[best]++
+		if idx[best] == len(e.wlog) {
+			active--
+		}
+	}
+}
+
+// wlLess orders two window-log heads by serial execution position.
+func (g *Group) wlLess(ea *Engine, a *wlogEntry, eb *Engine, b *wlogEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.schedT != b.schedT {
+		return a.schedT < b.schedT
+	}
+	as, bs := a.kind == wlSetup, b.kind == wlSetup
+	if as != bs {
+		return as // setup posts carry the smallest serial seqs at an instant
+	}
+	if as {
+		return a.a < b.a
+	}
+	if a.kind != b.kind {
+		// An escape and a local can never share (at, schedT): same schedT
+		// means the same posting window, and the local fires inside it while
+		// the escape fires beyond it.
+		panic("sim: escape and local event tie in the barrier merge")
+	}
+	if a.kind == wlEsc {
+		return a.a < b.a
+	}
+	ta, tb := ea.postTags[a.a], eb.postTags[b.a]
+	ka, kb := ea.resolveKey(ta.key), eb.resolveKey(tb.key)
+	if ka != kb {
+		return ka.Less(kb)
+	}
+	return ta.sub < tb.sub
+}
+
+func (g *Group) deadlock() *DeadlockError {
+	var at Time
+	for _, e := range g.engines {
+		if e.now > at {
+			at = e.now
+		}
+	}
+	d := &DeadlockError{Time: at, NumLive: int(g.live.Load())}
+	d.Parked = g.ParkedProcs()
+	return d
+}

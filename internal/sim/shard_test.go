@@ -1,0 +1,353 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// ---- shared workload machinery ----
+
+// logEntry records one observable action with its serial position.
+type logEntry struct {
+	key EventKey
+	sub uint64
+	tag int64 // workload-defined action id
+	t   Time  // virtual time of the action
+}
+
+// shardLog collects entries per shard (lock-free during windows) and merges
+// them into the global serial order by (key, sub). Like the trace recorder,
+// it registers for each engine's barrier-time tag resolution so provisional
+// parallel-window keys are final before the merge sorts on them.
+type shardLog struct {
+	mu       sync.Mutex
+	perSh    map[*Engine][]logEntry
+	resolved map[*Engine]int
+}
+
+func newShardLog(g *Group) *shardLog {
+	l := &shardLog{perSh: make(map[*Engine][]logEntry), resolved: make(map[*Engine]int)}
+	for _, e := range g.Engines() {
+		e := e
+		e.OnResolveTags(func(resolve func(EventKey) EventKey) {
+			l.mu.Lock()
+			es := l.perSh[e]
+			for i := l.resolved[e]; i < len(es); i++ {
+				es[i].key = resolve(es[i].key)
+			}
+			l.resolved[e] = len(es)
+			l.mu.Unlock()
+		})
+	}
+	return l
+}
+
+func (l *shardLog) add(e *Engine, tag int64) {
+	key, sub := e.TraceTag()
+	l.mu.Lock()
+	l.perSh[e] = append(l.perSh[e], logEntry{key: key, sub: sub, tag: tag, t: e.Now()})
+	l.mu.Unlock()
+}
+
+// merged returns (tag, t) pairs in global key order.
+func (l *shardLog) merged() []logEntry {
+	var all []logEntry
+	for _, es := range l.perSh {
+		all = append(all, es...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].key != all[j].key {
+			return all[i].key.Less(all[j].key)
+		}
+		return all[i].sub < all[j].sub
+	})
+	return all
+}
+
+func flatten(entries []logEntry) []string {
+	out := make([]string, len(entries))
+	for i, e := range entries {
+		out[i] = fmt.Sprintf("%d@%d", e.tag, e.t)
+	}
+	return out
+}
+
+func splitmix(s *uint64) uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := *s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+const testLookahead Time = 100
+
+func blockAssign(nodes, shards int) []int {
+	sh := make([]int, nodes)
+	per := (nodes + shards - 1) / shards
+	for n := range sh {
+		s := n / per
+		if s >= shards {
+			s = shards - 1
+		}
+		sh[n] = s
+	}
+	return sh
+}
+
+// runWorkload drives a deterministic multi-node workload — local event
+// chains below the lookahead, cross-node posts at the lookahead, sleeping
+// procs — and returns the merged serial-order log.
+func runWorkload(t *testing.T, nodes, shards int, hazard bool) []string {
+	t.Helper()
+	g := NewGroup(blockAssign(nodes, shards), shards, testLookahead)
+	lg := newShardLog(g)
+	if hazard {
+		// Hold a hazard for the whole run: every window goes merged-serial.
+		g.hazard.Add(1)
+		defer g.hazard.Add(-1)
+	}
+	var chain func(node int, hop int64)
+	chain = func(node int, hop int64) {
+		c := g.Ctx(node)
+		e := c.Engine()
+		lg.add(e, int64(node)*1000+hop)
+		if hop >= 12 {
+			return
+		}
+		// Local follow-up strictly inside the lookahead window.
+		e.PostTo(c, e.Now()+Time(7+hop%5), func() { chain(node, hop+1) })
+		if hop%3 == 0 {
+			// Cross-node hand-off at exactly the lookahead bound.
+			peer := (node + 1) % nodes
+			pc := g.Ctx(peer)
+			e.PostTo(pc, e.Now()+testLookahead, func() { chain(peer, hop+100) })
+		}
+	}
+	for n := 0; n < nodes; n++ {
+		node := n
+		c := g.Ctx(node)
+		c.Post(Time(3*node), func() { chain(node, 0) })
+		c.Spawn(fmt.Sprintf("w%d", node), func(p *Proc) {
+			for i := 0; i < 4; i++ {
+				lg.add(p.Engine(), int64(node)*1000+500+int64(i))
+				p.Sleep(Time(11 + node))
+			}
+		})
+	}
+	if err := g.Run(); err != nil {
+		t.Fatalf("shards=%d: %v", shards, err)
+	}
+	return flatten(lg.merged())
+}
+
+// ---- tests ----
+
+// TestGroupShardCountInvariant pins the core determinism property: the
+// merged serial-order log is identical at every shard count, parallel or
+// merged-window execution alike.
+func TestGroupShardCountInvariant(t *testing.T) {
+	const nodes = 8
+	ref := runWorkload(t, nodes, 1, false)
+	if len(ref) == 0 {
+		t.Fatal("empty reference log")
+	}
+	for _, shards := range []int{2, 4, 8} {
+		got := runWorkload(t, nodes, shards, false)
+		if !reflect.DeepEqual(ref, got) {
+			t.Fatalf("shards=%d diverged from serial: %d vs %d entries", shards, len(got), len(ref))
+		}
+	}
+	// Hazard-forced merged windows must produce the same order too.
+	if got := runWorkload(t, nodes, 4, true); !reflect.DeepEqual(ref, got) {
+		t.Fatal("merged-window execution diverged from serial order")
+	}
+}
+
+// TestGroupRunUntil checks the deadline guard tie-break: setup-keyed events
+// at exactly the deadline fire, runtime events at the deadline stay pending,
+// matching the serial engine's RunUntil guard seq semantics.
+func TestGroupRunUntil(t *testing.T) {
+	g := NewGroup([]int{0, 1}, 2, testLookahead)
+	const deadline = Time(1000)
+	var setupAtDeadline, runtimeAtDeadline, late bool
+	c0, c1 := g.Ctx(0), g.Ctx(1)
+	c0.Post(deadline, func() { setupAtDeadline = true })
+	c1.Post(deadline+1, func() { late = true })
+	c0.Post(deadline-50, func() {
+		c0.Engine().PostTo(c0, deadline, func() { runtimeAtDeadline = true })
+	})
+	if err := g.RunUntil(deadline); err != nil {
+		t.Fatal(err)
+	}
+	if !setupAtDeadline {
+		t.Error("setup event at the deadline did not fire")
+	}
+	if runtimeAtDeadline {
+		t.Error("runtime event at the deadline fired past the guard")
+	}
+	if late {
+		t.Error("event beyond the deadline fired")
+	}
+}
+
+// TestGroupDeadlock checks that a parked-forever proc surfaces as an
+// aggregated DeadlockError from Group.Run.
+func TestGroupDeadlock(t *testing.T) {
+	g := NewGroup([]int{0, 1}, 2, testLookahead)
+	g.Ctx(1).Spawn("stuck", func(p *Proc) { p.park("never woken") })
+	err := g.Run()
+	de, ok := err.(*DeadlockError)
+	if !ok {
+		t.Fatalf("want DeadlockError, got %v", err)
+	}
+	if de.NumLive != 1 || len(de.Parked) != 1 || de.Parked[0] != "stuck: never woken" {
+		t.Fatalf("bad diagnostics: %+v", de)
+	}
+}
+
+// TestGroupCrossShardSpeedup is a smoke check that parallel windows really
+// run events on multiple engines (fired counters spread across shards).
+func TestGroupFiredSpread(t *testing.T) {
+	const nodes, shards = 8, 4
+	runWorkload(t, nodes, shards, false)
+	// A fresh identical run, inspecting the group internals.
+	g := NewGroup(blockAssign(nodes, shards), shards, testLookahead)
+	for n := 0; n < nodes; n++ {
+		c := g.Ctx(n)
+		c.Post(Time(n), func() {})
+	}
+	if err := g.Run(); err != nil {
+		t.Fatal(err)
+	}
+	busy := 0
+	for _, e := range g.Engines() {
+		if e.EventsFired() > 0 {
+			busy++
+		}
+	}
+	if busy != shards {
+		t.Fatalf("want all %d shards to fire events, got %d", shards, busy)
+	}
+	if g.EventsFired() != uint64(nodes) {
+		t.Fatalf("want %d events fired, got %d", nodes, g.EventsFired())
+	}
+}
+
+// TestProcRegistryPrune is the regression test for the Spawn registry leak:
+// after a large transient fleet dies, the registry backing array must shrink
+// instead of pinning the high-water capacity forever.
+func TestProcRegistryPrune(t *testing.T) {
+	e := NewEngine()
+	const fleet = 4096
+	for i := 0; i < fleet; i++ {
+		e.Spawn("transient", func(p *Proc) {})
+	}
+	var parked *Proc
+	e.Spawn("keeper", func(p *Proc) { p.park("held") })
+	if err := e.Run(); err == nil {
+		t.Fatal("want deadlock (keeper parked)")
+	}
+	if got := cap(e.procRegistry); got >= fleet/4 {
+		t.Fatalf("registry not pruned: cap=%d after %d procs died", got, fleet)
+	}
+	if len(e.procRegistry) != 1 || e.procRegistry[0].name != "keeper" {
+		t.Fatalf("survivor lost during pruning: %d entries", len(e.procRegistry))
+	}
+	if e.procRegistry[0].regIdx != 0 {
+		t.Fatalf("bad regIdx after pruning: %d", e.procRegistry[0].regIdx)
+	}
+	_ = parked
+}
+
+// TestProcRegistryPruneKeepsDiagnostics interleaves dying and surviving
+// procs so swap-removal plus shrinking must preserve every survivor's
+// registry slot.
+func TestProcRegistryPruneKeepsDiagnostics(t *testing.T) {
+	e := NewEngine()
+	const n = 512
+	for i := 0; i < n; i++ {
+		if i%8 == 0 {
+			e.Spawn(fmt.Sprintf("s%d", i), func(p *Proc) { p.park("survivor") })
+		} else {
+			e.Spawn("t", func(p *Proc) {})
+		}
+	}
+	err := e.Run()
+	de, ok := err.(*DeadlockError)
+	if !ok {
+		t.Fatalf("want DeadlockError, got %v", err)
+	}
+	if want := n / 8; de.NumLive != want || len(de.Parked) != want {
+		t.Fatalf("diagnostics lost procs: live=%d parked=%d want %d", de.NumLive, len(de.Parked), want)
+	}
+	for i, p := range e.procRegistry {
+		if p.regIdx != i {
+			t.Fatalf("registry index desync at %d", i)
+		}
+	}
+}
+
+// FuzzShardMerge is the differential fuzz for the merge rule: a random
+// event set split across k shards must replay in exactly the single-heap
+// (1-shard) order once merged by (key, sub).
+func FuzzShardMerge(f *testing.F) {
+	f.Add(uint64(1), uint8(2), uint8(24))
+	f.Add(uint64(42), uint8(3), uint8(64))
+	f.Add(uint64(7), uint8(8), uint8(17))
+	f.Fuzz(func(t *testing.T, seed uint64, shardsRaw, nRaw uint8) {
+		const nodes = 8
+		shards := int(shardsRaw)%8 + 1
+		n := int(nRaw)%96 + 1
+
+		run := func(shards int) []string {
+			g := NewGroup(blockAssign(nodes, shards), shards, testLookahead)
+			lg := newShardLog(g)
+			var fire func(id int64, node int)
+			fire = func(id int64, node int) {
+				c := g.Ctx(node)
+				e := c.Engine()
+				lg.add(e, id)
+				// Follow-up decisions derive only from the event id, so the
+				// schedule is identical at every shard count.
+				switch id % 5 {
+				case 0:
+					peer := (node + 1 + int(id)%3) % nodes
+					nid := id*31 + 1
+					e.PostTo(g.Ctx(peer), e.Now()+testLookahead+Time(id%17), func() { fire(nid, peer) })
+				case 1:
+					nid := id*31 + 2
+					e.PostTo(c, e.Now()+Time(id)%testLookahead, func() { fire(nid, node) })
+				case 2:
+					if id < 1<<40 { // bound the recursion
+						nid := id*31 + 3
+						e.PostTo(c, e.Now(), func() { fire(nid, node) })
+					}
+				}
+			}
+			rng := seed
+			for i := 0; i < n; i++ {
+				id := int64(i)
+				node := int(splitmix(&rng) % nodes)
+				at := Time(splitmix(&rng) % (20 * uint64(testLookahead)))
+				g.Ctx(node).Post(at, func() { fire(id+1_000_000, node) })
+			}
+			if err := g.Run(); err != nil {
+				t.Fatal(err)
+			}
+			return flatten(lg.merged())
+		}
+
+		ref := run(1)
+		if got := run(shards); !reflect.DeepEqual(ref, got) {
+			i := 0
+			for i < len(ref) && i < len(got) && ref[i] == got[i] {
+				i++
+			}
+			t.Fatalf("shards=%d diverged from single-heap order at %d/%d", shards, i, len(ref))
+		}
+	})
+}

@@ -53,6 +53,45 @@ func (s Spec) Validate() error {
 // Size reports the total number of ranks.
 func (s Spec) Size() int { return s.Nodes * s.ProcsPerNode }
 
+// ShardUnits reports the natural sharding granularity of the topology for
+// the parallel DES engine: per node under a single switch (nodes share no
+// fabric state but the wire, which the lookahead covers), per leaf switch
+// in a fat tree (each leaf's trunk lanes stay owned by one shard).
+func (s Spec) ShardUnits() int {
+	if s.NodesPerSwitch > 0 {
+		return (s.Nodes + s.NodesPerSwitch - 1) / s.NodesPerSwitch
+	}
+	return s.Nodes
+}
+
+// ShardPlan maps every node to a shard for the sharded DES engine: sharding
+// units (see ShardUnits) are assigned to shards in contiguous blocks, and
+// the requested shard count is clamped to [1, units]. It returns the
+// node→shard table and the effective shard count.
+func (s Spec) ShardPlan(shards int) ([]int, int) {
+	units := s.ShardUnits()
+	if shards > units {
+		shards = units
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	unitOf := func(n int) int { return n }
+	if s.NodesPerSwitch > 0 {
+		unitOf = func(n int) int { return n / s.NodesPerSwitch }
+	}
+	per := (units + shards - 1) / shards
+	out := make([]int, s.Nodes)
+	for n := range out {
+		sh := unitOf(n) / per
+		if sh >= shards {
+			sh = shards - 1
+		}
+		out[n] = sh
+	}
+	return out, shards
+}
+
 // Rails reports the number of rails between any inter-node process pair.
 func (s Spec) Rails() int { return s.HCAsPerNode * s.PortsPerHCA * s.QPsPerPort }
 
