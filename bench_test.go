@@ -351,6 +351,30 @@ func shardScale256(b *testing.B, shards int) {
 func BenchmarkShardScale256Serial(b *testing.B)  { shardScale256(b, 1) }
 func BenchmarkShardScale256Sharded(b *testing.B) { shardScale256(b, benchShards()) }
 
+// ---- Lane-collective rows (cmd/perfgate) ----
+
+// benchLaneAllgather is the lane-vs-striped perfgate pair: the same 256KB
+// Allgather on the paper's 2x2 EPC configuration under either algorithm
+// family. The virtual per-op time is the figure of merit; ns/op tracks the
+// host cost of the lane machinery itself.
+func benchLaneAllgather(b *testing.B, alg mpi.CollAlg) {
+	b.Helper()
+	var v []float64
+	for i := 0; i < b.N; i++ {
+		var err error
+		v, err = bench.Collective(bench.CollAllgather,
+			bench.Setup{QPs: 4, Policy: core.EPC, PPN: 2, CollAlg: alg},
+			[]int{256 << 10}, bwIters, bwWarm)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSeries(b, []string{alg.String() + "_256K"}, []float64{v[0]}, "us_virtual")
+}
+
+func BenchmarkLaneAllgather(b *testing.B)        { benchLaneAllgather(b, mpi.CollLane) }
+func BenchmarkLaneAllgatherStriped(b *testing.B) { benchLaneAllgather(b, mpi.CollStriped) }
+
 // BenchmarkSimulatorThroughput measures host-side simulation speed: virtual
 // seconds simulated per wall second for a saturated bandwidth run.
 func BenchmarkSimulatorThroughput(b *testing.B) {

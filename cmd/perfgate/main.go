@@ -29,6 +29,10 @@
 // are tight); their ns/op is recorded but not gated — those runs are
 // shorter and noisier on shared machines.
 //
+// The lane-collective rows (BenchmarkLaneAllgather and its striped
+// shadow) are recorded without a gate: they expose the host-side cost of
+// the lane-decomposed collective machinery next to the reference row.
+//
 // The sharded-engine rows (BenchmarkFig06UniBWSharded and the
 // BenchmarkShardScale256 serial/sharded pair) have no seed baseline; the
 // 256-node pair is instead compared against itself, and the gate requires
@@ -102,6 +106,12 @@ const (
 )
 
 var shardBenches = []string{shardFig06Bench, shardSerialBench, shardShardedBench}
+
+// Lane-collective rows: the 256KB Allgather under the lane-decomposed and
+// the striped reference algorithm. No seed baseline (the seed had no lane
+// collectives) and no gate; the pair is recorded so the host-side cost of
+// the lane machinery is visible next to the reference row it shadows.
+var laneBenches = []string{"BenchmarkLaneAllgather", "BenchmarkLaneAllgatherStriped"}
 
 // Result is one benchmark measurement. With -samples > 1 the fields are
 // means across samples, NsStddev carries the ns/op spread, and NsMin the
@@ -203,7 +213,7 @@ func main() {
 			name, cur.NsPerOp, spread, seed.NsPerOp, pct(cur.NsPerOp, seed.NsPerOp),
 			cur.AllocsPerOp, seed.AllocsPerOp, pct(float64(cur.AllocsPerOp), float64(seed.AllocsPerOp)))
 	}
-	for _, name := range shardBenches {
+	for _, name := range append(laneBenches, shardBenches...) {
 		cur, ok := current[name]
 		if !ok {
 			fmt.Printf("%-30s (missing)\n", name)
@@ -320,6 +330,11 @@ func runBenchmarks(benchtime string, samples, shards int) (map[string]Result, er
 			cells = append(cells, cell{name, s})
 		}
 	}
+	for _, name := range laneBenches {
+		for s := 0; s < samples; s++ {
+			cells = append(cells, cell{name, s})
+		}
+	}
 	raw, err := harness.Map(cells, func(c cell) (Result, error) {
 		return runOne(bin, c.bench, benchtime, shards)
 	})
@@ -359,7 +374,7 @@ func runBenchmarks(benchtime string, samples, shards int) (map[string]Result, er
 		}
 		results[name] = agg
 	}
-	for _, name := range benchNames() {
+	for _, name := range append(benchNames(), laneBenches...) {
 		var rs []Result
 		for i, c := range cells {
 			if c.bench == name {

@@ -44,7 +44,8 @@ func main() {
 // collective suite, the stencil pattern and scalability sweep from the
 // conclusions' future work, the rendezvous-protocol comparison, the
 // one-rail-dead bandwidth sweep under the self-healing reliability layer,
-// the pin-down registration cache cold/warm bandwidth split, and the "no
+// the lane-decomposed vs transport-striped collective ablation, the
+// pin-down registration cache cold/warm bandwidth split, and the "no
 // degradation on other NAS kernels" check.
 func supplementary(o bench.FigOpts) error {
 	gens := []func(bench.FigOpts) (*stats.Table, error){
@@ -58,6 +59,7 @@ func supplementary(o bench.FigOpts) error {
 		bench.OversubscriptionTable,
 		bench.HCAGenerationTable,
 		bench.DegradedRailTable,
+		bench.LaneCollTable,
 		bench.RegCacheTable,
 		func(bench.FigOpts) (*stats.Table, error) { return bench.NoDegradationTable() },
 	}

@@ -45,6 +45,12 @@ type Status struct {
 }
 
 // Request is a pending or completed communication operation.
+// NoLane marks a request that carries no lane-steering hint: rail choice
+// stays with the scheduling policy. (Pooled requests and envelopes zero
+// their lane field to 0, a valid lane, so every send path assigns the
+// field explicitly.)
+const NoLane = -1
+
 type Request struct {
 	ep   *Endpoint
 	send bool
@@ -58,6 +64,13 @@ type Request struct {
 	class core.Class
 	data  []byte // send payload or recv buffer (nil = synthetic)
 	n     int    // send size or recv capacity
+
+	// lane is the lane-steering hint (NoLane = none): when set, every
+	// transfer of this send — the eager message or all rendezvous bulk
+	// stripes — is pinned to rail lane%rails (stepped off dead rails),
+	// bypassing the policy. Lane-decomposed collectives use it to keep
+	// each sub-collective on its own rail.
+	lane int
 
 	status Status
 
@@ -173,6 +186,11 @@ type envelope struct {
 
 	rkey uint32 // CTS: receiver's buffer key; RTS (RGET): sender's buffer key
 	xfer int    // CTS: bytes the receiver will accept
+
+	// lane carries the sender's lane-steering hint on an RTS so an RGET
+	// receiver pins its read to the same lane (NoLane = none; always
+	// assigned by sendRTS — pooled envelopes zero to 0, not NoLane).
+	lane int
 
 	// One-sided fields.
 	winID int

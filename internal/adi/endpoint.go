@@ -77,6 +77,21 @@ func (c *Conn) ctrlRail() int {
 // Rails reports the number of rails of this connection (0 for shmem).
 func (c *Conn) Rails() int { return len(c.rails) }
 
+// InterRails reports the rail count of this endpoint's inter-node
+// connections — the lane width available to lane-decomposed collectives —
+// or 0 when every peer is intra-node (or the world has one rank). All
+// inter-node connections share the topology's rail count, so the first
+// one answers for all; the value is a topology constant, identical on
+// every rank, which lane partitioning depends on.
+func (ep *Endpoint) InterRails() int {
+	for _, c := range ep.conns {
+		if c != nil && c.sh == nil && c.peer != ep.Rank {
+			return len(c.rails)
+		}
+	}
+	return 0
+}
+
 // Endpoint is the ADI-layer object of one MPI rank.
 type Endpoint struct {
 	Rank int
@@ -224,6 +239,24 @@ func (ep *Endpoint) charge(d sim.Time) {
 // marker's classification. The returned request is already complete for
 // eager-size messages (buffered-send semantics).
 func (ep *Endpoint) PostSend(peer, tag, ctxID int, class core.Class, data []byte, n int) *Request {
+	return ep.postSend(peer, tag, ctxID, class, data, n, NoLane)
+}
+
+// PostSendLane is PostSend with a lane-steering hint: the eager message or
+// every rendezvous bulk stripe of this send is pinned to rail lane%rails
+// of the destination connection (stepping off dead rails to the next live
+// one) instead of consulting the policy. Lane-decomposed collectives use
+// it to keep each per-lane sub-collective on its own rail; self and
+// shared-memory sends ignore the hint. A negative lane means no hint —
+// identical to PostSend.
+func (ep *Endpoint) PostSendLane(peer, tag, ctxID int, class core.Class, data []byte, n, lane int) *Request {
+	if lane < 0 {
+		lane = NoLane
+	}
+	return ep.postSend(peer, tag, ctxID, class, data, n, lane)
+}
+
+func (ep *Endpoint) postSend(peer, tag, ctxID int, class core.Class, data []byte, n, lane int) *Request {
 	if peer < 0 || peer >= len(ep.conns) {
 		panic(fmt.Sprintf("adi: rank %d PostSend to invalid peer %d", ep.Rank, peer))
 	}
@@ -235,6 +268,7 @@ func (ep *Endpoint) PostSend(peer, tag, ctxID int, class core.Class, data []byte
 	}
 	req := ep.newRequest()
 	req.send, req.peer, req.tag, req.ctxID, req.class, req.data, req.n = true, peer, tag, ctxID, class, data, n
+	req.lane = lane
 	if peer == ep.Rank {
 		ep.sendSelf(req)
 		return req

@@ -1,0 +1,95 @@
+package adi
+
+import (
+	"bytes"
+	"testing"
+
+	"ib12x/internal/core"
+	"ib12x/internal/topo"
+	"ib12x/internal/trace"
+)
+
+// Lane steering at the ADI layer: a PostSendLane request pins its bulk
+// transfer to the lane's rail (one stripe, never a fan-out plan), under
+// both rendezvous protocols, and InterRails reports the remote rail width
+// the mpi layer sizes its lane partition with.
+
+func TestPostSendLanePinsRail(t *testing.T) {
+	const n = 256 * 1024
+	payload := fill(n, 5)
+	for _, rndv := range []RndvProto{RndvWrite, RndvRead} {
+		for lane := 0; lane < 4; lane++ {
+			got := make([]byte, n)
+			rec := trace.NewRecorder(64)
+			w := run(t, spec2x1(4), Options{Policy: core.EPC, Rndv: rndv, Trace: rec},
+				func(ep *Endpoint) {
+					if got := ep.InterRails(); got != 4 {
+						t.Errorf("InterRails() = %d, want 4", got)
+					}
+					ep.Wait(ep.PostSendLane(1, 9, CtxPt2Pt, core.Collective, payload, n, lane))
+				},
+				func(ep *Endpoint) {
+					ep.Wait(ep.PostRecv(0, 9, CtxPt2Pt, got, n))
+				})
+			if !bytes.Equal(got, payload) {
+				t.Fatalf("rndv=%v lane=%d: payload corrupted", rndv, lane)
+			}
+			// A lane-pinned bulk transfer is exactly one stripe on the
+			// lane's rail, where EPC would have fanned out over all 4.
+			// RPUT writes from the sender, RGET reads from the receiver.
+			if rndv == RndvWrite {
+				if s := w.Endpoints[0].Stats(); s.StripesSent != 1 {
+					t.Errorf("rndv=%v lane=%d: StripesSent = %d, want 1 (lane must pin)", rndv, lane, s.StripesSent)
+				}
+			} else if s := w.Endpoints[1].Stats(); s.StripesRead != 1 {
+				t.Errorf("rndv=%v lane=%d: StripesRead = %d, want 1 (lane must pin)", rndv, lane, s.StripesRead)
+			}
+			found := false
+			for _, ev := range rec.Events() {
+				if ev.Kind == trace.KindLanePin {
+					found = true
+					if ev.Rail != lane {
+						t.Errorf("rndv=%v lane=%d: LANEPIN on rail %d", rndv, lane, ev.Rail)
+					}
+				}
+			}
+			if !found {
+				t.Errorf("rndv=%v lane=%d: no LANEPIN trace event", rndv, lane)
+			}
+		}
+	}
+}
+
+// TestPostSendLaneEager: an eager-size lane send takes the lane's rail
+// instead of the policy's eager pick, and a negative lane means NoLane —
+// identical to plain PostSend.
+func TestPostSendLaneEager(t *testing.T) {
+	payload := fill(2048, 7)
+	got := make([]byte, 2048)
+	run(t, spec2x1(4), Options{Policy: core.EPC},
+		func(ep *Endpoint) {
+			ep.Wait(ep.PostSendLane(1, 1, CtxPt2Pt, core.Collective, payload, len(payload), 3))
+			ep.Wait(ep.PostSendLane(1, 2, CtxPt2Pt, core.Collective, payload, len(payload), -5))
+		},
+		func(ep *Endpoint) {
+			ep.Wait(ep.PostRecv(0, 1, CtxPt2Pt, got, len(got)))
+			ep.Wait(ep.PostRecv(0, 2, CtxPt2Pt, got, len(got)))
+		})
+	if !bytes.Equal(got, payload) {
+		t.Error("eager lane payload corrupted")
+	}
+}
+
+// TestInterRailsShmemWorld: with every peer on the local node there is no
+// inter-node connection, so InterRails reports 0 and the mpi layer keeps
+// the reference collectives.
+func TestInterRailsShmemWorld(t *testing.T) {
+	spec := topo.Spec{Nodes: 1, ProcsPerNode: 2, HCAsPerNode: 1, PortsPerHCA: 1, QPsPerPort: 4}
+	run(t, spec, Options{Policy: core.EPC},
+		func(ep *Endpoint) {
+			if got := ep.InterRails(); got != 0 {
+				t.Errorf("InterRails() = %d on a shmem-only world, want 0", got)
+			}
+		},
+		func(ep *Endpoint) {})
+}

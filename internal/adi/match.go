@@ -233,10 +233,10 @@ func (ep *Endpoint) newRequest() *Request {
 		r := ep.reqFree[n-1]
 		ep.reqFree[n-1] = nil
 		ep.reqFree = ep.reqFree[:n-1]
-		*r = Request{ep: ep}
+		*r = Request{ep: ep, lane: NoLane}
 		return r
 	}
-	return &Request{ep: ep}
+	return &Request{ep: ep, lane: NoLane}
 }
 
 // Release returns a completed request to its endpoint's pool. Only code

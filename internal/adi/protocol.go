@@ -2,6 +2,7 @@ package adi
 
 import (
 	"ib12x/internal/buf"
+	"ib12x/internal/core"
 	"ib12x/internal/ib"
 	"ib12x/internal/sim"
 	"ib12x/internal/trace"
@@ -21,7 +22,12 @@ func (ep *Endpoint) sendEager(conn *Conn, req *Request) {
 		env.pay = ep.capture(req.data, req.n, "eager")
 		ep.charge(sim.TransferTime(int64(req.n), ep.m.EagerCopyRate))
 	}
-	rail := ep.policy.PickEager(req.class, req.n, len(conn.rails), &conn.sched)
+	var rail int
+	if req.lane != NoLane {
+		rail = core.LaneRail(req.lane, len(conn.rails), conn.sched.Dead)
+	} else {
+		rail = ep.policy.PickEager(req.class, req.n, len(conn.rails), &conn.sched)
+	}
 	ep.charge(ep.m.CPUHeaderProc + ep.m.CPUPostWQE + ep.m.DoorbellTime)
 	ep.trace(trace.KindEager, req.peer, req.n, rail)
 	req.status = Status{Source: ep.Rank, Tag: req.tag, Count: req.n}
@@ -65,6 +71,7 @@ func (ep *Endpoint) sendRTS(conn *Conn, req *Request) {
 	env := ep.pool.get()
 	env.kind, env.src, env.tag, env.ctxID = envRTS, ep.Rank, req.tag, req.ctxID
 	env.size, env.seq, env.sreq, env.class = req.n, conn.sendSeq, req, req.class
+	env.lane = req.lane
 	conn.sendSeq++
 	// Zero-copy: the rendezvous path never captures the payload — the
 	// request wraps the user's buffer and holds that reference until the
@@ -115,8 +122,16 @@ func (ep *Endpoint) startRead(req *Request, env *envelope) {
 	// The receiver's pull targets its own buffer: registration is charged
 	// before any read posts.
 	ep.chargeRegistration(env.src, req.data, xfer)
-	ep.refreshRailRates(conn)
-	plan := ep.policy.PlanBulk(env.class, xfer, len(conn.rails), &conn.sched)
+	var plan []core.Stripe
+	if env.lane != NoLane {
+		// Lane-hinted transfer: a single read pinned to the sender's lane
+		// (steered off dead rails against this endpoint's own mask).
+		plan = conn.sched.LanePlan(env.lane, len(conn.rails), xfer)
+		ep.trace(trace.KindLanePin, env.src, xfer, plan[0].Rail)
+	} else {
+		ep.refreshRailRates(conn)
+		plan = ep.policy.PlanBulk(env.class, xfer, len(conn.rails), &conn.sched)
+	}
 	req.writesLeft = len(plan)
 	sreq := env.sreq
 	for _, s := range plan {
@@ -205,8 +220,16 @@ func (ep *Endpoint) handleCTS(env *envelope) {
 	// Every stripe of this message reads the source buffer: the whole
 	// region's first touch pays its registration before any WR posts.
 	ep.chargeRegistration(env.src, sreq.data, env.xfer)
-	ep.refreshRailRates(conn)
-	plan := ep.policy.PlanBulk(sreq.class, env.xfer, len(conn.rails), &conn.sched)
+	var plan []core.Stripe
+	if sreq.lane != NoLane {
+		// Lane-hinted transfer: a single write pinned to the lane's rail
+		// (steered off dead rails against this endpoint's own mask).
+		plan = conn.sched.LanePlan(sreq.lane, len(conn.rails), env.xfer)
+		ep.trace(trace.KindLanePin, env.src, env.xfer, plan[0].Rail)
+	} else {
+		ep.refreshRailRates(conn)
+		plan = ep.policy.PlanBulk(sreq.class, env.xfer, len(conn.rails), &conn.sched)
+	}
 	sreq.writesLeft = len(plan)
 	rreq, rkey := env.rreq, env.rkey
 	for _, s := range plan {

@@ -46,6 +46,11 @@ type Setup struct {
 	// serial). Virtual-time results are bit-identical either way; only the
 	// host wall clock changes.
 	Shards int
+
+	// CollAlg selects the collective-algorithm family (zero value keeps
+	// the striped reference algorithms; CollLane runs the lane-decomposed
+	// ones of the LaneCollTable ablation).
+	CollAlg mpi.CollAlg
 }
 
 // Config builds the mpi.Config this setup describes.
@@ -65,6 +70,7 @@ func (s Setup) Config() mpi.Config {
 		Reliability:    s.Reliability,
 		RegCache:       s.RegCache,
 		Shards:         s.Shards,
+		CollAlg:        s.CollAlg,
 	}
 }
 

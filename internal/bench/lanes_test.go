@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"ib12x/internal/core"
+	"ib12x/internal/mpi"
+)
+
+// TestLaneCollTable checks the ablation produces the full matrix — every
+// (topology, collective, algorithm) series with every size a positive
+// per-operation time.
+func TestLaneCollTable(t *testing.T) {
+	tab, err := laneCollTable(1, FigOpts{Quick: true, Window: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(laneCollCases()); len(tab.Series) != want {
+		t.Fatalf("%d series, want %d", len(tab.Series), want)
+	}
+	for _, s := range tab.Series {
+		if len(s.Points) != len(laneCollSizes) {
+			t.Errorf("%s: %d points, want %d", s.Name, len(s.Points), len(laneCollSizes))
+		}
+		for _, p := range s.Points {
+			if p.Value <= 0 {
+				t.Errorf("%s at %d: %.2f us, want > 0", s.Name, p.X, p.Value)
+			}
+		}
+	}
+	if !strings.Contains(tab.Format(), "lane-decomposed") {
+		t.Error("table title lost its lane-ablation marker")
+	}
+}
+
+// TestLaneCollTableSerialParallelIdentical pins the acceptance bar: the
+// serial and parallel harness runs of the ablation render bit-identically.
+func TestLaneCollTableSerialParallelIdentical(t *testing.T) {
+	o := FigOpts{Quick: true, Window: 8}
+	serial, err := laneCollTable(1, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := laneCollTable(6, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, p := serial.Format(), parallel.Format(); s != p {
+		t.Errorf("serial/parallel tables diverge:\n--- serial ---\n%s--- parallel ---\n%s", s, p)
+	}
+}
+
+// TestLaneCollShardedIdentical runs one lane-collective cell on the
+// sharded engine and requires exactly the serial virtual-time values.
+func TestLaneCollShardedIdentical(t *testing.T) {
+	cell := func(shards int) []float64 {
+		s := Setup{QPs: 4, Policy: core.EPC, Nodes: 4, CollAlg: mpi.CollLane, Shards: shards}
+		vals, err := Collective(CollAllgather, s, []int{64 << 10, 256 << 10}, 5, 1)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		return vals
+	}
+	serial := cell(0)
+	sharded := cell(2)
+	for i := range serial {
+		if serial[i] != sharded[i] {
+			t.Errorf("size %d: sharded %.6f us vs serial %.6f us; lane schedule not shard-deterministic",
+				i, sharded[i], serial[i])
+		}
+	}
+}

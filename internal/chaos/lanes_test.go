@@ -1,0 +1,132 @@
+package chaos
+
+import (
+	"testing"
+
+	"ib12x/internal/core"
+	"ib12x/internal/harness"
+	"ib12x/internal/mpi"
+	"ib12x/internal/sim"
+)
+
+// TestDifferentialOracleLaneColl runs the seeded workload with the
+// lane-decomposed collectives across the full 6-policy x 6-fault-plan
+// matrix and requires every cell's payload digest to be byte-identical to
+// the striped baseline of the same plan. The workload's collective phase
+// uses only exact operators (int64 Sum/Max), so lane decomposition — a
+// different communication schedule, not different arithmetic — must be
+// invisible in the user-visible bytes even while rails die, stall, and
+// flap mid-collective. Zero violations also pins World.BufLive()==0 after
+// quiesce: RunConformance records any still-referenced payload block as a
+// violation.
+func TestDifferentialOracleLaneColl(t *testing.T) {
+	for _, plan := range faultPlans() {
+		plan := plan
+		t.Run(plan.Name, func(t *testing.T) {
+			ref, err := RunConformance(OracleConfig{Seed: oracleSeed, Policy: core.EvenStriping, Plan: plan})
+			if err != nil {
+				t.Fatalf("striped baseline under %s: %v", plan.Name, err)
+			}
+			results, err := harness.MapAll(allPolicies, func(kind core.Kind) (*RunResult, error) {
+				return RunConformance(OracleConfig{
+					Seed: oracleSeed, Policy: kind, Plan: plan,
+					CollAlg: mpi.CollLane,
+				})
+			})
+			if err != nil {
+				t.Fatalf("lane matrix under %s: %v", plan.Name, err)
+			}
+			for i, res := range results {
+				for _, v := range res.Violations {
+					t.Errorf("lane %v under %s: %s", allPolicies[i], plan.Name, v)
+				}
+				if res.Digest != ref.Digest {
+					t.Errorf("lane digest split under %s: striped=%#x vs lane %s=%#x",
+						plan.Name, ref.Digest, res.Policy, res.Digest)
+				}
+			}
+		})
+	}
+}
+
+// TestLaneCollSerialParallelIdentical pins the harness contract for the
+// lane algorithms: the same lane-collective matrix row run on one worker
+// and on many must yield bit-identical digests, trace digests, and
+// elapsed virtual times cell by cell.
+func TestLaneCollSerialParallelIdentical(t *testing.T) {
+	plan := faultPlans()[5] // kitchen sink: the most event-heavy plan
+	run := func(workers int) []*RunResult {
+		res, err := harness.MapN(workers, allPolicies, func(kind core.Kind) (*RunResult, error) {
+			return RunConformance(OracleConfig{
+				Seed: oracleSeed, Policy: kind, Plan: plan,
+				CollAlg: mpi.CollLane,
+			})
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(1)
+	parallel := run(8)
+	for i := range serial {
+		s, p := serial[i], parallel[i]
+		if s.Digest != p.Digest || s.TraceDigest != p.TraceDigest || s.Elapsed != p.Elapsed {
+			t.Errorf("lane %s: serial/parallel diverge: digest %#x/%#x trace %#x/%#x elapsed %v/%v",
+				s.Policy, s.Digest, p.Digest, s.TraceDigest, p.TraceDigest, s.Elapsed, p.Elapsed)
+		}
+	}
+}
+
+// TestLaneCollShardedIdentical pins the sharded engine against the serial
+// one under lane collectives: a bounded cut of the matrix (the two
+// heaviest plans x two policies, 4-node fabric) must be bit-identical —
+// payload digest, trace digest, elapsed — at every shard count, with zero
+// violations. The full-matrix sharded sweep stays in the striped
+// TestShardedSerialIdentical; this leg only has to prove lane steering
+// decisions replay identically across shard boundaries.
+func TestLaneCollShardedIdentical(t *testing.T) {
+	type cell struct {
+		plan   *Plan
+		policy core.Kind
+	}
+	plans := []*Plan{
+		faultPlans()[5], // kitchen sink
+		RailDeath(100*sim.Microsecond, 1, 2),
+	}
+	var cells []cell
+	for _, plan := range plans {
+		for _, kind := range []core.Kind{core.EPC, core.EvenStriping} {
+			cells = append(cells, cell{plan, kind})
+		}
+	}
+	matrix := func(shards int) []*RunResult {
+		t.Helper()
+		res, err := harness.Map(cells, func(c cell) (*RunResult, error) {
+			return RunConformance(OracleConfig{
+				Seed: oracleSeed, Policy: c.policy, Plan: c.plan,
+				Nodes: 4, Shards: shards,
+				CollAlg: mpi.CollLane,
+			})
+		})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		return res
+	}
+	serial := matrix(0)
+	for _, shards := range []int{1, 2, 4} {
+		sharded := matrix(shards)
+		for i, res := range sharded {
+			ref := serial[i]
+			for _, v := range res.Violations {
+				t.Errorf("shards=%d lane %v under %s: %s", shards, cells[i].policy, cells[i].plan.Name, v)
+			}
+			if res.Digest != ref.Digest || res.TraceDigest != ref.TraceDigest || res.Elapsed != ref.Elapsed {
+				t.Errorf("shards=%d lane %v under %s diverged from serial: digest %#x/%#x trace %#x/%#x elapsed %v/%v",
+					shards, cells[i].policy, cells[i].plan.Name,
+					res.Digest, ref.Digest, res.TraceDigest, ref.TraceDigest, res.Elapsed, ref.Elapsed)
+			}
+		}
+	}
+}

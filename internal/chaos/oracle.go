@@ -38,6 +38,12 @@ type OracleConfig struct {
 	// Shards runs the workload on a sharded engine group (mpi.Config.Shards).
 	// Every digest must be byte-identical to the serial run's.
 	Shards int
+
+	// CollAlg selects the collective-algorithm family (mpi.Config.CollAlg).
+	// The workload's collective phase only uses exact operators, so the
+	// payload digest must be byte-identical to the striped baseline's even
+	// under mpi.CollLane's ring-ordered reductions.
+	CollAlg mpi.CollAlg
 }
 
 func (c OracleConfig) withDefaults() OracleConfig {
@@ -183,6 +189,7 @@ func RunConformance(cfg OracleConfig) (*RunResult, error) {
 		Trace:        rec,
 		Deadline:     cfg.Deadline,
 		Shards:       cfg.Shards,
+		CollAlg:      cfg.CollAlg,
 	}
 	if cfg.Plan != nil {
 		mcfg.Chaos = cfg.Plan

@@ -1,0 +1,85 @@
+package core
+
+// Lane decomposition (Träff-style multi-lane collectives): instead of
+// striping each message across rails at the transport layer, a collective
+// splits its payload into lane segments and runs an independent
+// sub-collective per lane, pinned to one rail. The segment STRUCTURE is a
+// pure function of (size, lanes, minChunk) — every rank computes the same
+// partition from topology constants, so send/recv matching never depends
+// on rail health, which updates asynchronously per endpoint under faults.
+// Rail health only affects STEERING: a dead lane's traffic steps to the
+// next live rail (the degraded-lane rule, DESIGN.md §15).
+
+// LaneSeg is one lane's contiguous segment of a collective payload.
+type LaneSeg struct {
+	Lane int // lane index, 0..L-1 of the configured partition
+	Rail int // rail the lane's traffic steers to (== Lane unless re-routed)
+	Off  int
+	N    int
+}
+
+// LaneSplit partitions size bytes into at most lanes contiguous segments.
+// Segment boundaries fall on 8-byte element boundaries (the combiners'
+// granularity) with the tail absorbed by the last lane, and no segment is
+// cut below minChunk, collapsing the lane count for small payloads. The
+// Lane/Off/N structure ignores dead: the mask only re-routes each
+// segment's Rail to the next live one (or leaves it in place when every
+// rail is dead, matching the planners' parking behaviour). size <= 0
+// degenerates to a single empty segment, mirroring EvenStripes.
+func LaneSplit(size, lanes, minChunk int, dead RailMask) []LaneSeg {
+	if lanes < 1 {
+		lanes = 1
+	}
+	if size <= 0 {
+		return []LaneSeg{{Lane: 0, Rail: clampRail(0, lanes, dead), Off: 0, N: size}}
+	}
+	units := size / 8 // whole 8-byte elements; the tail (< 8 bytes) rides the last lane
+	k := 1
+	if units >= 1 {
+		k = lanes
+		if k > units {
+			k = units
+		}
+		if minChunk > 0 {
+			mc := (minChunk + 7) / 8
+			if m := units / mc; m < k {
+				k = m
+			}
+			if k < 1 {
+				k = 1
+			}
+		}
+	}
+	per, rem := units/k, units%k
+	out := make([]LaneSeg, 0, k)
+	off := 0
+	for i := 0; i < k; i++ {
+		n := per * 8
+		if i < rem {
+			n += 8
+		}
+		if i == k-1 {
+			n = size - off
+		}
+		out = append(out, LaneSeg{Lane: i, Rail: clampRail(i, lanes, dead), Off: off, N: n})
+		off += n
+	}
+	return out
+}
+
+// LaneRail maps a lane onto a connection's rails: out-of-range lanes fold
+// to rail 0 and dead rails step cyclically to the next live one (or stay
+// put when all are dead — the ADI layer parks the work until recovery).
+// This is the steering half of the degraded-lane rule: every endpoint
+// applies it against its own current mask at post time, while the payload
+// partition stays mask-independent.
+func LaneRail(lane, rails int, dead RailMask) int {
+	return clampRail(lane, rails, dead)
+}
+
+// LanePlan returns a single whole-message stripe pinned to the lane's rail
+// (re-routed off dead rails by LaneRail), backed by the connection's
+// scratch slot — lane-hinted bulk transfers bypass the policy's planner.
+func (st *ConnState) LanePlan(lane, rails, size int) []Stripe {
+	return st.single(LaneRail(lane, rails, st.Dead), size)
+}

@@ -1,0 +1,173 @@
+package core
+
+// Lane-partition invariants: the lane split must tile the payload exactly
+// with 8-byte-aligned boundaries, collapse the lane count rather than cut a
+// segment below minChunk, keep the Lane/Off/N structure independent of the
+// dead-rail mask (the degraded-lane rule: masks steer, never re-partition),
+// and re-route every dead lane's Rail to a live one when one exists.
+
+import "testing"
+
+// checkLaneSplit verifies every LaneSplit invariant, including structural
+// identity with the mask-free reference partition.
+func checkLaneSplit(t *testing.T, segs []LaneSeg, size, lanes, minChunk int, dead RailMask) {
+	t.Helper()
+	if len(segs) == 0 {
+		t.Fatalf("empty lane split for size=%d lanes=%d minChunk=%d", size, lanes, minChunk)
+	}
+	if len(segs) > lanes && lanes >= 1 {
+		t.Fatalf("%d segments for %d lanes", len(segs), lanes)
+	}
+	if size <= 0 {
+		if len(segs) != 1 || segs[0].Off != 0 || segs[0].N != size {
+			t.Fatalf("size=%d: want one degenerate segment, got %v", size, segs)
+		}
+		return
+	}
+	off := 0
+	for i, sg := range segs {
+		if sg.Lane != i {
+			t.Fatalf("segment %d has lane %d (segs=%v)", i, sg.Lane, segs)
+		}
+		if sg.Off != off {
+			t.Fatalf("segment %d offset %d, want %d (gap/overlap; segs=%v)", i, sg.Off, off, segs)
+		}
+		if sg.Off%8 != 0 {
+			t.Fatalf("segment %d offset %d not 8-byte aligned (segs=%v)", i, sg.Off, segs)
+		}
+		if sg.N <= 0 {
+			t.Fatalf("segment %d has non-positive size %d (segs=%v)", i, sg.N, segs)
+		}
+		if len(segs) > 1 && minChunk > 0 && sg.N < minChunk {
+			t.Fatalf("segment %d size %d below minChunk %d in split partition %v", i, sg.N, minChunk, segs)
+		}
+		if sg.Rail < 0 || sg.Rail >= lanes {
+			t.Fatalf("segment %d rail %d out of range [0,%d)", i, sg.Rail, lanes)
+		}
+		switch {
+		case dead == 0:
+			if sg.Rail != sg.Lane {
+				t.Fatalf("segment %d steered to rail %d with no dead rails", i, sg.Rail)
+			}
+		case dead.NextLive(0, lanes) >= 0:
+			if dead.IsDown(sg.Rail) {
+				t.Fatalf("segment %d steered to dead rail %d (dead=%b)", i, sg.Rail, dead)
+			}
+			if want := dead.NextLive(sg.Lane, lanes); sg.Rail != want {
+				t.Fatalf("segment %d rail %d, want next-live %d (dead=%b)", i, sg.Rail, want, dead)
+			}
+		default:
+			// Every rail dead: the lane keeps its rail and the ADI layer
+			// parks the traffic until a recovery.
+			if sg.Rail != sg.Lane {
+				t.Fatalf("segment %d rail %d, want parked lane %d under all-dead mask", i, sg.Rail, sg.Lane)
+			}
+		}
+		off += sg.N
+	}
+	if off != size {
+		t.Fatalf("partition covers %d bytes, want %d (segs=%v)", off, size, segs)
+	}
+
+	// Structure is a pure function of (size, lanes, minChunk): the mask
+	// must not change Lane/Off/N, only Rail.
+	flat := LaneSplit(size, lanes, minChunk, 0)
+	if len(flat) != len(segs) {
+		t.Fatalf("mask changed segment count: %d vs flat %d", len(segs), len(flat))
+	}
+	for i := range segs {
+		if segs[i].Lane != flat[i].Lane || segs[i].Off != flat[i].Off || segs[i].N != flat[i].N {
+			t.Fatalf("mask changed segment %d structure: %+v vs flat %+v", i, segs[i], flat[i])
+		}
+	}
+
+	// Reassembly against the flat reference: every byte of the payload is
+	// owned by exactly one segment.
+	owner := make([]int, size)
+	for i := range owner {
+		owner[i] = -1
+	}
+	for i, sg := range segs {
+		for b := sg.Off; b < sg.Off+sg.N; b++ {
+			if owner[b] != -1 {
+				t.Fatalf("byte %d owned by segments %d and %d", b, owner[b], i)
+			}
+			owner[b] = i
+		}
+	}
+	for b, o := range owner {
+		if o == -1 {
+			t.Fatalf("byte %d not covered by any segment", b)
+		}
+	}
+}
+
+func TestLaneSplitEdges(t *testing.T) {
+	cases := []struct {
+		size, lanes, minChunk int
+		dead                  RailMask
+		wantLanes             int
+	}{
+		{size: 0, lanes: 4, minChunk: 256, wantLanes: 1},
+		{size: -3, lanes: 4, minChunk: 0, wantLanes: 1},
+		{size: 1, lanes: 4, minChunk: 0, wantLanes: 1},  // below one element
+		{size: 7, lanes: 8, minChunk: 0, wantLanes: 1},  // tail only
+		{size: 8, lanes: 4, minChunk: 0, wantLanes: 1},  // one element
+		{size: 24, lanes: 4, minChunk: 0, wantLanes: 3}, // n < 8*L
+		{size: 768, lanes: 4, minChunk: 256, wantLanes: 3},
+		{size: 32 << 10, lanes: 4, minChunk: 4096, wantLanes: 4},
+		{size: 32<<10 + 5, lanes: 4, minChunk: 4096, wantLanes: 4}, // n % L != 0, odd tail
+		{size: 1 << 20, lanes: 12, minChunk: 4096, wantLanes: 12},
+		{size: 4096, lanes: 4, minChunk: 4096, wantLanes: 1}, // min-chunk collapse
+		{size: 8192, lanes: 4, minChunk: 4096, dead: 0b0010, wantLanes: 2},
+		{size: 64 << 10, lanes: 4, minChunk: 4096, dead: 0b1111, wantLanes: 4}, // all dead: park
+	}
+	for _, tc := range cases {
+		segs := LaneSplit(tc.size, tc.lanes, tc.minChunk, tc.dead)
+		checkLaneSplit(t, segs, tc.size, tc.lanes, tc.minChunk, tc.dead)
+		if tc.size > 0 && len(segs) != tc.wantLanes {
+			t.Errorf("LaneSplit(%d,%d,%d): %d lanes, want %d (%v)",
+				tc.size, tc.lanes, tc.minChunk, len(segs), tc.wantLanes, segs)
+		}
+	}
+}
+
+func TestLaneRailSteering(t *testing.T) {
+	var dead RailMask
+	dead.MarkDown(1)
+	if r := LaneRail(1, 4, dead); r != 2 {
+		t.Fatalf("lane 1 with rail 1 dead steered to %d, want 2", r)
+	}
+	if r := LaneRail(3, 4, dead); r != 3 {
+		t.Fatalf("healthy lane 3 steered to %d, want 3", r)
+	}
+	if r := LaneRail(7, 4, 0); r != 0 {
+		t.Fatalf("out-of-range lane folded to %d, want 0", r)
+	}
+	all := RailMask(0b1111)
+	if r := LaneRail(2, 4, all); r != 2 {
+		t.Fatalf("all-dead lane 2 parked on %d, want 2", r)
+	}
+	var st ConnState
+	st.Dead.MarkDown(0)
+	pl := st.LanePlan(0, 4, 1<<16)
+	if len(pl) != 1 || pl[0].Rail != 1 || pl[0].Off != 0 || pl[0].N != 1<<16 {
+		t.Fatalf("LanePlan = %v, want single re-routed stripe on rail 1", pl)
+	}
+}
+
+func FuzzLanePartition(f *testing.F) {
+	f.Add(1, 1, 0, uint64(0))
+	f.Add(32<<10, 4, 4096, uint64(0))
+	f.Add(768, 4, 256, uint64(0b0010))
+	f.Add(7, 8, 0, uint64(1))
+	f.Add(1<<20, 16, 4096, uint64(0xFFFE))
+	f.Add(24, 4, 0, uint64(0b1111))
+	f.Fuzz(func(t *testing.T, size, lanes, minChunk int, deadBits uint64) {
+		size, lanes, minChunk = boundFuzzArgs(size, lanes, minChunk)
+		// Only mask bits that name real lanes; higher bits are meaningless.
+		dead := RailMask(deadBits) & (1<<uint(lanes) - 1)
+		segs := LaneSplit(size, lanes, minChunk, dead)
+		checkLaneSplit(t, segs, size, lanes, minChunk, dead)
+	})
+}

@@ -75,6 +75,10 @@ func (c *Comm) BcastN(root int, buf []byte, n int) {
 	if root < 0 || root >= p {
 		panic(fmt.Sprintf("mpi: Bcast root %d out of range", root))
 	}
+	if segs, ok := c.laneActive(n); ok {
+		c.laneBcast(root, buf, n, segs)
+		return
+	}
 	tag := c.nextCollTag()
 	rank := c.Rank()
 	relative := (rank - root + p) % p
@@ -235,6 +239,10 @@ func (c *Comm) Scatter(root int, send []byte, n int, recv []byte) {
 // (ring algorithm). send may alias recv[rank*n:].
 func (c *Comm) Allgather(send []byte, n int, recv []byte) {
 	p := c.size
+	if segs, ok := c.laneActive(n); ok {
+		c.laneAllgather(send, n, recv, segs)
+		return
+	}
 	tag := c.nextCollTag()
 	rank := c.Rank()
 	if recv != nil && send != nil {

@@ -1,0 +1,355 @@
+package mpi
+
+import (
+	"ib12x/internal/core"
+)
+
+// Lane-decomposed collectives (Träff's multi-lane scheme): instead of
+// letting the transport stripe each algorithm message across rails, the
+// collective itself splits its payload into L lane segments
+// (core.LaneSplit) and runs an independent sub-collective per lane, every
+// transfer pinned to the lane's rail via the ADI lane-steering hint and
+// separated into a per-lane tag space. The sub-collectives are
+// ring-structured — per-lane scatter + allgather-of-pieces for Bcast,
+// per-lane ring for Allgather, per-lane ring reduce-scatter with an
+// allgather-of-segments / gather-to-root fix-up round for Allreduce and
+// Reduce — so at every step all L lanes carry traffic concurrently on
+// disjoint rails.
+//
+// The lane partition is pinned to the CONFIGURED inter-node rail count, a
+// topology constant every rank shares, never the live rail count: per-
+// endpoint RailMasks update asynchronously under faults, and a partition
+// disagreement between ranks would break send/recv matching. A dead
+// lane's traffic instead re-routes at post time (core.LaneRail against
+// the posting endpoint's own mask) — the degraded-lane rule, DESIGN.md
+// §15.
+
+// CollAlg selects a collective-algorithm family (Config.CollAlg /
+// Comm.SetCollAlg).
+type CollAlg int
+
+const (
+	// CollStriped is the default: the reference algorithms (binomial
+	// bcast, recursive-doubling allreduce, ring allgather), multi-rail
+	// only through the transport's stripe planner. Matches every
+	// historical digest.
+	CollStriped CollAlg = iota
+	// CollLane dispatches Bcast/Allgather/Reduce/Allreduce to the
+	// lane-decomposed variants whenever the payload splits into at least
+	// two lanes (smaller payloads and single-rail or single-node worlds
+	// fall back to the reference algorithms).
+	CollLane
+	// CollAuto dispatches per operation: lane decomposition for payloads
+	// at or above laneAutoThreshold (where the LaneCollTable ablation
+	// shows it winning), the reference algorithms below. Pairing CollAuto
+	// with the Adaptive policy gives lane-pinned large collectives and
+	// adaptively striped point-to-point traffic.
+	CollAuto
+)
+
+func (a CollAlg) String() string {
+	switch a {
+	case CollStriped:
+		return "striped"
+	case CollLane:
+		return "lane"
+	case CollAuto:
+		return "auto"
+	default:
+		return "CollAlg(?)"
+	}
+}
+
+const (
+	// laneMinChunk is the minimum bytes per lane segment: below it the
+	// partition collapses lanes rather than ship segments whose per-rank
+	// ring pieces would be dominated by header and doorbell costs.
+	laneMinChunk = 256
+
+	// laneAutoThreshold is CollAuto's dispatch point. The LaneCollTable
+	// ablation (EXPERIMENTS.md) puts the lane/striped crossover between
+	// 16K and 64K on the paper's 4-rail configs: at 16K the reference
+	// algorithms win 4 of 6 topology x collective cells (the fix-up round
+	// costs more than the lanes recover), at 64K the lane algorithms win
+	// all 6, so CollAuto switches at 64K.
+	laneAutoThreshold = 64 << 10
+)
+
+// SetCollAlg overrides the collective-algorithm family for this
+// communicator (later Split children inherit it). Like the collectives
+// themselves the setting is collective state: every rank of the
+// communicator must set the same value before the next collective call,
+// or tag sequences desynchronize.
+func (c *Comm) SetCollAlg(a CollAlg) { c.collAlg = a }
+
+// nextCollTags reserves a block of k consecutive collective tags (one per
+// lane). All ranks call collectives in the same order and compute the
+// same lane count from topology constants, so the sequence stays aligned.
+func (c *Comm) nextCollTags(k int) int {
+	t := c.collTag
+	c.collTag += k
+	return t
+}
+
+// laneActive decides whether a collective moving n payload bytes per
+// block dispatches to the lane algorithms, returning the lane partition
+// when it does. The decision is a pure function of (collAlg, n, world
+// shape) — identical on every rank.
+func (c *Comm) laneActive(n int) ([]core.LaneSeg, bool) {
+	if c.size < 2 || c.lanes < 2 || n <= 0 {
+		return nil, false
+	}
+	switch c.collAlg {
+	case CollLane:
+	case CollAuto:
+		if n < laneAutoThreshold {
+			return nil, false
+		}
+	default:
+		return nil, false
+	}
+	segs := core.LaneSplit(n, c.lanes, laneMinChunk, 0)
+	if len(segs) < 2 {
+		return nil, false // payload too small to decompose; reference path
+	}
+	return segs, true
+}
+
+// csendLane posts a collective-class send pinned to a lane's rail.
+func (c *Comm) csendLane(dst, tag int, data []byte, n, lane int) *Request {
+	return c.ep.PostSendLane(c.world(dst), tag, c.ctxColl, core.Collective, data, n, lane)
+}
+
+// sub returns the [off, off+n) window of b, nil for synthetic payloads or
+// empty pieces (a nil zero-byte send skips the eager capture machinery).
+func sub(b []byte, off, n int) []byte {
+	if b == nil || n == 0 {
+		return nil
+	}
+	return b[off : off+n]
+}
+
+// evenPieceAt locates rank j's piece of the lane segment [off, off+n)
+// split contiguously across p ranks, remainder on the leading pieces.
+// Bcast/Allgather pieces are pure byte copies, so no alignment is needed
+// and pieces may be empty for tiny segments.
+func evenPieceAt(off, n, j, p int) (int, int) {
+	base, rem := n/p, n%p
+	po := off + base*j + rem
+	if j < rem {
+		po = off + (base+1)*j
+	}
+	pn := base
+	if j < rem {
+		pn++
+	}
+	return po, pn
+}
+
+// alignedPieceAt is evenPieceAt on 8-byte element boundaries: reduce
+// pieces must never split an element across ranks, or the element-wise
+// combiners would merge half-values. n is a multiple of 8 here — the
+// typed reduce entry points guarantee it, and LaneSplit aligns every
+// segment boundary.
+func alignedPieceAt(off, n, j, p int) (int, int) {
+	units := n / 8
+	base, rem := units/p, units%p
+	pu := base*j + rem
+	if j < rem {
+		pu = (base + 1) * j
+	}
+	pn := base
+	if j < rem {
+		pn++
+	}
+	return off + pu*8, pn * 8
+}
+
+// laneBcast broadcasts n bytes from root: per-lane linear scatter from
+// root (each rank receives its ring piece of every lane segment,
+// lane-pinned), then the cross-lane fix-up round — a ring
+// allgather-of-pieces with all L lanes exchanging concurrently on their
+// own rails at every step.
+func (c *Comm) laneBcast(root int, buf []byte, n int, segs []core.LaneSeg) {
+	p, rank := c.size, c.rank
+	base := c.nextCollTags(len(segs))
+
+	if rank == root {
+		reqs := make([]*Request, 0, len(segs)*(p-1))
+		for _, sg := range segs {
+			for j := 0; j < p; j++ {
+				if j == root {
+					continue
+				}
+				po, pn := evenPieceAt(sg.Off, sg.N, j, p)
+				reqs = append(reqs, c.csendLane(j, base+sg.Lane, sub(buf, po, pn), pn, sg.Lane))
+			}
+		}
+		c.cwaitAll(reqs)
+	} else {
+		reqs := make([]*Request, len(segs))
+		for li, sg := range segs {
+			po, pn := evenPieceAt(sg.Off, sg.N, rank, p)
+			reqs[li] = c.crecv(root, base+sg.Lane, sub(buf, po, pn), pn)
+		}
+		c.cwaitAll(reqs)
+	}
+
+	// Fix-up round: ring allgather of the scattered pieces. Rank r holds
+	// piece r after the scatter (root holds all), forwards piece (r-i) and
+	// receives piece (r-i-1) at step i — root's receives overwrite its
+	// bytes with identical data, keeping the ring fully symmetric.
+	right, left := (rank+1)%p, (rank-1+p)%p
+	rr := make([]*Request, len(segs))
+	sr := make([]*Request, len(segs))
+	for i := 0; i < p-1; i++ {
+		sb := (rank - i + p) % p
+		rb := (rank - i - 1 + p) % p
+		for li, sg := range segs {
+			ro, rn := evenPieceAt(sg.Off, sg.N, rb, p)
+			rr[li] = c.crecv(left, base+sg.Lane, sub(buf, ro, rn), rn)
+		}
+		for li, sg := range segs {
+			so, sn := evenPieceAt(sg.Off, sg.N, sb, p)
+			sr[li] = c.csendLane(right, base+sg.Lane, sub(buf, so, sn), sn, sg.Lane)
+		}
+		c.cwaitAll(rr)
+		c.cwaitAll(sr)
+	}
+}
+
+// laneAllgather is the ring allgather with every block's bytes split over
+// L lanes: at each of the p-1 steps, lane ℓ forwards its slice of the
+// rolling block on its own rail. The data movement is byte-identical to
+// the reference ring — lane decomposition here only changes which rail
+// carries which bytes.
+func (c *Comm) laneAllgather(send []byte, n int, recv []byte, segs []core.LaneSeg) {
+	p, rank := c.size, c.rank
+	base := c.nextCollTags(len(segs))
+	if recv != nil && send != nil {
+		copy(recv[rank*n:(rank+1)*n], send[:n])
+	}
+	right, left := (rank+1)%p, (rank-1+p)%p
+	rr := make([]*Request, len(segs))
+	sr := make([]*Request, len(segs))
+	for i := 0; i < p-1; i++ {
+		sb := (rank - i + p) % p
+		rb := (rank - i - 1 + p) % p
+		for li, sg := range segs {
+			var rbuf []byte
+			if recv != nil {
+				rbuf = sub(recv, rb*n+sg.Off, sg.N)
+			}
+			rr[li] = c.crecv(left, base+sg.Lane, rbuf, sg.N)
+		}
+		for li, sg := range segs {
+			var sbuf []byte
+			if recv != nil {
+				sbuf = sub(recv, sb*n+sg.Off, sg.N)
+			}
+			sr[li] = c.csendLane(right, base+sg.Lane, sbuf, sg.N, sg.Lane)
+		}
+		c.cwaitAll(rr)
+		c.cwaitAll(sr)
+	}
+}
+
+// laneReduceScatter runs the per-lane ring reduce-scatter shared by
+// laneAllreduce and laneReduce: p-1 steps; at step i rank r forwards its
+// partial of piece (r-i) and folds the received partial into piece
+// (r-i-1), each lane on its own rail. Afterwards rank r holds the fully
+// reduced piece (r+1)%p of every lane segment. Receives land in tmp —
+// never in buf, whose sent piece is aliased zero-copy by the transport
+// until the send completes — and the combine only runs after both waits.
+func (c *Comm) laneReduceScatter(base int, buf, tmp []byte, combine func(dst, src []byte), segs []core.LaneSeg) {
+	p, rank := c.size, c.rank
+	right, left := (rank+1)%p, (rank-1+p)%p
+	rr := make([]*Request, len(segs))
+	sr := make([]*Request, len(segs))
+	for i := 0; i < p-1; i++ {
+		sb := (rank - i + p) % p
+		rb := (rank - i - 1 + p) % p
+		for li, sg := range segs {
+			ro, rn := alignedPieceAt(sg.Off, sg.N, rb, p)
+			rr[li] = c.crecv(left, base+sg.Lane, sub(tmp, ro, rn), rn)
+		}
+		for li, sg := range segs {
+			so, sn := alignedPieceAt(sg.Off, sg.N, sb, p)
+			sr[li] = c.csendLane(right, base+sg.Lane, sub(buf, so, sn), sn, sg.Lane)
+		}
+		c.cwaitAll(rr)
+		c.cwaitAll(sr)
+		for _, sg := range segs {
+			ro, rn := alignedPieceAt(sg.Off, sg.N, rb, p)
+			if rn > 0 {
+				combine(buf[ro:ro+rn], tmp[ro:ro+rn])
+			}
+		}
+	}
+}
+
+// laneAllreduce reduces buf element-wise across all ranks: per-lane ring
+// reduce-scatter, then the fix-up round — a ring allgather of the reduced
+// segments that leaves the complete result on every rank. Ring order
+// reassociates the reduction differently than recursive doubling: exact
+// operators (integer sum/min/max, float min/max) are bit-identical to the
+// reference; float sums may differ in low bits, as MPI permits.
+func (c *Comm) laneAllreduce(buf, tmp []byte, combine func(dst, src []byte), segs []core.LaneSeg) {
+	p, rank := c.size, c.rank
+	base := c.nextCollTags(len(segs))
+	c.laneReduceScatter(base, buf, tmp, combine, segs)
+
+	// Fix-up: ring allgather of reduced pieces; rank r enters owning piece
+	// (r+1)%p and forwards piece (r+1-i)%p at step i, receiving directly
+	// into buf.
+	right, left := (rank+1)%p, (rank-1+p)%p
+	rr := make([]*Request, len(segs))
+	sr := make([]*Request, len(segs))
+	for i := 0; i < p-1; i++ {
+		sb := (rank + 1 - i + p) % p
+		rb := (rank - i + p) % p
+		for li, sg := range segs {
+			ro, rn := alignedPieceAt(sg.Off, sg.N, rb, p)
+			rr[li] = c.crecv(left, base+sg.Lane, sub(buf, ro, rn), rn)
+		}
+		for li, sg := range segs {
+			so, sn := alignedPieceAt(sg.Off, sg.N, sb, p)
+			sr[li] = c.csendLane(right, base+sg.Lane, sub(buf, so, sn), sn, sg.Lane)
+		}
+		c.cwaitAll(rr)
+		c.cwaitAll(sr)
+	}
+}
+
+// laneReduce reduces buf element-wise to root: the same per-lane ring
+// reduce-scatter, with a gather-to-root fix-up — every rank lane-sends
+// its one reduced piece, root assembles the result in place. Non-root
+// buffers are clobbered with partials, matching the reference contract.
+func (c *Comm) laneReduce(root int, buf, tmp []byte, combine func(dst, src []byte), segs []core.LaneSeg) {
+	p, rank := c.size, c.rank
+	base := c.nextCollTags(len(segs))
+	c.laneReduceScatter(base, buf, tmp, combine, segs)
+
+	if rank == root {
+		reqs := make([]*Request, 0, len(segs)*(p-1))
+		for j := 0; j < p; j++ {
+			if j == root {
+				continue
+			}
+			pc := (j + 1) % p // the piece rank j owns after reduce-scatter
+			for _, sg := range segs {
+				po, pn := alignedPieceAt(sg.Off, sg.N, pc, p)
+				reqs = append(reqs, c.crecv(j, base+sg.Lane, sub(buf, po, pn), pn))
+			}
+		}
+		c.cwaitAll(reqs)
+	} else {
+		own := (rank + 1) % p
+		reqs := make([]*Request, len(segs))
+		for li, sg := range segs {
+			po, pn := alignedPieceAt(sg.Off, sg.N, own, p)
+			reqs[li] = c.csendLane(root, base+sg.Lane, sub(buf, po, pn), pn, sg.Lane)
+		}
+		c.cwaitAll(reqs)
+	}
+}

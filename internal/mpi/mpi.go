@@ -104,6 +104,17 @@ type Config struct {
 	// byte-for-byte. Results — digests, traces, reports — are bit-identical
 	// either way; only host wall-clock time changes.
 	Shards int
+
+	// CollAlg selects the collective-algorithm family for every
+	// communicator of the run (see lanes.go). The zero value CollStriped
+	// keeps the reference algorithms — binomial bcast, recursive-doubling
+	// allreduce, ring allgather — whose multi-rail use happens below the
+	// algorithm, in the transport's stripe planner, matching every
+	// historical digest. CollLane switches Bcast/Allgather/Reduce/
+	// Allreduce to lane-decomposed variants (one sub-collective per rail);
+	// CollAuto dispatches per operation on payload size. Per-communicator
+	// override: Comm.SetCollAlg.
+	CollAlg CollAlg
 }
 
 func (c Config) withDefaults() Config {
@@ -194,7 +205,7 @@ func Run(cfg Config, body func(c *Comm)) (*Report, error) {
 	if cfg.Chaos != nil {
 		cfg.Chaos.Arm(eng, world)
 	}
-	spawnRanks(world, spec.Size(), rep, body)
+	spawnRanks(world, spec.Size(), rep, cfg.CollAlg, body)
 	if cfg.Deadline > 0 {
 		if err := eng.RunUntil(cfg.Deadline); err != nil {
 			return nil, fmt.Errorf("mpi: %w", err)
@@ -235,7 +246,7 @@ func runSharded(cfg Config, spec topo.Spec, body func(c *Comm)) (*Report, error)
 		}
 		sp.ArmSharded(g, world)
 	}
-	spawnRanks(world, spec.Size(), rep, body)
+	spawnRanks(world, spec.Size(), rep, cfg.CollAlg, body)
 	var runErr error
 	if cfg.Deadline > 0 {
 		runErr = g.RunUntil(cfg.Deadline)
@@ -283,9 +294,9 @@ func newReport(world *adi.World, size int) *Report {
 
 // spawnRanks launches the per-rank procs (on each rank's own shard engine
 // in a sharded world).
-func spawnRanks(world *adi.World, size int, rep *Report, body func(c *Comm)) {
+func spawnRanks(world *adi.World, size int, rep *Report, alg CollAlg, body func(c *Comm)) {
 	world.Spawn("mpi", func(ep *adi.Endpoint) {
-		c := newWorld(ep, size)
+		c := newWorld(ep, size, alg)
 		body(c)
 		rep.BodyEnd[ep.Rank] = ep.Now()
 		c.Barrier() // drain
@@ -316,13 +327,23 @@ type Comm struct {
 	ctxP2P  int // matching context for point-to-point traffic
 	ctxColl int // matching context for collective traffic
 	nextCtx int // context allocator for children (symmetric across ranks)
+
+	// collAlg selects the collective-algorithm family (inherited by Split
+	// children; overridable per communicator with SetCollAlg — like the
+	// algorithm, the setting must be symmetric across ranks). lanes is the
+	// inter-node rail width lane decomposition partitions against — a
+	// topology constant, identical on every rank (0 on single-node
+	// worlds, which keeps every collective on the reference path).
+	collAlg CollAlg
+	lanes   int
 }
 
 // newWorld builds the MPI_COMM_WORLD communicator for an endpoint.
-func newWorld(ep *adi.Endpoint, size int) *Comm {
+func newWorld(ep *adi.Endpoint, size int, alg CollAlg) *Comm {
 	return &Comm{
 		ep: ep, size: size, rank: ep.Rank,
 		ctxP2P: adi.CtxPt2Pt, ctxColl: adi.CtxCollective, nextCtx: 2,
+		collAlg: alg, lanes: ep.InterRails(),
 	}
 }
 

@@ -90,21 +90,40 @@ func bytesToFloat64s(b []byte, v []float64) {
 	}
 }
 
+// allreduceDispatch routes a typed allreduce to the lane-decomposed or
+// reference algorithm. The typed entry points guarantee 8-byte element
+// granularity, which the lane partition's aligned pieces rely on; raw
+// AllreduceBytes (opaque combine) always stays on the reference path.
+func (c *Comm) allreduceDispatch(b, tmp []byte, combine func(dst, src []byte)) {
+	if segs, ok := c.laneActive(len(b)); ok {
+		c.laneAllreduce(b, tmp, combine, segs)
+		return
+	}
+	c.allreduceBytes(c.nextCollTag(), b, tmp, combine)
+}
+
+// reduceDispatch is allreduceDispatch for rooted reductions.
+func (c *Comm) reduceDispatch(root int, b, tmp []byte, combine func(dst, src []byte)) {
+	if segs, ok := c.laneActive(len(b)); ok {
+		c.laneReduce(root, b, tmp, combine, segs)
+		return
+	}
+	c.reduceBytes(root, c.nextCollTag(), b, tmp, combine)
+}
+
 // AllreduceInt64 reduces buf element-wise across all ranks, in place.
 func (c *Comm) AllreduceInt64(buf []int64, op Op) {
-	tag := c.nextCollTag()
 	b := int64sToBytes(buf)
 	tmp := make([]byte, len(b))
-	c.allreduceBytes(tag, b, tmp, combinerInt64(op))
+	c.allreduceDispatch(b, tmp, combinerInt64(op))
 	bytesToInt64s(b, buf)
 }
 
 // AllreduceFloat64 reduces buf element-wise across all ranks, in place.
 func (c *Comm) AllreduceFloat64(buf []float64, op Op) {
-	tag := c.nextCollTag()
 	b := float64sToBytes(buf)
 	tmp := make([]byte, len(b))
-	c.allreduceBytes(tag, b, tmp, combinerFloat64(op))
+	c.allreduceDispatch(b, tmp, combinerFloat64(op))
 	bytesToFloat64s(b, buf)
 }
 
@@ -112,10 +131,9 @@ func (c *Comm) AllreduceFloat64(buf []float64, op Op) {
 // at root (other ranks' buffers are clobbered with partial results, as in
 // MPI where the send buffer is input-only).
 func (c *Comm) ReduceInt64(root int, buf []int64, op Op) {
-	tag := c.nextCollTag()
 	b := int64sToBytes(buf)
 	tmp := make([]byte, len(b))
-	c.reduceBytes(root, tag, b, tmp, combinerInt64(op))
+	c.reduceDispatch(root, b, tmp, combinerInt64(op))
 	if c.Rank() == root {
 		bytesToInt64s(b, buf)
 	}
@@ -123,10 +141,9 @@ func (c *Comm) ReduceInt64(root int, buf []int64, op Op) {
 
 // ReduceFloat64 reduces buf element-wise to root (result valid at root).
 func (c *Comm) ReduceFloat64(root int, buf []float64, op Op) {
-	tag := c.nextCollTag()
 	b := float64sToBytes(buf)
 	tmp := make([]byte, len(b))
-	c.reduceBytes(root, tag, b, tmp, combinerFloat64(op))
+	c.reduceDispatch(root, b, tmp, combinerFloat64(op))
 	if c.Rank() == root {
 		bytesToFloat64s(b, buf)
 	}

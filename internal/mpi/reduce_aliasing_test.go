@@ -1,0 +1,137 @@
+package mpi
+
+import (
+	"testing"
+
+	"ib12x/internal/adi"
+	"ib12x/internal/core"
+	"ib12x/internal/model"
+)
+
+// Aliasing contract of the reduction scratch buffer. reduceBytes and
+// allreduceBytes reuse one scratch `tmp` across every round while `buf`
+// is repeatedly exposed zero-copy to the transport (a rendezvous send
+// wraps the caller's buffer until the peer confirms placement). The
+// contract that keeps the shared scratch safe, pinned here with
+// rendezvous-size payloads on every policy and both rendezvous protocols:
+//
+//   1. every send of buf is waited before buf is next combined into or
+//      overwritten (binomial rounds cwait each send; csendrecv waits both
+//      sides; the lane ring waits the full step before combining), so no
+//      in-flight view of buf ever observes a combine;
+//   2. every receive into tmp is waited before combine(buf, tmp) reads
+//      it, and the next round's receive cannot land early because
+//      same-(src,ctx) sequencing forbids overtaking and round partners
+//      are distinct;
+//   3. combine(dst, src) is always called with dst=buf, src=tmp — two
+//      distinct allocations, never overlapping slices.
+//
+// The audit of coll.go against these rules found no violation; these
+// tests fail loudly if a future round restructuring introduces one (a
+// scratch raced by a live view shows up as a wrong reduction value, an
+// unreleased view as BufLive > 0).
+
+// TestReduceScratchContract drives rendezvous-size reductions (vector
+// well above RendezvousThreshold so every round's send is a zero-copy
+// wrapped buffer) across policies, world sizes including the non-pof2
+// pre/post fold, both rendezvous protocols, and both algorithm families.
+func TestReduceScratchContract(t *testing.T) {
+	elems := model.Default().RendezvousThreshold / 2 // 8K elems = 64KB buffers
+	policies := []core.Kind{core.Original, core.Binding, core.RoundRobin, core.EvenStriping, core.EPC, core.Adaptive}
+	shapes := [][2]int{{2, 2}, {3, 1}, {2, 3}} // p = 4, 3 (non-pof2), 6 (non-pof2)
+	for _, alg := range []CollAlg{CollStriped, CollLane} {
+		for _, rndv := range []adi.RndvProto{adi.RndvWrite, adi.RndvRead} {
+			for _, pk := range policies {
+				for _, shape := range shapes {
+					p := shape[0] * shape[1]
+					c := cfg(shape[0], shape[1], 4, pk)
+					c.CollAlg = alg
+					c.Rndv = rndv
+					c.BufAudit = true
+					// Per-rank inputs chosen so every element of the result
+					// depends on every rank: sum of distinct powers.
+					wantSum := int64(0)
+					for r := 0; r < p; r++ {
+						wantSum += int64(1) << (4 * r)
+					}
+					rep := mustRun(t, c, func(cm *Comm) {
+						v := make([]int64, elems)
+						for i := range v {
+							v[i] = int64(1) << (4 * cm.Rank())
+						}
+						cm.AllreduceInt64(v, Sum)
+						for i := range v {
+							if v[i] != wantSum {
+								t.Errorf("alg=%v rndv=%v policy=%v p=%d rank=%d: allreduce[%d] = %#x, want %#x (scratch aliasing?)",
+									alg, rndv, pk, p, cm.Rank(), i, v[i], wantSum)
+								return
+							}
+						}
+						w := make([]int64, elems)
+						for i := range w {
+							w[i] = int64(1) << (4 * cm.Rank())
+						}
+						cm.ReduceInt64(0, w, Sum)
+						if cm.Rank() == 0 {
+							for i := range w {
+								if w[i] != wantSum {
+									t.Errorf("alg=%v rndv=%v policy=%v p=%d: reduce[%d] = %#x, want %#x (scratch aliasing?)",
+										alg, rndv, pk, p, i, w[i], wantSum)
+									return
+								}
+							}
+						}
+					})
+					if live := rep.World.BufLive(); live != 0 {
+						t.Errorf("alg=%v rndv=%v policy=%v p=%d: %d payload views live after quiesce:\n%s",
+							alg, rndv, pk, p, live, rep.World.BufLiveReport())
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestReduceScratchNoOverlap asserts rule 3 directly, without pointer
+// arithmetic: inside the combine the test scribbles over dst and checks
+// src is unaffected — any dst/src overlap (buf aliasing the scratch)
+// would corrupt src and fail the comparison. Runs at rendezvous size so
+// the rounds exercise the zero-copy wrapped-buffer path.
+func TestReduceScratchNoOverlap(t *testing.T) {
+	c := cfg(2, 2, 4, core.EvenStriping)
+	n := model.Default().RendezvousThreshold * 2
+	mustRun(t, c, func(cm *Comm) {
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = byte(cm.Rank() + 1)
+		}
+		cm.AllreduceBytes(buf, func(dst, src []byte) {
+			before := append([]byte(nil), src...)
+			for i := range dst {
+				dst[i] ^= 0xFF
+			}
+			for i := range src {
+				if src[i] != before[i] {
+					t.Errorf("combine dst aliases src at byte %d: scratch overlaps the reduction buffer", i)
+					break
+				}
+			}
+			for i := range dst {
+				dst[i] ^= 0xFF // restore, then combine
+				if i < len(src) {
+					dst[i] += src[i]
+				}
+			}
+		})
+		want := byte(0)
+		for r := 0; r < cm.Size(); r++ {
+			want += byte(r + 1)
+		}
+		for i, b := range buf {
+			if b != want {
+				t.Errorf("rank %d: allreduce byte %d = %d, want %d", cm.Rank(), i, b, want)
+				break
+			}
+		}
+	})
+}

@@ -59,6 +59,8 @@ func (c *Comm) Split(color, key int) *Comm {
 		inverse: make(map[int]int, len(members)),
 		ctxP2P:  maxCtx,
 		ctxColl: maxCtx + 1,
+		collAlg: c.collAlg,
+		lanes:   c.lanes,
 	}
 	me := c.world(c.rank)
 	for i, m := range members {

@@ -44,6 +44,12 @@ const (
 	// warm path records nothing.
 	KindRegMiss
 	KindRegEvict
+
+	// Lane-decomposed collectives (internal/mpi lanes): a bulk transfer
+	// pinned to its lane's rail instead of policy-planned stripes (Rail is
+	// the steered rail — it differs from the lane while the lane's home
+	// rail is quarantined).
+	KindLanePin
 )
 
 func (k Kind) String() string {
@@ -80,6 +86,8 @@ func (k Kind) String() string {
 		return "REGMISS"
 	case KindRegEvict:
 		return "REGEVICT"
+	case KindLanePin:
+		return "LANEPIN"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
