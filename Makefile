@@ -22,7 +22,7 @@ check: vet test race fuzz cover
 
 race:
 	$(GO) test -race ./internal/sim/... ./internal/adi/... ./internal/core/... ./internal/mpi/... ./internal/chaos/... ./internal/buf/... ./internal/harness/... ./internal/regcache/...
-	$(GO) test -race -run 'TestLaneColl' ./internal/bench/
+	$(GO) test -race -run 'TestLaneColl|TestEagerLatencyTable' ./internal/bench/
 
 # Self-healing soak: the full chaos conformance matrix with the rail
 # reliability layer armed, the health state machine and replay tests, and
@@ -40,7 +40,8 @@ shardrace:
 # Each fuzz target gets a bounded live run on top of its checked-in corpus:
 # the stripe planners against their coverage invariants, the lane partition
 # against its tiling/steering invariants, the bucketed matcher against the
-# naive linear reference, the pin-down registration cache against its
+# naive linear reference, the eager-ring header cache against its flat
+# MRU-scan reference, the pin-down registration cache against its
 # flat-scan LRU reference, and the sharded engine differentially against
 # the serial engine.
 FUZZTIME ?= 30s
@@ -49,6 +50,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzWeightedStripes -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run='^$$' -fuzz=FuzzLanePartition -fuzztime=$(FUZZTIME) ./internal/core
 	$(GO) test -run='^$$' -fuzz=FuzzMatchOrder -fuzztime=$(FUZZTIME) ./internal/adi
+	$(GO) test -run='^$$' -fuzz=FuzzHeaderCache -fuzztime=$(FUZZTIME) ./internal/adi
 	$(GO) test -run='^$$' -fuzz=FuzzRegCacheLRU -fuzztime=$(FUZZTIME) ./internal/regcache
 	$(GO) test -run='^$$' -fuzz=FuzzShardMerge -fuzztime=$(FUZZTIME) ./internal/sim
 

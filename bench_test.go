@@ -375,6 +375,30 @@ func benchLaneAllgather(b *testing.B, alg mpi.CollAlg) {
 func BenchmarkLaneAllgather(b *testing.B)        { benchLaneAllgather(b, mpi.CollLane) }
 func BenchmarkLaneAllgatherStriped(b *testing.B) { benchLaneAllgather(b, mpi.CollStriped) }
 
+// ---- Eager-channel rows (cmd/perfgate) ----
+
+// benchSmallMsg is the eager-channel perfgate pair: the same 1B/1KB
+// ping-pong on the paper's EPC 4QP configuration under either eager
+// channel. The virtual latency is the figure of merit; allocs/op is gated
+// (the ring's slab and header cache are per-connection state, so the ring
+// must not add per-message allocations over the send/recv row).
+func benchSmallMsg(b *testing.B, proto adi.EagerProto) {
+	b.Helper()
+	sizes := []int{1, 1024}
+	var v []float64
+	for i := 0; i < b.N; i++ {
+		var err error
+		v, err = bench.Latency(bench.Setup{QPs: 4, Policy: core.EPC, EagerProto: proto}, sizes, latIters, latWarm)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSeries(b, []string{"epc_1B", "epc_1K"}, v, "us_virtual")
+}
+
+func BenchmarkSmallMsgLatency(b *testing.B)     { benchSmallMsg(b, adi.EagerSendRecv) }
+func BenchmarkSmallMsgLatencyRDMA(b *testing.B) { benchSmallMsg(b, adi.EagerRDMAWrite) }
+
 // BenchmarkSimulatorThroughput measures host-side simulation speed: virtual
 // seconds simulated per wall second for a saturated bandwidth run.
 func BenchmarkSimulatorThroughput(b *testing.B) {

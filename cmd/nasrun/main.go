@@ -1,11 +1,14 @@
 // Command nasrun executes one NAS Parallel Benchmark kernel (IS or FT) on
-// the simulated cluster and reports the timed-region result.
+// the simulated cluster and reports the timed-region result, or sweeps the
+// full kernel x class x layout x policy x eager-protocol matrix.
 //
 // Examples:
 //
 //	nasrun -kernel is -class A -nodes 2 -ppn 1 -qps 4 -policy epc
 //	nasrun -kernel ft -class S -real          # run the real FFT numerics
 //	nasrun -kernel is -class B -ppn 4 -policy original -qps 1
+//	nasrun -sweep                             # matrix sweep, resumable cache
+//	nasrun -sweep -kernels is,cg -protos rdma -cache /tmp/sweep.json
 package main
 
 import (
@@ -19,20 +22,40 @@ import (
 	"ib12x/internal/nas"
 )
 
+// policyKinds names the scheduling policies on the command line (shared by
+// the single-kernel mode and the sweep).
+var policyKinds = map[string]core.Kind{
+	"original": core.Original, "binding": core.Binding, "rr": core.RoundRobin,
+	"striping": core.EvenStriping, "weighted": core.WeightedStriping,
+	"epc": core.EPC, "adaptive": core.Adaptive,
+}
+
 func main() {
 	kernel := flag.String("kernel", "is", "is | ft | ep | cg | mg | lu")
 	class := flag.String("class", "S", "problem class: S W A B C")
 	nodes := flag.Int("nodes", 2, "nodes")
 	ppn := flag.Int("ppn", 1, "processes per node")
 	qps := flag.Int("qps", 4, "QPs per port")
-	policy := flag.String("policy", "epc", "original | binding | rr | striping | epc")
+	policy := flag.String("policy", "epc", "original | binding | rr | striping | weighted | epc | adaptive")
 	realMode := flag.Bool("real", false, "move real payloads through the simulated transport (IS) / run the real FFT numerics (FT)")
+	sweep := flag.Bool("sweep", false, "run the kernel x class x layout x policy x eager-protocol matrix")
+	kernels := flag.String("kernels", "is,ft,ep,cg,mg,lu", "sweep: comma-separated kernels")
+	classes := flag.String("classes", "S", "sweep: comma-separated problem classes")
+	procs := flag.String("procs", "2x1,2x2,4x1", "sweep: comma-separated NODESxPPN layouts")
+	policies := flag.String("policies", "binding,rr,striping,epc", "sweep: comma-separated policies")
+	protos := flag.String("protos", "sendrecv,rdma", "sweep: comma-separated eager protocols")
+	batch := flag.Int("batch", 8, "sweep: cells per batch between cache writes")
+	cachePath := flag.String("cache", "nas_sweep.json", "sweep: per-cell result cache (delete to restart)")
 	flag.Parse()
 
-	kind, ok := map[string]core.Kind{
-		"original": core.Original, "binding": core.Binding, "rr": core.RoundRobin,
-		"striping": core.EvenStriping, "epc": core.EPC,
-	}[strings.ToLower(*policy)]
+	if *sweep {
+		if err := runSweep(*kernels, *classes, *procs, *policies, *protos, *qps, *batch, *cachePath); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	kind, ok := policyKinds[strings.ToLower(*policy)]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "nasrun: unknown policy %q\n", *policy)
 		os.Exit(2)

@@ -33,6 +33,12 @@
 // shadow) are recorded without a gate: they expose the host-side cost of
 // the lane-decomposed collective machinery next to the reference row.
 //
+// The eager-channel rows (BenchmarkSmallMsgLatency and its RDMA-write
+// shadow) gate against each other: the ring row's allocs/op must stay
+// within a small slack of the send/recv row's, so per-message garbage on
+// the ring fast path fails the gate even though the pair has no seed
+// baseline.
+//
 // The sharded-engine rows (BenchmarkFig06UniBWSharded and the
 // BenchmarkShardScale256 serial/sharded pair) have no seed baseline; the
 // 256-node pair is instead compared against itself, and the gate requires
@@ -112,6 +118,22 @@ var shardBenches = []string{shardFig06Bench, shardSerialBench, shardShardedBench
 // collectives) and no gate; the pair is recorded so the host-side cost of
 // the lane machinery is visible next to the reference row it shadows.
 var laneBenches = []string{"BenchmarkLaneAllgather", "BenchmarkLaneAllgatherStriped"}
+
+// Eager-channel rows: the 1B/1KB EPC ping-pong under the send/recv
+// channel and the RDMA-write ring. No seed baseline (the seed had one
+// eager channel); instead the pair gates against itself — the ring's slab
+// and header cache are per-connection state allocated at world build, so
+// the RDMA row's allocs/op must stay within eagerAllocSlackPct (plus a
+// small absolute headroom for those per-world allocations) of the
+// send/recv row. Any per-message garbage on the ring fast path trips it.
+var eagerBenches = []string{"BenchmarkSmallMsgLatency", "BenchmarkSmallMsgLatencyRDMA"}
+
+const (
+	eagerAllocSlackPct  = 10
+	eagerAllocHeadroom  = 256
+	eagerSendRecvBench  = "BenchmarkSmallMsgLatency"
+	eagerRDMAWriteBench = "BenchmarkSmallMsgLatencyRDMA"
+)
 
 // Result is one benchmark measurement. With -samples > 1 the fields are
 // means across samples, NsStddev carries the ns/op spread, and NsMin the
@@ -213,7 +235,7 @@ func main() {
 			name, cur.NsPerOp, spread, seed.NsPerOp, pct(cur.NsPerOp, seed.NsPerOp),
 			cur.AllocsPerOp, seed.AllocsPerOp, pct(float64(cur.AllocsPerOp), float64(seed.AllocsPerOp)))
 	}
-	for _, name := range append(laneBenches, shardBenches...) {
+	for _, name := range append(append(laneBenches, eagerBenches...), shardBenches...) {
 		cur, ok := current[name]
 		if !ok {
 			fmt.Printf("%-30s (missing)\n", name)
@@ -273,12 +295,27 @@ func main() {
 		default:
 			shardNote = fmt.Sprintf("; sharded 256-node speedup %.2fx >= %.1fx", sh.SpeedupVsSerial, shardSpeedupFloor)
 		}
+		eagerNote := ""
+		sr, okS := current[eagerSendRecvBench]
+		rd, okR := current[eagerRDMAWriteBench]
+		switch budget := sr.AllocsPerOp + sr.AllocsPerOp*eagerAllocSlackPct/100 + eagerAllocHeadroom; {
+		case !okS || !okR:
+			fmt.Fprintln(os.Stderr, "perfgate: eager-channel rows missing from output")
+			failed = true
+		case rd.AllocsPerOp > budget:
+			fmt.Fprintf(os.Stderr, "perfgate: %s allocs/op %d exceeds the budget %d (%s %d + %d%% + %d): the ring fast path is allocating per message\n",
+				eagerRDMAWriteBench, rd.AllocsPerOp, budget, eagerSendRecvBench, sr.AllocsPerOp, eagerAllocSlackPct, eagerAllocHeadroom)
+			failed = true
+		default:
+			eagerNote = fmt.Sprintf("; RDMA eager allocs/op %d within %d%%+%d of send/recv %d",
+				rd.AllocsPerOp, eagerAllocSlackPct, eagerAllocHeadroom, sr.AllocsPerOp)
+		}
 		if failed {
 			os.Exit(1)
 		}
-		fmt.Printf("gate OK: Fig06 holds ns/op -%.0f%% and allocs/op -%.0f%%; Fig04/07/08 hold allocs/op -%.0f%% vs seed%s\n",
+		fmt.Printf("gate OK: Fig06 holds ns/op -%.0f%% and allocs/op -%.0f%%; Fig04/07/08 hold allocs/op -%.0f%% vs seed%s%s\n",
 			gates["BenchmarkFig06UniBW"].nsFloor*100, gates["BenchmarkFig06UniBW"].allocFloor*100,
-			gates["BenchmarkFig04LargeLatency"].allocFloor*100, shardNote)
+			gates["BenchmarkFig04LargeLatency"].allocFloor*100, shardNote, eagerNote)
 	}
 }
 
@@ -330,7 +367,7 @@ func runBenchmarks(benchtime string, samples, shards int) (map[string]Result, er
 			cells = append(cells, cell{name, s})
 		}
 	}
-	for _, name := range laneBenches {
+	for _, name := range append(laneBenches, eagerBenches...) {
 		for s := 0; s < samples; s++ {
 			cells = append(cells, cell{name, s})
 		}
@@ -374,7 +411,7 @@ func runBenchmarks(benchtime string, samples, shards int) (map[string]Result, er
 		}
 		results[name] = agg
 	}
-	for _, name := range append(benchNames(), laneBenches...) {
+	for _, name := range append(append(benchNames(), laneBenches...), eagerBenches...) {
 		var rs []Result
 		for i, c := range cells {
 			if c.bench == name {

@@ -45,6 +45,7 @@ func main() {
 // conclusions' future work, the rendezvous-protocol comparison, the
 // one-rail-dead bandwidth sweep under the self-healing reliability layer,
 // the lane-decomposed vs transport-striped collective ablation, the
+// RDMA-write eager ring vs send/recv small-message latency floor, the
 // pin-down registration cache cold/warm bandwidth split, and the "no
 // degradation on other NAS kernels" check.
 func supplementary(o bench.FigOpts) error {
@@ -60,6 +61,7 @@ func supplementary(o bench.FigOpts) error {
 		bench.HCAGenerationTable,
 		bench.DegradedRailTable,
 		bench.LaneCollTable,
+		bench.EagerLatencyTable,
 		bench.RegCacheTable,
 		func(bench.FigOpts) (*stats.Table, error) { return bench.NoDegradationTable() },
 	}

@@ -204,6 +204,15 @@ type envelope struct {
 	// credits piggybacks returned flow-control credits on any channel
 	// message (envCredit carries them alone).
 	credits int
+
+	// ring marks an envelope delivered through the RDMA-write eager ring:
+	// it occupies a ring slot (returned via ringCredits) instead of a
+	// channel credit, and the receiver discovers it by polling.
+	ring bool
+
+	// ringCredits piggybacks freed ring slots back to the peer on any
+	// reverse message (ring, channel, or an explicit envCredit).
+	ringCredits int
 }
 
 // RndvProto selects the rendezvous data-transfer engine.
@@ -218,6 +227,24 @@ const (
 	// RDMA-reads (RGET). Saves the CTS flight at the cost of read
 	// round-trip latency; the scheduling policies stripe the reads.
 	RndvRead
+)
+
+// EagerProto selects the eager-message transport channel.
+type EagerProto int
+
+// Eager protocol variants:
+const (
+	// EagerSendRecv ships eager messages as channel sends consuming
+	// preposted receives at the peer (the historical path; zero value
+	// preserves every digest).
+	EagerSendRecv EagerProto = iota
+	// EagerRDMAWrite ships them as RDMA writes with immediate into a
+	// persistent per-peer ring buffer discovered by the receiver's polling
+	// set, with a sender-side header cache compressing repeated envelope
+	// signatures — Liu et al.'s MPICH2-over-InfiniBand fast path
+	// (DESIGN.md §16). Oversized or ring-blocked messages fall back to the
+	// send/recv channel.
+	EagerRDMAWrite
 )
 
 // Stats counts protocol activity on one endpoint.
@@ -244,6 +271,12 @@ type Stats struct {
 	RegMisses     int64 // registrations that pinned new pages
 	RegEvictions  int64 // regions evicted under capacity pressure
 	RegPinnedPeak int64 // pinned-bytes high-water mark on this endpoint
+
+	// RDMA-write eager ring (Options.EagerProto = EagerRDMAWrite).
+	RingSends      int64 // eager messages shipped through the per-peer ring
+	RingFull       int64 // ring sends declined on an exhausted slot pool
+	EagerFallbacks int64 // eager messages diverted to the send/recv channel
+	HdrCacheHits   int64 // ring sends that shipped the compressed header
 }
 
 // classIsValid guards the marker input.

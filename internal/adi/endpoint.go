@@ -37,6 +37,14 @@ type Conn struct {
 	owed        int // credits to return to the peer
 	creditQueue []pendingEnvelope
 
+	// RDMA-write eager ring state (Options.EagerProto = EagerRDMAWrite;
+	// nil otherwise): the sender-side ring view toward this peer, the
+	// header cache of its envelope signatures, and the freed slots of the
+	// peer's reverse ring owed back (the mirror of owed).
+	ring     *eagerRing
+	hdr      *hdrCache
+	ringOwed int
+
 	// railWait parks work requests while every rail of the connection is
 	// dead; a rail recovery drains it in order.
 	railWait []deferredWR
@@ -96,11 +104,12 @@ func (ep *Endpoint) InterRails() int {
 type Endpoint struct {
 	Rank int
 
-	eng    *sim.Engine
-	m      *model.Params
-	realm  *ib.Realm
-	policy core.Policy
-	rndv   RndvProto
+	eng        *sim.Engine
+	m          *model.Params
+	realm      *ib.Realm
+	policy     core.Policy
+	rndv       RndvProto
+	eagerProto EagerProto
 
 	cq    *ib.CQ
 	srq   *ib.SRQ
@@ -366,26 +375,39 @@ func (ep *Endpoint) Iprobe(src, tag, ctxID int) (bool, Status) {
 // and reports whether anything was handled.
 func (ep *Endpoint) progressOnce() bool {
 	if cqe, ok := ep.cq.Poll(); ok {
-		ep.charge(ep.m.CPUCompletion)
 		if cqe.Op == ib.OpRecv {
-			ep.srq.PostRecv(ib.RecvWR{}) // replenish the prepost pool
 			env, ok := cqe.Ctx.(*envelope)
 			if !ok {
 				panic("adi: inbound completion without envelope")
 			}
+			if env.ring {
+				// Ring arrivals are discovered by the polling set scanning
+				// the per-peer slot arrays, not by reaping a completion:
+				// charge the (cheaper) poll cost.
+				ep.charge(ep.m.RingPollCost)
+			} else {
+				ep.charge(ep.m.CPUCompletion)
+			}
+			ep.srq.PostRecv(ib.RecvWR{}) // replenish the prepost pool
 			conn := ep.conns[env.src]
 			if conn != nil && conn.sh == nil {
 				ep.creditArrived(conn, env.credits)
+				ep.ringCreditArrived(conn, env.ringCredits)
 				if env.kind == envCredit || env.kind == envProbe {
 					// Credit returns and health probes are control-plane
 					// traffic: credit-exempt, unsequenced, consumed here.
 					ep.pool.put(env)
 					return true
 				}
-				ep.consumedRecv(conn)
+				if env.ring {
+					ep.ringConsumed(conn)
+				} else {
+					ep.consumedRecv(conn)
+				}
 			}
 			ep.inbound(env)
 		} else {
+			ep.charge(ep.m.CPUCompletion)
 			if pr, ok := ep.probes[cqe.WRID]; ok {
 				// Probe CQE: never retransmitted, never in the inflight
 				// map — it only moves the rail's health state.
@@ -535,6 +557,8 @@ func (ep *Endpoint) sendEnvelope(conn *Conn, rail int, env *envelope, wireN int,
 	conn.credits--
 	env.credits += conn.owed
 	conn.owed = 0
+	env.ringCredits += conn.ringOwed
+	conn.ringOwed = 0
 	ep.post(conn, rail, ib.SendWR{
 		WRID: ep.nextWRID(nil), Op: ib.OpSend,
 		Data: env.pay.Bytes(), N: wireN,
@@ -746,6 +770,7 @@ func (ep *Endpoint) railDown(peer, rail int) {
 		return
 	}
 	conn.sched.Dead.MarkDown(rail)
+	conn.ringDown()
 	qp := conn.rails[rail]
 	if q := ep.backlog[qp]; len(q) > 0 {
 		delete(ep.backlog, qp)
@@ -763,6 +788,7 @@ func (ep *Endpoint) railUp(peer, rail int) {
 		return
 	}
 	conn.sched.Dead.MarkUp(rail)
+	conn.ringArm()
 	if len(conn.railWait) > 0 {
 		q := conn.railWait
 		conn.railWait = nil

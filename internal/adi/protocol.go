@@ -12,8 +12,14 @@ import (
 
 // sendEager captures the payload into a pooled view — the one copy of the
 // eager path — and ships it whole on the rail the policy picks. The request
-// completes immediately (buffered send semantics, as in MVAPICH).
+// completes immediately (buffered send semantics, as in MVAPICH). Under
+// EagerRDMAWrite the message rides the per-peer ring (ring.go) when it
+// fits; otherwise — ring full, oversized, or torn down — it falls through
+// to the send/recv channel below.
 func (ep *Endpoint) sendEager(conn *Conn, req *Request) {
+	if ep.eagerProto == EagerRDMAWrite && ep.sendEagerRing(conn, req) {
+		return
+	}
 	env := ep.pool.get()
 	env.kind, env.src, env.tag, env.ctxID = envEager, ep.Rank, req.tag, req.ctxID
 	env.size, env.seq = req.n, conn.sendSeq

@@ -267,6 +267,7 @@ func (ep *Endpoint) quarantine(conn *Conn, rail int) {
 	ep.stats.RailQuarantines++
 	ep.trace(trace.KindRailQuarantine, conn.peer, 0, rail)
 	conn.sched.Dead.MarkDown(rail)
+	conn.ringDown()
 	qp := conn.rails[rail]
 	if q := ep.backlog[qp]; len(q) > 0 {
 		delete(ep.backlog, qp)
@@ -348,6 +349,7 @@ func (ep *Endpoint) reintegrate(conn *Conn, rail int) {
 	ep.stats.RailReintegrations++
 	ep.trace(trace.KindRailReintegrate, conn.peer, 0, rail)
 	conn.sched.Dead.MarkUp(rail)
+	conn.ringArm()
 	if len(conn.railWait) > 0 {
 		q := conn.railWait
 		conn.railWait = nil

@@ -1,0 +1,293 @@
+package adi
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"ib12x/internal/core"
+	"ib12x/internal/model"
+	"ib12x/internal/sim"
+	"ib12x/internal/trace"
+)
+
+// RDMA-write eager ring boundaries: slot exhaustion, slot-size overflow,
+// wrap-around, header-cache behaviour, and the fallback channel's
+// non-overtaking guarantee when ring and send/recv messages interleave.
+
+func TestRingExhaustionFallsBackToSendRecv(t *testing.T) {
+	// 40 one-way eager messages against a 32-slot ring while the receiver
+	// computes: no slot credits can return, so exactly the first 32 ride the
+	// ring and the rest fall back to the send/recv channel. The shared
+	// sequence space must keep the mixed stream in order.
+	const count = 40
+	slots := model.Default().RingSlots
+	rec := trace.NewRecorder(256)
+	w := run(t, spec2x1(2), Options{Policy: core.EPC, EagerProto: EagerRDMAWrite, Trace: rec},
+		func(ep *Endpoint) {
+			var reqs []*Request
+			for i := 0; i < count; i++ {
+				reqs = append(reqs, ep.PostSend(1, i, CtxPt2Pt, core.NonBlocking, nil, 512))
+			}
+			ep.WaitAll(reqs)
+		},
+		func(ep *Endpoint) {
+			ep.Compute(500 * sim.Microsecond) // let the sender exhaust the ring
+			for i := 0; i < count; i++ {
+				st := ep.Wait(ep.PostRecv(0, i, CtxPt2Pt, nil, 512))
+				if st.Tag != i {
+					t.Fatalf("message %d out of order (tag %d): ring/fallback interleave broke sequencing", i, st.Tag)
+				}
+			}
+		})
+	s := w.Endpoints[0].Stats()
+	if s.RingSends != int64(slots) {
+		t.Errorf("RingSends = %d, want %d (one per slot, then exhaustion)", s.RingSends, slots)
+	}
+	if want := int64(count - slots); s.RingFull != want || s.EagerFallbacks != want {
+		t.Errorf("RingFull = %d, EagerFallbacks = %d, want %d each", s.RingFull, s.EagerFallbacks, want)
+	}
+	if s.EagerSent != count {
+		t.Errorf("EagerSent = %d, want %d (fallback messages are still eager)", s.EagerSent, count)
+	}
+	falls := 0
+	for _, ev := range rec.Events() {
+		if ev.Kind == trace.KindEagerFallback {
+			falls++
+		}
+	}
+	if falls != count-slots {
+		t.Errorf("FALLBACK trace events = %d, want %d", falls, count-slots)
+	}
+}
+
+func TestRingSlotOverflowFallsBack(t *testing.T) {
+	// A payload that fits the eager threshold but not a ring slot (slot
+	// bytes include the full wire header) must take the send/recv channel;
+	// the largest payload that does fit must take the ring. Eligibility is
+	// judged against the full header even when the header cache would
+	// compress it, so the channel choice never depends on cache warmth.
+	m := model.Default()
+	fits := m.RingSlotBytes - m.MPIHeaderBytes
+	over := m.RingSlotBytes
+	if over >= m.RendezvousThreshold {
+		t.Fatalf("slot bytes %d not below rendezvous threshold %d: test premise broken", over, m.RendezvousThreshold)
+	}
+	for _, tc := range []struct {
+		n         int
+		wantRing  int64
+		wantFalls int64
+	}{
+		{fits, 1, 0},
+		{over, 0, 1},
+	} {
+		payload := fill(tc.n, 6)
+		got := make([]byte, tc.n)
+		w := run(t, spec2x1(2), Options{Policy: core.EPC, EagerProto: EagerRDMAWrite},
+			func(ep *Endpoint) {
+				ep.Wait(ep.PostSend(1, 0, CtxPt2Pt, core.Blocking, payload, tc.n))
+			},
+			func(ep *Endpoint) {
+				st := ep.Wait(ep.PostRecv(0, 0, CtxPt2Pt, got, tc.n))
+				if st.Count != tc.n || st.Err != nil {
+					t.Errorf("n=%d: status %+v", tc.n, st)
+				}
+			})
+		if !bytes.Equal(got, payload) {
+			t.Errorf("n=%d: payload corrupted", tc.n)
+		}
+		s := w.Endpoints[0].Stats()
+		if s.RingSends != tc.wantRing || s.EagerFallbacks != tc.wantFalls {
+			t.Errorf("n=%d (slot %d): RingSends=%d EagerFallbacks=%d, want %d/%d",
+				tc.n, m.RingSlotBytes, s.RingSends, s.EagerFallbacks, tc.wantRing, tc.wantFalls)
+		}
+		if s.RingFull != 0 {
+			t.Errorf("n=%d: RingFull = %d, want 0 (overflow is not exhaustion)", tc.n, s.RingFull)
+		}
+	}
+}
+
+func TestRingWrapAndHeaderCache(t *testing.T) {
+	// A balanced ping-pong longer than the ring: slot credits return
+	// piggybacked on the reverse messages, the slot cursor wraps (RINGWRAP),
+	// and every round after the first hits the header cache (HDRHIT) —
+	// repeated (tag, context) signatures go on the wire compressed.
+	const rounds = 40
+	rec := trace.NewRecorder(512)
+	w := run(t, spec2x1(2), Options{Policy: core.EPC, EagerProto: EagerRDMAWrite, Trace: rec},
+		func(ep *Endpoint) {
+			buf := make([]byte, 256)
+			for i := 0; i < rounds; i++ {
+				ep.Wait(ep.PostSend(1, 0, CtxPt2Pt, core.Blocking, buf, len(buf)))
+				ep.Wait(ep.PostRecv(1, 0, CtxPt2Pt, buf, len(buf)))
+			}
+		},
+		func(ep *Endpoint) {
+			buf := make([]byte, 256)
+			for i := 0; i < rounds; i++ {
+				ep.Wait(ep.PostRecv(0, 0, CtxPt2Pt, buf, len(buf)))
+				ep.Wait(ep.PostSend(0, 0, CtxPt2Pt, core.Blocking, buf, len(buf)))
+			}
+		})
+	for r := 0; r < 2; r++ {
+		s := w.Endpoints[r].Stats()
+		if s.RingSends != rounds {
+			t.Errorf("rank %d: RingSends = %d, want %d (balanced traffic must never leave the ring)", r, s.RingSends, rounds)
+		}
+		if s.RingFull != 0 || s.EagerFallbacks != 0 || s.CreditStalls != 0 {
+			t.Errorf("rank %d: RingFull=%d EagerFallbacks=%d CreditStalls=%d, want 0",
+				r, s.RingFull, s.EagerFallbacks, s.CreditStalls)
+		}
+		if want := int64(rounds - 1); s.HdrCacheHits != want {
+			t.Errorf("rank %d: HdrCacheHits = %d, want %d (first send installs, the rest hit)", r, s.HdrCacheHits, want)
+		}
+	}
+	wraps, hits := 0, 0
+	for _, ev := range rec.Events() {
+		switch ev.Kind {
+		case trace.KindRingWrap:
+			wraps++
+		case trace.KindHdrHit:
+			hits++
+		}
+	}
+	slots := model.Default().RingSlots
+	if want := 2 * (rounds / slots); wraps != want {
+		t.Errorf("RINGWRAP trace events = %d, want %d (%d rounds over a %d-slot ring, both directions)",
+			wraps, want, rounds, slots)
+	}
+	if want := 2 * (rounds - 1); hits != want {
+		t.Errorf("HDRHIT trace events = %d, want %d", hits, want)
+	}
+}
+
+func TestRingZeroValueKeepsSendRecvPath(t *testing.T) {
+	// The zero Options value must not touch the ring at all — this is the
+	// digest-preservation contract for every historical configuration.
+	w := run(t, spec2x1(2), Options{Policy: core.EPC},
+		func(ep *Endpoint) {
+			ep.Wait(ep.PostSend(1, 0, CtxPt2Pt, core.Blocking, nil, 1024))
+		},
+		func(ep *Endpoint) {
+			ep.Wait(ep.PostRecv(0, 0, CtxPt2Pt, nil, 1024))
+		})
+	s := w.Endpoints[0].Stats()
+	if s.RingSends != 0 || s.RingFull != 0 || s.EagerFallbacks != 0 || s.HdrCacheHits != 0 {
+		t.Errorf("send/recv default touched ring state: %+v", s)
+	}
+	if w.Endpoints[0].Conn(1).ring != nil {
+		t.Error("ring allocated under the send/recv default")
+	}
+}
+
+// ---- header cache unit behaviour ----
+
+func TestHdrCacheLRU(t *testing.T) {
+	c := newHdrCache(3)
+	// Install a, b, c (all misses).
+	for i, tag := range []int{1, 2, 3} {
+		if c.hit(tag, 0) {
+			t.Fatalf("install %d: unexpected hit", i)
+		}
+	}
+	if c.len() != 3 {
+		t.Fatalf("len = %d, want 3", c.len())
+	}
+	// Touch 1: now MRU order is 1, 3, 2.
+	if !c.hit(1, 0) {
+		t.Fatal("re-lookup of resident signature missed")
+	}
+	// Install 4: evicts LRU (2).
+	if c.hit(4, 0) {
+		t.Fatal("fresh signature hit")
+	}
+	if c.hit(2, 0) {
+		t.Error("signature 2 survived eviction; LRU order broken")
+	}
+	// That miss reinstalled 2, evicting 3 (LRU after the touch of 1). The
+	// probe for 3 in turn reinstalls 3, evicting 1 — misses mutate too.
+	if c.hit(3, 0) {
+		t.Error("signature 3 survived eviction; LRU order broken")
+	}
+	if !c.hit(4, 0) || !c.hit(2, 0) {
+		t.Error("recently used signatures evicted")
+	}
+	if c.len() != 3 {
+		t.Errorf("len = %d, want 3 (capacity bound)", c.len())
+	}
+}
+
+func TestHdrCacheDistinguishesTagAndContext(t *testing.T) {
+	c := newHdrCache(8)
+	c.hit(5, int(CtxPt2Pt))
+	if c.hit(5, int(CtxCollective)) {
+		t.Error("same tag in a different context must be a distinct signature")
+	}
+	if !c.hit(5, int(CtxPt2Pt)) {
+		t.Error("original signature lost")
+	}
+}
+
+func TestHdrCacheMinimumCapacity(t *testing.T) {
+	c := newHdrCache(0) // clamped to 1
+	if c.hit(1, 0) {
+		t.Error("empty cache hit")
+	}
+	if !c.hit(1, 0) {
+		t.Error("single-slot cache must retain the last signature")
+	}
+	if c.hit(2, 0) {
+		t.Error("fresh signature hit")
+	}
+	if c.hit(1, 0) {
+		t.Error("single-slot cache must have evicted the older signature")
+	}
+	if c.len() != 1 {
+		t.Errorf("len = %d, want 1", c.len())
+	}
+}
+
+// FuzzHeaderCache differentially checks the linked-list LRU against a flat
+// slice reference that recomputes recency by scanning. Any divergence in
+// hit/miss decisions or occupancy breaks the sender/receiver header-cache
+// mirror (DESIGN.md §16) and would silently corrupt wire sizing.
+func FuzzHeaderCache(f *testing.F) {
+	f.Add([]byte{1, 0, 2, 0, 1, 0, 3, 0, 4, 0, 2, 0})
+	f.Add([]byte{0, 0, 0, 0, 0, 0})
+	f.Add([]byte{1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 1, 1})
+	f.Add([]byte{255, 255, 0, 1, 128, 7, 255, 255})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		const capacity = 4 // small: forces evictions quickly
+		c := newHdrCache(capacity)
+		var ref []uint64 // MRU-first flat reference
+		for i := 0; i+1 < len(ops); i += 2 {
+			tag, ctx := int(ops[i]), int(ops[i+1])
+			key := hdrKey(tag, ctx)
+			refHit := false
+			for j, k := range ref {
+				if k == key {
+					refHit = true
+					ref = append(ref[:j], ref[j+1:]...)
+					break
+				}
+			}
+			if !refHit && len(ref) == capacity {
+				ref = ref[:capacity-1] // evict LRU (last)
+			}
+			ref = append([]uint64{key}, ref...)
+			if got := c.hit(tag, ctx); got != refHit {
+				t.Fatalf("op %d (tag=%d ctx=%d): hit=%v, reference says %v", i/2, tag, ctx, got, refHit)
+			}
+			if c.len() != len(ref) {
+				t.Fatalf("op %d: len=%d, reference %d", i/2, c.len(), len(ref))
+			}
+		}
+		// Final sweep: every resident signature must hit, in any order.
+		for _, k := range ref {
+			tag, ctx := int(k>>32), int(uint32(k))
+			if !c.hit(tag, ctx) {
+				t.Fatalf("resident signature %s missing at end", fmt.Sprintf("(%d,%d)", tag, ctx))
+			}
+		}
+	})
+}

@@ -31,6 +31,10 @@ type Options struct {
 	// Rndv selects the rendezvous protocol (default RndvWrite, the
 	// paper's RPUT; RndvRead is the MVAPICH RGET variant).
 	Rndv RndvProto
+	// EagerProto selects the eager channel (default EagerSendRecv, the
+	// historical send/recv path; EagerRDMAWrite negotiates a persistent
+	// per-peer ring per connection direction at connect — DESIGN.md §16).
+	EagerProto EagerProto
 	// Trace, when non-nil, receives every rank's protocol events.
 	Trace *trace.Recorder
 	// FaultEvery injects a deterministic transmission error on every N-th
@@ -328,6 +332,7 @@ func buildWorld(eng *sim.Engine, g *sim.Group, shardOf []int, m *model.Params, s
 	for r := 0; r < n; r++ {
 		node := cluster.NodeOf(r)
 		ep := newEndpoint(r, engOf(node), m, realm, policy, opt.Rndv, n, pool, w.bufs)
+		ep.eagerProto = opt.EagerProto
 		ep.tr = opt.Trace
 		if g != nil && opt.Trace != nil {
 			ep.tr = w.trShards[shardOf[node]]
@@ -371,6 +376,15 @@ func buildWorld(eng *sim.Engine, g *sim.Group, shardOf []int, m *model.Params, s
 					cj.rails = append(cj.rails, qpj)
 					epi.qpIdx[qpi.QPN] = qpi
 					epj.qpIdx[qpj.QPN] = qpj
+				}
+				if opt.EagerProto == EagerRDMAWrite {
+					// Connect-time ring negotiation: each direction gets its
+					// own slot array at the receiver and header cache at the
+					// sender.
+					ci.ring = newEagerRing(realm, m)
+					cj.ring = newEagerRing(realm, m)
+					ci.hdr = newHdrCache(m.HdrCacheSlots)
+					cj.hdr = newHdrCache(m.HdrCacheSlots)
 				}
 			}
 			epi.conns[j] = ci

@@ -27,6 +27,10 @@ type Setup struct {
 	Model  *model.Params
 	Rndv   adi.RndvProto // rendezvous protocol (default RPUT)
 
+	// EagerProto selects the eager channel (default send/recv; the
+	// RDMA-write ring is the EagerLatencyTable ablation).
+	EagerProto adi.EagerProto
+
 	// NodesPerSwitch/TrunkRate select the two-level fat-tree fabric
 	// (0 = the paper's single switch / 1:1 trunks).
 	NodesPerSwitch int
@@ -64,6 +68,7 @@ func (s Setup) Config() mpi.Config {
 		Policy:         s.Policy,
 		Model:          s.Model,
 		Rndv:           s.Rndv,
+		EagerProto:     s.EagerProto,
 		NodesPerSwitch: s.NodesPerSwitch,
 		TrunkRate:      s.TrunkRate,
 		Chaos:          s.Chaos,

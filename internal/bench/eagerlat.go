@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"fmt"
+
+	"ib12x/internal/adi"
+	"ib12x/internal/core"
+	"ib12x/internal/harness"
+	"ib12x/internal/stats"
+)
+
+// The RDMA-write eager ablation: the small-message latency floor measured
+// under both eager channels for every scheduling policy. The send/recv
+// channel pays a full CQE handshake per arrival (CPUCompletion) and a full
+// MPI header per message; the ring channel's polling set discovers the slot
+// write for RingPollCost and a warm header cache compresses the repeated
+// (tag, context) signature, so the ring must sit strictly below send/recv
+// at every small size under every policy — the channel is orthogonal to
+// rail scheduling. This is the headline table of the RDMA-write eager PR
+// (printed by cmd/reproduce -extra).
+
+// eagerLatPolicies spans every multi-rail scheduling policy; the eager
+// channel must win under each one.
+var eagerLatPolicies = []core.Kind{
+	core.Binding, core.RoundRobin, core.EvenStriping,
+	core.WeightedStriping, core.EPC, core.Adaptive,
+}
+
+// eagerLatSizes spans the small-message regime: 1B to the largest payload
+// a ring slot holds (8KB); everything here is below the rendezvous
+// threshold on both channels.
+var eagerLatSizes = []int{1, 16, 256, 1024, 4096, 8192}
+
+// eagerLatCase is one (policy, eager channel) row of the table.
+type eagerLatCase struct {
+	name string
+	s    Setup
+}
+
+func eagerLatCases() []eagerLatCase {
+	var cases []eagerLatCase
+	for _, kind := range eagerLatPolicies {
+		for _, proto := range []struct {
+			name string
+			p    adi.EagerProto
+		}{{"send/recv", adi.EagerSendRecv}, {"rdma-write", adi.EagerRDMAWrite}} {
+			cases = append(cases, eagerLatCase{
+				name: fmt.Sprintf("%s %s", kind, proto.name),
+				s:    Setup{QPs: 4, Policy: kind, EagerProto: proto.p},
+			})
+		}
+	}
+	return cases
+}
+
+// EagerLatencyTable sweeps the small-message latency floor over both eager
+// channels and all scheduling policies.
+func EagerLatencyTable(o FigOpts) (*stats.Table, error) {
+	return eagerLatencyTable(harness.Workers(), o)
+}
+
+// eagerLatencyTable is EagerLatencyTable with an explicit worker count; the
+// determinism suite pins serial/parallel bit-identity on it.
+func eagerLatencyTable(workers int, o FigOpts) (*stats.Table, error) {
+	o = o.defaults()
+	t := &stats.Table{
+		Title:  "Supplementary: small-message latency floor, RDMA-write eager ring vs send/recv",
+		XLabel: "Size", Unit: "us",
+	}
+	cases := eagerLatCases()
+	results, err := harness.MapN(workers, cases, func(c eagerLatCase) ([]float64, error) {
+		return Latency(c.s, eagerLatSizes, o.LatIters, o.LatWarmup)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, vals := range results {
+		addSweep(t, cases[i].name, eagerLatSizes, vals)
+	}
+	return t, nil
+}

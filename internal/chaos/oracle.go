@@ -31,6 +31,13 @@ type OracleConfig struct {
 	// shift time, never bytes), and the timeline must still replay.
 	RegCache *regcache.Config
 
+	// EagerProto selects the eager channel (mpi.Config.EagerProto). The
+	// RDMA-write ring moves every small message onto a different transport
+	// path, yet the payload digest must stay byte-identical to the
+	// send/recv baseline's: both channels share the per-connection
+	// sequence space, so matching order is protocol-invariant.
+	EagerProto adi.EagerProto
+
 	Nodes        int // default 2
 	ProcsPerNode int // default 2
 	QPsPerPort   int // default 4 rails
@@ -186,6 +193,7 @@ func RunConformance(cfg OracleConfig) (*RunResult, error) {
 		QPsPerPort:   cfg.QPsPerPort,
 		Policy:       cfg.Policy,
 		PolicyImpl:   cfg.PolicyImpl,
+		EagerProto:   cfg.EagerProto,
 		Trace:        rec,
 		Deadline:     cfg.Deadline,
 		Shards:       cfg.Shards,

@@ -1,0 +1,139 @@
+package chaos
+
+import (
+	"testing"
+
+	"ib12x/internal/adi"
+	"ib12x/internal/core"
+	"ib12x/internal/harness"
+	"ib12x/internal/mpi"
+	"ib12x/internal/sim"
+)
+
+// TestDifferentialOracleRDMAEager runs the seeded workload with the
+// RDMA-write eager channel across the full 6-policy x 6-fault-plan matrix
+// and requires every cell's payload digest to be byte-identical to the
+// send/recv baseline of the same plan. The ring moves every small message
+// onto a different transport path — per-peer slot arrays, polling-set
+// receive, header-cache-compressed wire headers, slot-credit flow control,
+// send/recv fallback under exhaustion and rail death — but both channels
+// share the per-connection sequence space, so the user-visible bytes must
+// not move even while rails die, stall, and flap. Zero violations also pins
+// World.BufLive()==0 after quiesce: RunConformance records any
+// still-referenced payload block as a violation.
+func TestDifferentialOracleRDMAEager(t *testing.T) {
+	for _, plan := range faultPlans() {
+		plan := plan
+		t.Run(plan.Name, func(t *testing.T) {
+			ref, err := RunConformance(OracleConfig{Seed: oracleSeed, Policy: core.EvenStriping, Plan: plan})
+			if err != nil {
+				t.Fatalf("send/recv baseline under %s: %v", plan.Name, err)
+			}
+			results, err := harness.MapAll(allPolicies, func(kind core.Kind) (*RunResult, error) {
+				return RunConformance(OracleConfig{
+					Seed: oracleSeed, Policy: kind, Plan: plan,
+					EagerProto: adi.EagerRDMAWrite,
+				})
+			})
+			if err != nil {
+				t.Fatalf("ring matrix under %s: %v", plan.Name, err)
+			}
+			for i, res := range results {
+				for _, v := range res.Violations {
+					t.Errorf("ring %v under %s: %s", allPolicies[i], plan.Name, v)
+				}
+				if res.Digest != ref.Digest {
+					t.Errorf("ring digest split under %s: send/recv=%#x vs ring %s=%#x",
+						plan.Name, ref.Digest, res.Policy, res.Digest)
+				}
+			}
+		})
+	}
+}
+
+// TestRDMAEagerSerialParallelIdentical pins the harness contract for the
+// ring channel: the same ring matrix row run on one worker and on many must
+// yield bit-identical digests, trace digests, and elapsed virtual times
+// cell by cell.
+func TestRDMAEagerSerialParallelIdentical(t *testing.T) {
+	plan := faultPlans()[5] // kitchen sink: the most event-heavy plan
+	run := func(workers int) []*RunResult {
+		res, err := harness.MapN(workers, allPolicies, func(kind core.Kind) (*RunResult, error) {
+			return RunConformance(OracleConfig{
+				Seed: oracleSeed, Policy: kind, Plan: plan,
+				EagerProto: adi.EagerRDMAWrite,
+			})
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(1)
+	parallel := run(8)
+	for i := range serial {
+		s, p := serial[i], parallel[i]
+		if s.Digest != p.Digest || s.TraceDigest != p.TraceDigest || s.Elapsed != p.Elapsed {
+			t.Errorf("ring %s: serial/parallel diverge: digest %#x/%#x trace %#x/%#x elapsed %v/%v",
+				s.Policy, s.Digest, p.Digest, s.TraceDigest, p.TraceDigest, s.Elapsed, p.Elapsed)
+		}
+	}
+}
+
+// TestRDMAEagerShardedIdentical pins the sharded engine against the serial
+// one under the ring channel: a bounded cut of the matrix (the two heaviest
+// plans x two policies, 4-node fabric, one cell composing the ring with
+// lane collectives) must be bit-identical — payload digest, trace digest,
+// elapsed — at every shard count, with zero violations. Ring state (slot
+// cursor, credits, header cache) lives on the sending endpoint's shard and
+// slot returns arrive on the owner's shard, so the merge rule has nothing
+// new to order — this leg proves it.
+func TestRDMAEagerShardedIdentical(t *testing.T) {
+	type cell struct {
+		plan    *Plan
+		policy  core.Kind
+		collAlg mpi.CollAlg
+	}
+	plans := []*Plan{
+		faultPlans()[5], // kitchen sink
+		RailDeath(100*sim.Microsecond, 1, 2),
+	}
+	var cells []cell
+	for _, plan := range plans {
+		for _, kind := range []core.Kind{core.EPC, core.EvenStriping} {
+			cells = append(cells, cell{plan, kind, mpi.CollStriped})
+		}
+	}
+	// Lane-decomposed collectives over ring-carried eager residue.
+	cells = append(cells, cell{plans[0], core.EPC, mpi.CollLane})
+	matrix := func(shards int) []*RunResult {
+		t.Helper()
+		res, err := harness.Map(cells, func(c cell) (*RunResult, error) {
+			return RunConformance(OracleConfig{
+				Seed: oracleSeed, Policy: c.policy, Plan: c.plan,
+				Nodes: 4, Shards: shards,
+				EagerProto: adi.EagerRDMAWrite,
+				CollAlg:    c.collAlg,
+			})
+		})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		return res
+	}
+	serial := matrix(0)
+	for _, shards := range []int{1, 2, 4} {
+		sharded := matrix(shards)
+		for i, res := range sharded {
+			ref := serial[i]
+			for _, v := range res.Violations {
+				t.Errorf("shards=%d ring %v under %s: %s", shards, cells[i].policy, cells[i].plan.Name, v)
+			}
+			if res.Digest != ref.Digest || res.TraceDigest != ref.TraceDigest || res.Elapsed != ref.Elapsed {
+				t.Errorf("shards=%d ring %v under %s diverged from serial: digest %#x/%#x trace %#x/%#x elapsed %v/%v",
+					shards, cells[i].policy, cells[i].plan.Name,
+					res.Digest, ref.Digest, res.TraceDigest, ref.TraceDigest, res.Elapsed, ref.Elapsed)
+			}
+		}
+	}
+}

@@ -125,6 +125,29 @@ type Params struct {
 	// never smaller than this even if that leaves rails idle.
 	MinStripe int
 
+	// ---- RDMA-write eager ring (adi.EagerRDMAWrite; DESIGN.md §16) ----
+
+	// RingSlots and RingSlotBytes fix the geometry of the persistent
+	// per-peer eager ring negotiated at connect: each direction of an
+	// inter-node connection owns RingSlots receive slots of RingSlotBytes
+	// each at the peer. A slot must hold the payload plus its wire header;
+	// messages that do not fit fall back to the send/recv channel.
+	RingSlots     int
+	RingSlotBytes int
+
+	// RingPollCost is the receiver-side cost to discover one ring arrival
+	// by scanning the polling set of per-peer rings. It replaces
+	// CPUCompletion on the ring path — the saving that gives the RDMA-write
+	// channel its latency floor (Liu et al.).
+	RingPollCost sim.Time
+
+	// HdrCacheSlots is the capacity of the per-peer header cache (an LRU
+	// of (tag, context) envelope signatures at the sender);
+	// HdrCompressedBytes is the wire header a cache hit ships in the ring
+	// slot instead of the full MPIHeaderBytes envelope.
+	HdrCacheSlots      int
+	HdrCompressedBytes int
+
 	// ---- Intra-node shared memory channel ----
 
 	// ShmemLatency is the one-way small-message latency through the
@@ -170,6 +193,12 @@ func Default() *Params {
 		RendezvousThreshold: 16 * 1024,
 		EagerCredits:        64,
 		MinStripe:           4 * 1024,
+
+		RingSlots:          32,
+		RingSlotBytes:      8*1024 + 64, // an 8 KB payload plus the full header
+		RingPollCost:       150 * sim.Nanosecond,
+		HdrCacheSlots:      64,
+		HdrCompressedBytes: 16,
 
 		ShmemLatency: 350 * sim.Nanosecond,
 		ShmemRate:    4.0e9,

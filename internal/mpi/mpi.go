@@ -63,6 +63,11 @@ type Config struct {
 	// Rndv selects the rendezvous protocol: adi.RndvWrite (default, the
 	// paper's sender-writes RPUT) or adi.RndvRead (receiver-reads RGET).
 	Rndv adi.RndvProto
+	// EagerProto selects the eager channel: adi.EagerSendRecv (default,
+	// the historical send/recv path, matching every historical digest) or
+	// adi.EagerRDMAWrite (persistent per-peer ring buffers with header
+	// caching — the Liu et al. small-message fast path, DESIGN.md §16).
+	EagerProto adi.EagerProto
 	// Trace, when non-nil, records every rank's protocol events.
 	Trace *trace.Recorder
 	// FaultEvery injects a deterministic link error on every N-th chunk
@@ -278,6 +283,7 @@ func (c Config) adiOptions() adi.Options {
 		BindRail:   c.BindRail,
 		SQDepth:    c.SQDepth,
 		Rndv:       c.Rndv,
+		EagerProto: c.EagerProto,
 		Trace:      c.Trace,
 		FaultEvery: c.FaultEvery,
 		RegCache:   c.RegCache,

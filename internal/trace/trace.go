@@ -50,6 +50,14 @@ const (
 	// the steered rail — it differs from the lane while the lane's home
 	// rail is quarantined).
 	KindLanePin
+
+	// RDMA-write eager ring (adi.EagerRDMAWrite): the ring cursor wrapping
+	// back to slot zero, a header-cache hit shipping the compressed wire
+	// header, and an eager message falling back to the send/recv channel
+	// (ring full, oversized payload, or ring torn down on a dead rail).
+	KindRingWrap
+	KindHdrHit
+	KindEagerFallback
 )
 
 func (k Kind) String() string {
@@ -88,6 +96,12 @@ func (k Kind) String() string {
 		return "REGEVICT"
 	case KindLanePin:
 		return "LANEPIN"
+	case KindRingWrap:
+		return "RINGWRAP"
+	case KindHdrHit:
+		return "HDRHIT"
+	case KindEagerFallback:
+		return "FALLBACK"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
