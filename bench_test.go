@@ -399,6 +399,36 @@ func benchSmallMsg(b *testing.B, proto adi.EagerProto) {
 func BenchmarkSmallMsgLatency(b *testing.B)     { benchSmallMsg(b, adi.EagerSendRecv) }
 func BenchmarkSmallMsgLatencyRDMA(b *testing.B) { benchSmallMsg(b, adi.EagerRDMAWrite) }
 
+// BenchmarkFig06Integrity repeats the Figure 6 uni-directional bandwidth
+// sweep with end-to-end payload verification armed (DESIGN.md §17). The
+// virtual-time metrics show the modeled checksum cost; the host-side
+// allocs/op is gated by perfgate against BenchmarkFig06UniBW's — checksum
+// capture and verification work in place and must not allocate per payload.
+func BenchmarkFig06Integrity(b *testing.B) {
+	sizes := []int{16 * 1024, 1 << 20}
+	var orig, epc, strp []float64
+	for i := 0; i < b.N; i++ {
+		var err error
+		orig, err = bench.UniBandwidth(bench.Setup{QPs: 1, Policy: core.Original, Integrity: adi.IntegrityVerify},
+			sizes, window, bwIters, bwWarm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		epc, err = bench.UniBandwidth(bench.Setup{QPs: 4, Policy: core.EPC, Integrity: adi.IntegrityVerify},
+			sizes, window, bwIters, bwWarm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		strp, err = bench.UniBandwidth(bench.Setup{QPs: 4, Policy: core.EvenStriping, Integrity: adi.IntegrityVerify},
+			sizes, window, bwIters, bwWarm)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSeries(b, []string{"orig_peak", "epc_peak", "striping_16K", "epc_16K"},
+		[]float64{orig[1], epc[1], strp[0], epc[0]}, "MBps_virtual")
+}
+
 // BenchmarkSimulatorThroughput measures host-side simulation speed: virtual
 // seconds simulated per wall second for a saturated bandwidth run.
 func BenchmarkSimulatorThroughput(b *testing.B) {

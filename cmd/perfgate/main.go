@@ -39,6 +39,11 @@
 // the ring fast path fails the gate even though the pair has no seed
 // baseline.
 //
+// The integrity row (BenchmarkFig06Integrity, the Fig06 sweep with
+// end-to-end verification armed) gates the same way against the
+// unprotected Fig06 run: checksum capture and verification must stay
+// allocation-free per payload.
+//
 // The sharded-engine rows (BenchmarkFig06UniBWSharded and the
 // BenchmarkShardScale256 serial/sharded pair) have no seed baseline; the
 // 256-node pair is instead compared against itself, and the gate requires
@@ -133,6 +138,21 @@ const (
 	eagerAllocHeadroom  = 256
 	eagerSendRecvBench  = "BenchmarkSmallMsgLatency"
 	eagerRDMAWriteBench = "BenchmarkSmallMsgLatencyRDMA"
+)
+
+// Integrity row: the Figure 6 sweep with end-to-end payload verification
+// armed. No seed baseline (the seed had no integrity model); the row gates
+// against the unprotected Fig06 run instead — its allocs/op must stay
+// within a small slack (plus absolute headroom for the per-world checksum
+// state) of BenchmarkFig06UniBW's, so checksum capture and verification
+// stay allocation-free per payload.
+var integrityBenches = []string{"BenchmarkFig06Integrity"}
+
+const (
+	integrityAllocSlackPct = 10
+	integrityAllocHeadroom = 512
+	integrityBench         = "BenchmarkFig06Integrity"
+	integrityBaseBench     = "BenchmarkFig06UniBW"
 )
 
 // Result is one benchmark measurement. With -samples > 1 the fields are
@@ -235,7 +255,7 @@ func main() {
 			name, cur.NsPerOp, spread, seed.NsPerOp, pct(cur.NsPerOp, seed.NsPerOp),
 			cur.AllocsPerOp, seed.AllocsPerOp, pct(float64(cur.AllocsPerOp), float64(seed.AllocsPerOp)))
 	}
-	for _, name := range append(append(laneBenches, eagerBenches...), shardBenches...) {
+	for _, name := range append(append(append(laneBenches, eagerBenches...), integrityBenches...), shardBenches...) {
 		cur, ok := current[name]
 		if !ok {
 			fmt.Printf("%-30s (missing)\n", name)
@@ -310,12 +330,27 @@ func main() {
 			eagerNote = fmt.Sprintf("; RDMA eager allocs/op %d within %d%%+%d of send/recv %d",
 				rd.AllocsPerOp, eagerAllocSlackPct, eagerAllocHeadroom, sr.AllocsPerOp)
 		}
+		integrityNote := ""
+		ig, okI := current[integrityBench]
+		fb, okF := current[integrityBaseBench]
+		switch budget := fb.AllocsPerOp + fb.AllocsPerOp*integrityAllocSlackPct/100 + integrityAllocHeadroom; {
+		case !okI || !okF:
+			fmt.Fprintln(os.Stderr, "perfgate: integrity row missing from output")
+			failed = true
+		case ig.AllocsPerOp > budget:
+			fmt.Fprintf(os.Stderr, "perfgate: %s allocs/op %d exceeds the budget %d (%s %d + %d%% + %d): checksum capture/verify is allocating per payload\n",
+				integrityBench, ig.AllocsPerOp, budget, integrityBaseBench, fb.AllocsPerOp, integrityAllocSlackPct, integrityAllocHeadroom)
+			failed = true
+		default:
+			integrityNote = fmt.Sprintf("; integrity allocs/op %d within %d%%+%d of Fig06 %d",
+				ig.AllocsPerOp, integrityAllocSlackPct, integrityAllocHeadroom, fb.AllocsPerOp)
+		}
 		if failed {
 			os.Exit(1)
 		}
-		fmt.Printf("gate OK: Fig06 holds ns/op -%.0f%% and allocs/op -%.0f%%; Fig04/07/08 hold allocs/op -%.0f%% vs seed%s%s\n",
+		fmt.Printf("gate OK: Fig06 holds ns/op -%.0f%% and allocs/op -%.0f%%; Fig04/07/08 hold allocs/op -%.0f%% vs seed%s%s%s\n",
 			gates["BenchmarkFig06UniBW"].nsFloor*100, gates["BenchmarkFig06UniBW"].allocFloor*100,
-			gates["BenchmarkFig04LargeLatency"].allocFloor*100, shardNote, eagerNote)
+			gates["BenchmarkFig04LargeLatency"].allocFloor*100, shardNote, eagerNote, integrityNote)
 	}
 }
 
@@ -367,7 +402,7 @@ func runBenchmarks(benchtime string, samples, shards int) (map[string]Result, er
 			cells = append(cells, cell{name, s})
 		}
 	}
-	for _, name := range append(laneBenches, eagerBenches...) {
+	for _, name := range append(append(laneBenches, eagerBenches...), integrityBenches...) {
 		for s := 0; s < samples; s++ {
 			cells = append(cells, cell{name, s})
 		}
@@ -411,7 +446,7 @@ func runBenchmarks(benchtime string, samples, shards int) (map[string]Result, er
 		}
 		results[name] = agg
 	}
-	for _, name := range append(append(benchNames(), laneBenches...), eagerBenches...) {
+	for _, name := range append(append(append(benchNames(), laneBenches...), eagerBenches...), integrityBenches...) {
 		var rs []Result
 		for i, c := range cells {
 			if c.bench == name {

@@ -63,6 +63,7 @@ func supplementary(o bench.FigOpts) error {
 		bench.LaneCollTable,
 		bench.EagerLatencyTable,
 		bench.RegCacheTable,
+		bench.IntegrityOverheadTable,
 		func(bench.FigOpts) (*stats.Table, error) { return bench.NoDegradationTable() },
 	}
 	// Each generator runs its own simulations against a fresh world, so the

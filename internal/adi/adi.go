@@ -17,6 +17,7 @@ import (
 
 	"ib12x/internal/buf"
 	"ib12x/internal/core"
+	"ib12x/internal/sim"
 )
 
 // Tag/source wildcards (MPI_ANY_SOURCE / MPI_ANY_TAG).
@@ -82,6 +83,17 @@ type Request struct {
 	// Rendezvous send state.
 	writesLeft int
 	mrKey      uint32
+
+	// Whole-message checksum of a rendezvous transfer (receive side; carried
+	// over from the RTS when integrity is on): checked once the last stripe
+	// is in place, modeling the end-to-end pass over the assembled buffer.
+	crc    uint32
+	crcSet bool
+
+	// noCorrupt marks a send initiated inside Endpoint.Shielded: its bytes
+	// are protocol metadata riding the message path, exempt from payload
+	// corruption so chaos plans stay liveness-safe by construction.
+	noCorrupt bool
 
 	// owner is the payload view a bulk send/put holds while its bytes are
 	// exposed to the transport: a Wrap of the user's buffer (zero-copy, no
@@ -213,6 +225,22 @@ type envelope struct {
 	// ringCredits piggybacks freed ring slots back to the peer on any
 	// reverse message (ring, channel, or an explicit envCredit).
 	ringCredits int
+
+	// Integrity fields (DESIGN.md §17). crc is the payload's capture-time
+	// checksum (eager) or the whole message's (RTS), valid when hasCRC; the
+	// taint fields are stamped at the receiver from the completion entry and
+	// describe which corrupt image the wire delivered (all zero on a clean
+	// fabric): a single XORed payload byte, a mangled wire header, or — ring
+	// slots only — the instant an inconsistently written slot settles.
+	crc      uint32
+	hasCRC   bool
+	flipOff  int
+	flipMask byte
+	hdrTaint bool
+	tornAt   sim.Time
+	// noCorrupt carries the sending request's shield (Endpoint.Shielded)
+	// onto the wire descriptor.
+	noCorrupt bool
 }
 
 // RndvProto selects the rendezvous data-transfer engine.
@@ -277,6 +305,11 @@ type Stats struct {
 	RingFull       int64 // ring sends declined on an exhausted slot pool
 	EagerFallbacks int64 // eager messages diverted to the send/recv channel
 	HdrCacheHits   int64 // ring sends that shipped the compressed header
+
+	// Integrity layer (Options.Integrity; DESIGN.md §17).
+	IntegrityNacks    int64 // payload WRs NACKed by the receiving HCA's check
+	CorruptDeliveries int64 // corrupted payloads reaching application memory
+	TornRepolls       int64 // ring slots re-polled by the torn-write guard
 }
 
 // classIsValid guards the marker input.

@@ -142,7 +142,8 @@ type Endpoint struct {
 	// WR is remembered until its completion, and a flushed completion
 	// reroutes the WR onto a surviving rail of the same connection.
 	trackWR  bool
-	inflight map[uint64]inflightWR
+	inflight map[uint64]*inflightWR
+	flFree   []*inflightWR
 
 	// Rail reliability layer (armed by World.EnableReliability): health
 	// state machine config plus the outstanding probe WRs. nil/empty in
@@ -154,6 +155,16 @@ type Endpoint struct {
 	// the historical free-registration model.
 	reg *regcache.Cache
 
+	// integrity is the end-to-end checksum mode (Options.Integrity;
+	// integrity.go). tornWait parks ring envelopes whose slot the torn-write
+	// guard caught mid-write; entries settle in FIFO order (tornAt is the
+	// delivery instant plus a constant), so the head is always the next due.
+	integrity IntegrityMode
+	tornWait  []*envelope
+	// shield counts nested Shielded scopes: sends initiated while it is
+	// positive are protocol metadata, exempt from corruption injection.
+	shield int
+
 	stats Stats
 }
 
@@ -161,12 +172,37 @@ type Endpoint struct {
 // retransmit it elsewhere. With the reliability layer on it also carries the
 // completion deadline the health scan judges the rail by, and the retry
 // attempt driving the retransmit backoff.
+// Records are pooled (flFree): the struct is larger than the runtime's
+// inline map-value threshold, so storing it by value would heap-allocate on
+// every insert — one allocation per tracked WR on the hot path.
 type inflightWR struct {
 	conn     *Conn
 	rail     int
 	wr       ib.SendWR
 	deadline sim.Time
 	attempt  int
+}
+
+// getFl pops a pooled in-flight record (or makes the pool's first).
+func (ep *Endpoint) getFl() *inflightWR {
+	if n := len(ep.flFree); n > 0 {
+		fl := ep.flFree[n-1]
+		ep.flFree = ep.flFree[:n-1]
+		return fl
+	}
+	return new(inflightWR)
+}
+
+// putFl retires a WR's in-flight record back to the pool, zeroing it so the
+// pooled record does not pin the WR's payload view or envelope.
+func (ep *Endpoint) putFl(wrid uint64) {
+	fl, ok := ep.inflight[wrid]
+	if !ok {
+		return
+	}
+	delete(ep.inflight, wrid)
+	*fl = inflightWR{}
+	ep.flFree = append(ep.flFree, fl)
 }
 
 // newEndpoint wires the passive state; connections are added by the World
@@ -278,6 +314,7 @@ func (ep *Endpoint) postSend(peer, tag, ctxID int, class core.Class, data []byte
 	req := ep.newRequest()
 	req.send, req.peer, req.tag, req.ctxID, req.class, req.data, req.n = true, peer, tag, ctxID, class, data, n
 	req.lane = lane
+	req.noCorrupt = ep.shield > 0
 	if peer == ep.Rank {
 		ep.sendSelf(req)
 		return req
@@ -374,17 +411,37 @@ func (ep *Endpoint) Iprobe(src, tag, ctxID int) (bool, Status) {
 // progressOnce handles at most one pending event, charging its CPU costs,
 // and reports whether anything was handled.
 func (ep *Endpoint) progressOnce() bool {
+	if env := ep.tornReadyEnv(); env != nil {
+		// A parked torn ring slot has settled: re-poll it (second pass over
+		// the slot array) and run the consume path it was diverted from.
+		ep.charge(ep.m.RingPollCost)
+		conn := ep.conns[env.src]
+		ep.creditArrived(conn, env.credits)
+		ep.ringCreditArrived(conn, env.ringCredits)
+		ep.ringConsumed(conn)
+		ep.inbound(env)
+		return true
+	}
 	if cqe, ok := ep.cq.Poll(); ok {
 		if cqe.Op == ib.OpRecv {
 			env, ok := cqe.Ctx.(*envelope)
 			if !ok {
 				panic("adi: inbound completion without envelope")
 			}
+			// Stamp the wire's corruption taint (zero on a clean fabric)
+			// before any consume decision: the torn-write guard and the
+			// delivery path both read it off the envelope.
+			env.flipOff, env.flipMask = cqe.FlipOff, cqe.FlipMask
+			env.hdrTaint, env.tornAt = cqe.HdrTaint, cqe.TornAt
 			if env.ring {
 				// Ring arrivals are discovered by the polling set scanning
 				// the per-peer slot arrays, not by reaping a completion:
 				// charge the (cheaper) poll cost.
 				ep.charge(ep.m.RingPollCost)
+				if ep.ringTornGuard(env) {
+					ep.srq.PostRecv(ib.RecvWR{})
+					return true
+				}
 			} else {
 				ep.charge(ep.m.CPUCompletion)
 			}
@@ -424,8 +481,23 @@ func (ep *Endpoint) progressOnce() bool {
 				ep.retransmit(cqe.WRID)
 				return true
 			}
+			if cqe.Status == ib.StatusIntegrityErr {
+				// Informational: the receiving HCA rejected the payload and
+				// the requester's HCA is already retransmitting it below the
+				// verbs layer. Tally the NACK and strike the rail; the WR's
+				// callbacks ride its eventual success completion.
+				ep.nackNoticed(cqe)
+				return true
+			}
+			if cqe.FlipMask != 0 || cqe.HdrTaint {
+				// Taint echo on a successful send completion (verification
+				// off): a stripe or read landed corrupted at memory with no
+				// receive completion to see it on — tally the silent escape
+				// here, at the endpoint that owns the counter.
+				ep.corruptDelivered(-1, cqe.Bytes)
+			}
 			if ep.trackWR {
-				delete(ep.inflight, cqe.WRID)
+				ep.putFl(cqe.WRID)
 			}
 			if req := ep.onAtomic[cqe.WRID]; req != nil {
 				delete(ep.onAtomic, cqe.WRID)
@@ -559,11 +631,20 @@ func (ep *Endpoint) sendEnvelope(conn *Conn, rail int, env *envelope, wireN int,
 	conn.owed = 0
 	env.ringCredits += conn.ringOwed
 	conn.ringOwed = 0
-	ep.post(conn, rail, ib.SendWR{
+	wr := ib.SendWR{
 		WRID: ep.nextWRID(nil), Op: ib.OpSend,
 		Data: env.pay.Bytes(), N: wireN,
 		Signaled: true, Ctx: env,
-	}, onPosted)
+	}
+	if env.kind == envEager {
+		// Eager data is payload: it consults the port's corruption plan and
+		// carries the capture-time checksum. Control envelopes (RTS/CTS/FIN,
+		// credits, probes, message-based RMA) are VCRC-protected wire
+		// headers — never corrupted, so probes can always reintegrate.
+		wr.Payload, wr.CRC = true, env.crc
+		wr.NoCorrupt = env.noCorrupt
+	}
+	ep.post(conn, rail, wr, onPosted)
 }
 
 // creditArrived books returned credits and drains any stalled messages.
@@ -691,7 +772,8 @@ func (ep *Endpoint) post(conn *Conn, rail int, wr ib.SendWR, onPosted func()) {
 		}
 	}
 	if ep.trackWR {
-		fl := inflightWR{conn: conn, rail: rail, wr: wr}
+		fl := ep.getFl()
+		fl.conn, fl.rail, fl.wr = conn, rail, wr
 		if ep.rel != nil {
 			fl.deadline = ep.wrDeadline(conn, rail, wr.N)
 		}
@@ -709,7 +791,7 @@ func (ep *Endpoint) post(conn *Conn, rail int, wr ib.SendWR, onPosted func()) {
 		// Hard evidence the rail is dead, discovered at post time: the
 		// reliability layer quarantines it (setting its Dead bit) and the
 		// recursive post steps onto a survivor or parks in railWait.
-		delete(ep.inflight, wr.WRID)
+		ep.putFl(wr.WRID)
 		ep.railFailed(conn, rail)
 		ep.post(conn, rail, wr, onPosted)
 		return
@@ -745,17 +827,18 @@ func (ep *Endpoint) retransmit(wrid uint64) {
 	if !ok {
 		panic("adi: flushed WR was not tracked (rail recovery not armed?)")
 	}
-	delete(ep.inflight, wrid)
+	conn, rail, wr, attempt := fl.conn, fl.rail, fl.wr, fl.attempt
+	ep.putFl(wrid)
 	ep.stats.RailRetransmits++
 	ep.charge(ep.m.CPUPostWQE + ep.m.DoorbellTime)
-	ep.trace(trace.KindRetransmit, fl.conn.peer, fl.wr.N, fl.rail)
+	ep.trace(trace.KindRetransmit, conn.peer, wr.N, rail)
 	if ep.rel == nil {
-		ep.post(fl.conn, fl.rail, fl.wr, nil)
+		ep.post(conn, rail, wr, nil)
 		return
 	}
-	ep.railFailed(fl.conn, fl.rail)
-	delay := ep.backoffDelay(ep.rel.RetryBase, ep.rel.RetryMax, fl.attempt, wrid)
-	conn, rail, wr, attempt := fl.conn, fl.rail, fl.wr, fl.attempt+1
+	ep.railFailed(conn, rail)
+	delay := ep.backoffDelay(ep.rel.RetryBase, ep.rel.RetryMax, attempt, wrid)
+	attempt++
 	ep.eng.Post(ep.eng.Now()+delay, func() {
 		ep.repostAfterBackoff(conn, rail, wr, attempt)
 	})

@@ -107,6 +107,9 @@ func (ep *Endpoint) PutBulk(peer, winID int, rkey uint32, off int, data []byte, 
 	// buffer (zero-copy, as in rendezvous); the request completes — and the
 	// base reference drops — when all writes ack (ack implies remote
 	// placement under RC).
+	if ep.integrity == IntegrityVerify {
+		ep.charge(ep.checksumTime(n))
+	}
 	if data != nil {
 		req.owner = ep.bufs.WrapTagged(data[:n], "rma-owner")
 	}
@@ -117,9 +120,13 @@ func (ep *Endpoint) PutBulk(peer, winID int, rkey uint32, off int, data []byte, 
 	for _, s := range plan {
 		var chunk []byte
 		var sv buf.View
+		var crc uint32
 		if !req.owner.Zero() {
 			sv = req.owner.Slice(s.Off, s.N).Retain()
 			chunk = sv.Bytes()
+			if ep.integrity != IntegrityOff {
+				crc = buf.Sum(chunk)
+			}
 		}
 		ep.charge(ep.m.CPUPostWQE + ep.m.DoorbellTime)
 		wrid := ep.nextWRID(func() {
@@ -134,7 +141,7 @@ func (ep *Endpoint) PutBulk(peer, winID int, rkey uint32, off int, data []byte, 
 		ep.post(conn, s.Rail, ib.SendWR{
 			WRID: wrid, Op: ib.OpRDMAWrite,
 			Data: chunk, N: s.N, RKey: rkey, RemoteOff: off + s.Off,
-			Signaled: true,
+			Signaled: true, Payload: true, CRC: crc,
 		}, nil)
 		ep.stats.StripesSent++
 		ep.trace(trace.KindRMA, peer, s.N, s.Rail)
@@ -183,7 +190,7 @@ func (ep *Endpoint) GetBulk(peer, winID int, rkey uint32, off int, buf []byte, n
 		ep.post(conn, s.Rail, ib.SendWR{
 			WRID: wrid, Op: ib.OpRDMARead,
 			Data: chunk, N: s.N, RKey: rkey, RemoteOff: off + s.Off,
-			Signaled: true,
+			Signaled: true, Payload: true,
 		}, nil)
 		ep.stats.StripesRead++
 		ep.trace(trace.KindRMA, peer, s.N, s.Rail)

@@ -23,11 +23,13 @@ func (ep *Endpoint) sendEager(conn *Conn, req *Request) {
 	env := ep.pool.get()
 	env.kind, env.src, env.tag, env.ctxID = envEager, ep.Rank, req.tag, req.ctxID
 	env.size, env.seq = req.n, conn.sendSeq
+	env.noCorrupt = req.noCorrupt
 	conn.sendSeq++
 	if req.data != nil {
 		env.pay = ep.capture(req.data, req.n, "eager")
 		ep.charge(sim.TransferTime(int64(req.n), ep.m.EagerCopyRate))
 	}
+	ep.stampPayloadCRC(env, req.n)
 	var rail int
 	if req.lane != NoLane {
 		rail = core.LaneRail(req.lane, len(conn.rails), conn.sched.Dead)
@@ -45,15 +47,34 @@ func (ep *Endpoint) sendEager(conn *Conn, req *Request) {
 	ep.stats.EagerSent++
 }
 
-// deliverEager completes a matched receive from an eager envelope.
+// deliverEager completes a matched receive from an eager envelope. With
+// verification off a carried taint materializes here, in the receiver's own
+// copy: a mangled wire header mis-reports the length (seeded truncation — the
+// matching fields are VCRC-protected, so liveness holds) and a bit flip XORs
+// one byte of the destination buffer. The sender's captured view is never
+// touched. With IntegrityVerify armed tainted envelopes cannot reach here.
 func (ep *Endpoint) deliverEager(req *Request, env *envelope) {
 	n := env.size
+	if env.hdrTaint && n > 0 {
+		n -= 1 + env.flipOff%n
+	}
+	corrupt := env.hdrTaint || env.flipMask != 0
 	if n > req.n {
 		n = req.n
 		req.status.Err = ErrTruncated
 	}
 	if req.data != nil && !env.pay.Zero() {
 		copy(req.data[:n], env.pay.Bytes()[:n])
+		if off := env.flipOff; env.flipMask != 0 && n > 0 {
+			if off >= n {
+				off = n - 1
+			}
+			req.data[off] ^= env.flipMask
+		}
+	}
+	ep.verifyEagerCRC(env)
+	if corrupt {
+		ep.corruptDelivered(env.src, n)
 	}
 	rate := ep.m.EagerCopyRate
 	if env.shm {
@@ -82,8 +103,19 @@ func (ep *Endpoint) sendRTS(conn *Conn, req *Request) {
 	// Zero-copy: the rendezvous path never captures the payload — the
 	// request wraps the user's buffer and holds that reference until the
 	// peer confirms placement (FIN under RndvWrite, DONE under RndvRead).
+	if ep.integrity == IntegrityVerify {
+		// The capture-time checksum pass is charged whether or not the run
+		// carries real bytes: synthetic workloads model the same wire traffic.
+		ep.charge(ep.checksumTime(req.n))
+	}
 	if req.data != nil {
 		req.owner = ep.bufs.WrapTagged(req.data[:req.n], "rndv-owner")
+		if ep.integrity != IntegrityOff {
+			// Whole-message checksum, computed over the source buffer before
+			// any stripe leaves the host and carried to the receiver in the
+			// RTS; the receiver re-checks the assembled buffer at FIN/DONE.
+			env.crc, env.hasCRC = buf.Sum(req.data[:req.n]), true
+		}
 	}
 	if ep.rndv == RndvRead {
 		// RGET exposes the sender's buffer in the RTS, so the sender pays
@@ -123,6 +155,9 @@ func (ep *Endpoint) startRead(req *Request, env *envelope) {
 	req.status.Source = env.src
 	req.status.Tag = env.tag
 	req.status.Count = xfer
+	if env.hasCRC {
+		req.crc, req.crcSet = env.crc, true
+	}
 
 	conn := ep.conns[env.src]
 	// The receiver's pull targets its own buffer: registration is charged
@@ -155,7 +190,7 @@ func (ep *Endpoint) startRead(req *Request, env *envelope) {
 		ep.post(conn, s.Rail, ib.SendWR{
 			WRID: wrid, Op: ib.OpRDMARead,
 			Data: chunk, N: s.N, RKey: env.rkey, RemoteOff: s.Off,
-			Signaled: true,
+			Signaled: true, Payload: true,
 		}, nil)
 		ep.stats.StripesRead++
 		ep.trace(trace.KindStripeRead, env.src, s.N, s.Rail)
@@ -164,6 +199,7 @@ func (ep *Endpoint) startRead(req *Request, env *envelope) {
 
 // finishRead completes the receive and releases the sender.
 func (ep *Endpoint) finishRead(conn *Conn, req, sreq *Request) {
+	ep.verifyAssembled(req)
 	done := ep.pool.get()
 	done.kind, done.src, done.sreq = envDone, ep.Rank, sreq
 	ep.charge(ep.m.CPUHeaderProc + ep.m.CPUPostWQE + ep.m.DoorbellTime)
@@ -204,6 +240,9 @@ func (ep *Endpoint) sendCTS(req *Request, env *envelope) {
 	req.status.Source = env.src
 	req.status.Tag = env.tag
 	req.status.Count = xfer
+	if env.hasCRC {
+		req.crc, req.crcSet = env.crc, true
+	}
 
 	cts := ep.pool.get()
 	cts.kind, cts.src, cts.sreq, cts.rreq, cts.rkey, cts.xfer = envCTS, ep.Rank, env.sreq, req, mr.RKey, xfer
@@ -241,9 +280,15 @@ func (ep *Endpoint) handleCTS(env *envelope) {
 	for _, s := range plan {
 		var chunk []byte
 		var sv buf.View
+		var crc uint32
 		if !sreq.owner.Zero() {
 			sv = sreq.owner.Slice(s.Off, s.N).Retain()
 			chunk = sv.Bytes()
+			if ep.integrity != IntegrityOff {
+				// Per-chunk checksum: what the receiving HCA judges each
+				// stripe by. Covered by the whole-message charge in sendRTS.
+				crc = buf.Sum(chunk)
+			}
 		}
 		ep.charge(ep.m.CPUPostWQE + ep.m.DoorbellTime)
 		wrid := ep.nextWRID(func() {
@@ -256,7 +301,7 @@ func (ep *Endpoint) handleCTS(env *envelope) {
 		ep.post(conn, s.Rail, ib.SendWR{
 			WRID: wrid, Op: ib.OpRDMAWrite,
 			Data: chunk, N: s.N, RKey: rkey, RemoteOff: s.Off,
-			Signaled: true, Ctx: nil,
+			Signaled: true, Ctx: nil, Payload: true, CRC: crc, NoCorrupt: sreq.noCorrupt,
 		}, nil)
 		ep.stats.StripesSent++
 		ep.trace(trace.KindStripeWrite, env.src, s.N, s.Rail)
@@ -285,6 +330,7 @@ func (ep *Endpoint) finishRendezvous(conn *Conn, sreq, rreq *Request) {
 func (ep *Endpoint) handleFIN(env *envelope) {
 	req := env.rreq
 	ep.charge(ep.m.CPUHeaderProc)
+	ep.verifyAssembled(req)
 	if mr, ok := ep.realm.LookupMR(req.mrKey); ok {
 		ep.realm.DeregisterMR(mr)
 	}

@@ -377,6 +377,5 @@ func (ep *Endpoint) repostAfterBackoff(conn *Conn, rail int, wr ib.SendWR, attem
 	ep.post(conn, rail, wr, nil)
 	if fl, ok := ep.inflight[wr.WRID]; ok {
 		fl.attempt = attempt
-		ep.inflight[wr.WRID] = fl
 	}
 }

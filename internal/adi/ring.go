@@ -111,21 +111,63 @@ func (ep *Endpoint) sendEagerRing(conn *Conn, req *Request) bool {
 	conn.owed = 0
 	env.ringCredits += conn.ringOwed
 	conn.ringOwed = 0
+	ep.stampPayloadCRC(env, req.n)
 	ep.charge(ep.m.CPUHeaderProc + ep.m.CPUPostWQE + ep.m.DoorbellTime)
 	ep.trace(trace.KindEager, req.peer, req.n, rail)
 	req.status = Status{Source: ep.Rank, Tag: req.tag, Count: req.n}
 	// Buffered-send semantics, as on the send/recv channel: the request
-	// completes when the descriptor reaches the hardware.
+	// completes when the descriptor reaches the hardware. Ring slots are
+	// payload WRs and the torn-write candidates: doorbell and payload land
+	// through separate writes, so a chaos plan can deliver them inconsistent.
 	ep.post(conn, rail, ib.SendWR{
 		WRID: ep.nextWRID(nil), Op: ib.OpRDMAWrite,
 		Data: env.pay.Bytes(), N: req.n + hdr,
 		RKey: ring.rkey, RemoteOff: slot * ring.slotBytes,
 		Imm: uint64(slot), HasImm: true,
 		Signaled: true, Ctx: env,
+		Payload: true, Ring: true, CRC: env.crc, NoCorrupt: req.noCorrupt,
 	}, func() { req.done = true })
 	ep.stats.EagerSent++
 	ep.stats.RingSends++
 	return true
+}
+
+// ---- torn-write consume guard ----
+//
+// The historical consume path trusted the doorbell: an immediate-data
+// arrival meant the slot's payload was in place. A torn write — the doorbell
+// outrunning the payload body — would hand the application a stale tail.
+// With integrity armed the slot format carries a consistency marker (the
+// wire header's trailing sequence byte, re-checked after copy-out); a
+// mismatch parks the envelope and re-polls the slot until the payload
+// settles, which the model expresses as the slot's tornAt instant.
+
+// ringTornGuard reports whether a polled ring slot is still inconsistent,
+// parking the envelope for the settle instant. Only armed integrity modes
+// see a nonzero tornAt: disarmed runs deliver the stale-tail image instead.
+func (ep *Endpoint) ringTornGuard(env *envelope) bool {
+	if env.tornAt == 0 || env.tornAt <= ep.eng.Now() {
+		env.tornAt = 0
+		return false
+	}
+	ep.stats.TornRepolls++
+	ep.trace(trace.KindTornRepoll, env.src, env.size, -1)
+	ep.tornWait = append(ep.tornWait, env)
+	at := env.tornAt
+	ep.eng.Post(at, func() { ep.wake() })
+	return true
+}
+
+// tornReadyEnv pops the next parked envelope whose slot has settled, if any.
+func (ep *Endpoint) tornReadyEnv() *envelope {
+	if len(ep.tornWait) == 0 || ep.tornWait[0].tornAt > ep.eng.Now() {
+		return nil
+	}
+	env := ep.tornWait[0]
+	ep.tornWait[0] = nil
+	ep.tornWait = ep.tornWait[1:]
+	env.tornAt = 0
+	return env
 }
 
 // ringConsumed accounts one polled ring slot on the receiver and returns

@@ -46,6 +46,11 @@ type Options struct {
 	// registration charges for buffers the per-endpoint LRU does not cover.
 	// nil preserves the historical free-registration behavior.
 	RegCache *regcache.Config
+	// Integrity selects the end-to-end checksum mode (integrity.go;
+	// DESIGN.md §17). The zero value (IntegrityOff) preserves every
+	// historical digest. IntegrityVerify implies rail-recovery WR tracking
+	// (a NACKed payload must be retransmittable).
+	Integrity IntegrityMode
 }
 
 // World is a fully wired simulated MPI job: hardware topology plus one
@@ -131,7 +136,7 @@ func (w *World) EnableRailRecovery() {
 	w.railRecovery = true
 	for _, ep := range w.Endpoints {
 		ep.trackWR = true
-		ep.inflight = make(map[uint64]inflightWR)
+		ep.inflight = make(map[uint64]*inflightWR)
 	}
 }
 
@@ -333,6 +338,7 @@ func buildWorld(eng *sim.Engine, g *sim.Group, shardOf []int, m *model.Params, s
 		node := cluster.NodeOf(r)
 		ep := newEndpoint(r, engOf(node), m, realm, policy, opt.Rndv, n, pool, w.bufs)
 		ep.eagerProto = opt.EagerProto
+		ep.integrity = opt.Integrity
 		ep.tr = opt.Trace
 		if g != nil && opt.Trace != nil {
 			ep.tr = w.trShards[shardOf[node]]
@@ -390,6 +396,12 @@ func buildWorld(eng *sim.Engine, g *sim.Group, shardOf []int, m *model.Params, s
 			epi.conns[j] = ci
 			epj.conns[i] = cj
 		}
+	}
+	if opt.Integrity == IntegrityVerify {
+		// Arm the receiving-HCA check and the WR tracking the NACK-driven
+		// retransmission depends on.
+		realm.EnableIntegrity()
+		w.EnableRailRecovery()
 	}
 	return w
 }

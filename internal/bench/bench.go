@@ -55,6 +55,10 @@ type Setup struct {
 	// the striped reference algorithms; CollLane runs the lane-decomposed
 	// ones of the LaneCollTable ablation).
 	CollAlg mpi.CollAlg
+
+	// Integrity arms the end-to-end payload checksum model (zero value =
+	// off, the historical transport; the IntegrityOverheadTable sweeps it).
+	Integrity adi.IntegrityMode
 }
 
 // Config builds the mpi.Config this setup describes.
@@ -76,6 +80,7 @@ func (s Setup) Config() mpi.Config {
 		RegCache:       s.RegCache,
 		Shards:         s.Shards,
 		CollAlg:        s.CollAlg,
+		Integrity:      s.Integrity,
 	}
 }
 

@@ -1,0 +1,34 @@
+package buf
+
+import "hash/crc32"
+
+// The ICRC stand-in of the integrity layer (DESIGN.md §17). InfiniBand's
+// invariant CRC is a CRC32 over the fields that do not change in flight;
+// the model uses CRC32-Castagnoli over the captured payload bytes, which
+// shares the property the recovery layer relies on: any error burst of 32
+// bits or fewer — in particular any single flipped byte — is guaranteed to
+// change the checksum.
+
+// castagnoli is shared by every checksum pass; crc32 table construction is
+// done once at init.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Sum computes the payload checksum carried on envelopes, ring slots, and
+// bulk stripes when integrity verification is armed.
+func Sum(b []byte) uint32 {
+	return crc32.Checksum(b, castagnoli)
+}
+
+// SumFlipped computes the checksum b would have if the byte at off were
+// XORed with mask, without materializing the corrupt image. The chaos
+// harness uses it to prove an injected flip is detectable before deciding
+// whether the receiving HCA model accepts or NACKs the chunk; the fault
+// injection itself must never write through a sender-owned view.
+func SumFlipped(b []byte, off int, mask byte) uint32 {
+	if off < 0 || off >= len(b) || mask == 0 {
+		return Sum(b)
+	}
+	crc := crc32.Update(0, castagnoli, b[:off])
+	crc = crc32.Update(crc, castagnoli, []byte{b[off] ^ mask})
+	return crc32.Update(crc, castagnoli, b[off+1:])
+}

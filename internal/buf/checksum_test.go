@@ -1,0 +1,58 @@
+package buf
+
+import (
+	"hash/crc32"
+	"testing"
+)
+
+func TestSumFlippedOutOfRangeIsIdentity(t *testing.T) {
+	b := []byte{1, 2, 3, 4}
+	want := Sum(b)
+	for _, off := range []int{-1, len(b), len(b) + 7} {
+		if got := SumFlipped(b, off, 0xFF); got != want {
+			t.Errorf("off=%d: SumFlipped=%#x, want the clean Sum %#x", off, got, want)
+		}
+	}
+	if got := SumFlipped(b, 2, 0); got != want {
+		t.Errorf("mask=0: SumFlipped=%#x, want the clean Sum %#x", got, want)
+	}
+}
+
+// FuzzChunkChecksum differentially checks the incremental flipped checksum
+// against the flat reference: materialize the corrupt image, checksum it
+// whole, and require SumFlipped to agree byte for byte. A corrupt image at
+// any in-range offset must always be detected (CRC32 catches every burst
+// of <= 32 bits, so a single XORed byte can never collide), and untouched
+// payloads must never be flagged.
+func FuzzChunkChecksum(f *testing.F) {
+	f.Add([]byte{}, 0, byte(0))
+	f.Add([]byte{0}, 0, byte(1))
+	f.Add([]byte("the quick brown fox"), 4, byte(0x80))
+	f.Add(make([]byte, 4096), 4095, byte(0xFF))
+	f.Add([]byte{0xDE, 0xAD, 0xBE, 0xEF}, 2, byte(0x10))
+	f.Fuzz(func(t *testing.T, b []byte, off int, mask byte) {
+		clean := Sum(b)
+		if ref := crc32.Checksum(b, castagnoli); clean != ref {
+			t.Fatalf("Sum=%#x disagrees with the flat reference %#x", clean, ref)
+		}
+		got := SumFlipped(b, off, mask)
+		if off < 0 || off >= len(b) || mask == 0 {
+			// No byte changes: the untouched payload must never be flagged.
+			if got != clean {
+				t.Fatalf("no-op flip (off=%d mask=%#x) moved the checksum: %#x vs %#x",
+					off, mask, got, clean)
+			}
+			return
+		}
+		corrupt := append([]byte(nil), b...)
+		corrupt[off] ^= mask
+		if ref := crc32.Checksum(corrupt, castagnoli); got != ref {
+			t.Fatalf("SumFlipped(off=%d mask=%#x)=%#x disagrees with the flat reference %#x",
+				off, mask, got, ref)
+		}
+		if got == clean {
+			t.Fatalf("flip at off=%d mask=%#x went undetected: checksum %#x unchanged",
+				off, mask, clean)
+		}
+	})
+}

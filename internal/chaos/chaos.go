@@ -46,6 +46,23 @@ const (
 	// ChunkLossEveryN drops every N-th chunk crossing the port (the legacy
 	// FaultEvery knob); each loss pays the RC retransmit timeout.
 	ChunkLossEveryN
+	// Payload corruption (DESIGN.md §17). Each corrupts every N-th payload
+	// descriptor posted through the targeted ports (N = 0 disarms; the byte,
+	// bit, and mangle draws are seeded by Seed, so replays are bit-identical).
+	// Control traffic never consults the plan — VCRC-protected wire headers —
+	// which keeps every plan liveness-safe by construction.
+	//
+	// BitFlipEveryN XORs one seeded bit of one seeded payload byte.
+	BitFlipEveryN
+	// HeaderCorrupt mangles the wire header of an eager envelope: the
+	// receiver mis-reads the payload length (seeded truncation). Matching
+	// fields stay intact, so the message still matches and completes.
+	HeaderCorrupt
+	// RingTornWrite delivers an RDMA eager ring slot whose doorbell and
+	// payload are momentarily inconsistent: with integrity armed the consume
+	// guard re-polls until the slot settles; disarmed receivers read the
+	// stale tail.
+	RingTornWrite
 )
 
 func (k EventKind) String() string {
@@ -64,6 +81,12 @@ func (k EventKind) String() string {
 		return "COMPLETION_DELAY"
 	case ChunkLossEveryN:
 		return "CHUNK_LOSS_EVERY_N"
+	case BitFlipEveryN:
+		return "BIT_FLIP_EVERY_N"
+	case HeaderCorrupt:
+		return "HEADER_CORRUPT"
+	case RingTornWrite:
+		return "RING_TORN_WRITE"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -79,9 +102,10 @@ type Event struct {
 	Port int // target port within node, -1 = all (rail events ignore it)
 	Rail int // rail index for RailDown/RailUp
 
-	N      int64    // ChunkLossEveryN period
+	N      int64    // ChunkLossEveryN / corruption period (0 disarms)
 	Factor float64  // LinkDegrade rate multiplier (0 < Factor <= 1)
 	Pad    sim.Time // added latency / stall length / ack delay
+	Seed   uint64   // corruption events: byte/bit/mangle draw seed
 }
 
 // Plan is a named, ordered fault schedule. The zero value (and NoFaults)
@@ -151,6 +175,12 @@ func (p *Plan) apply(eng *sim.Engine, w *adi.World, ev Event) {
 		p.eachPort(w, ev, func(port *hca.Port) { port.AckDelay = ev.Pad })
 	case ChunkLossEveryN:
 		p.eachPort(w, ev, func(port *hca.Port) { port.ErrorEvery = ev.N })
+	case BitFlipEveryN:
+		p.eachPort(w, ev, func(port *hca.Port) { port.FlipEvery = ev.N; port.CorruptSeed = ev.Seed })
+	case HeaderCorrupt:
+		p.eachPort(w, ev, func(port *hca.Port) { port.HdrEvery = ev.N; port.CorruptSeed = ev.Seed })
+	case RingTornWrite:
+		p.eachPort(w, ev, func(port *hca.Port) { port.TornEvery = ev.N; port.CorruptSeed = ev.Seed })
 	default:
 		panic(fmt.Sprintf("chaos: unknown event kind %v", ev.Kind))
 	}
@@ -240,6 +270,36 @@ func DelayedCompletions(from, until sim.Time, node, port int, d sim.Time) *Plan 
 	}
 }
 
+// BitFlipPlan corrupts one seeded payload bit on every n-th payload
+// descriptor crossing any port of node (node = -1 for all) from `at` on.
+// Pair with a second event (N = 0) to disarm mid-run.
+func BitFlipPlan(at sim.Time, node int, n int64, seed uint64) *Plan {
+	return &Plan{
+		Name:   fmt.Sprintf("bit-flip-n%d-every-%d", node, n),
+		Events: []Event{{At: at, Kind: BitFlipEveryN, Node: node, Port: -1, N: n, Seed: seed}},
+	}
+}
+
+// HeaderCorruptPlan mangles the wire header of every n-th eager envelope
+// crossing any port of node (node = -1 for all) from `at` on.
+func HeaderCorruptPlan(at sim.Time, node int, n int64, seed uint64) *Plan {
+	return &Plan{
+		Name:   fmt.Sprintf("hdr-corrupt-n%d-every-%d", node, n),
+		Events: []Event{{At: at, Kind: HeaderCorrupt, Node: node, Port: -1, N: n, Seed: seed}},
+	}
+}
+
+// TornWritePlan delivers every n-th ring eager slot torn (doorbell ahead of
+// payload) on any port of node (node = -1 for all) from `at` on. Only runs
+// with EagerProto = EagerRDMAWrite have torn candidates; other payload
+// descriptors are unaffected.
+func TornWritePlan(at sim.Time, node int, n int64, seed uint64) *Plan {
+	return &Plan{
+		Name:   fmt.Sprintf("torn-write-n%d-every-%d", node, n),
+		Events: []Event{{At: at, Kind: RingTornWrite, Node: node, Port: -1, N: n, Seed: seed}},
+	}
+}
+
 // Merge concatenates plans into one composite schedule.
 func Merge(name string, plans ...*Plan) *Plan {
 	out := &Plan{Name: name}
@@ -299,6 +359,40 @@ func Generate(seed int64, horizon sim.Time, nodes, rails, ports int) *Plan {
 		p.Events = append(p.Events, Event{
 			At: 0, Kind: ChunkLossEveryN, Node: -1, Port: -1,
 			N: int64(64 + rng.Intn(192)),
+		})
+	}
+	return p
+}
+
+// GenerateCorrupting extends Generate's seeded schedule with payload
+// corruption: a bit-flip regime, maybe a header-mangle regime, and maybe a
+// torn-write regime (harmless unless the run uses the RDMA eager ring). The
+// base schedule for a given seed is exactly Generate's — the corruption
+// draws come after every base draw — so the two generators stay comparable.
+// Like Generate, the result is liveness-safe: corruption only touches
+// payload descriptors, never the control plane, and the integrity layer's
+// NACK retransmissions are corruption-exempt.
+func GenerateCorrupting(seed int64, horizon sim.Time, nodes, rails, ports int) *Plan {
+	p := Generate(seed, horizon, nodes, rails, ports)
+	p.Name = fmt.Sprintf("generated-corrupting-%d", seed)
+	rng := rand.New(rand.NewSource(seed ^ 0x1CBC))
+	at := func(lo, hi float64) sim.Time {
+		return sim.Time(float64(horizon) * (lo + (hi-lo)*rng.Float64()))
+	}
+	p.Events = append(p.Events, Event{
+		At: at(0.0, 0.2), Kind: BitFlipEveryN, Node: rng.Intn(nodes), Port: -1,
+		N: int64(3 + rng.Intn(13)), Seed: rng.Uint64(),
+	})
+	if rng.Intn(2) == 0 {
+		p.Events = append(p.Events, Event{
+			At: at(0.1, 0.5), Kind: HeaderCorrupt, Node: -1, Port: -1,
+			N: int64(5 + rng.Intn(11)), Seed: rng.Uint64(),
+		})
+	}
+	if rng.Intn(2) == 0 {
+		p.Events = append(p.Events, Event{
+			At: 0, Kind: RingTornWrite, Node: -1, Port: -1,
+			N: int64(2 + rng.Intn(6)), Seed: rng.Uint64(),
 		})
 	}
 	return p

@@ -51,6 +51,14 @@ type OracleConfig struct {
 	// payload digest must be byte-identical to the striped baseline's even
 	// under mpi.CollLane's ring-ordered reductions.
 	CollAlg mpi.CollAlg
+
+	// Integrity selects the end-to-end checksum mode (mpi.Config.Integrity).
+	// Under IntegrityVerify every corrupted chunk is caught at the receiver
+	// and NACK-retransmitted, so the payload digest must be byte-identical to
+	// the fault-free baseline's even under corruption plans. IntegrityAudit
+	// delivers the corruption (tallied) and IntegrityOff is the historical
+	// zero value.
+	Integrity adi.IntegrityMode
 }
 
 func (c OracleConfig) withDefaults() OracleConfig {
@@ -90,6 +98,16 @@ type RunResult struct {
 	Elapsed          sim.Time
 	RailRetransmits  int64 // WRs rerouted after rail deaths
 	ChunkRetransmits int64 // chunks lost on the wire and resent
+
+	// Integrity-layer activity summed over ranks (all zero when
+	// OracleConfig.Integrity is IntegrityOff and the plan injects no
+	// corruption). NACKs count receiver-detected checksum failures that
+	// forced a retransmit; corrupt deliveries count payloads that landed
+	// tainted with verification disarmed; torn repolls count eager-ring
+	// slots whose doorbell beat their payload.
+	IntegrityNacks    int64
+	CorruptDeliveries int64
+	TornRepolls       int64
 
 	// Rail-health transitions of the reliability layer, summed over ranks
 	// (all zero when OracleConfig.Reliability is nil).
@@ -198,6 +216,7 @@ func RunConformance(cfg OracleConfig) (*RunResult, error) {
 		Deadline:     cfg.Deadline,
 		Shards:       cfg.Shards,
 		CollAlg:      cfg.CollAlg,
+		Integrity:    cfg.Integrity,
 	}
 	if cfg.Plan != nil {
 		mcfg.Chaos = cfg.Plan
@@ -292,6 +311,11 @@ func RunConformance(cfg OracleConfig) (*RunResult, error) {
 	putT(uint64(rep.Elapsed))
 	res.TraceDigest = th.Sum64()
 
+	for _, st := range rep.RankStats {
+		res.IntegrityNacks += st.IntegrityNacks
+		res.CorruptDeliveries += st.CorruptDeliveries
+		res.TornRepolls += st.TornRepolls
+	}
 	for _, st := range rep.RankStats {
 		res.RailRetransmits += st.RailRetransmits
 		res.RailSuspects += st.RailSuspects

@@ -186,3 +186,90 @@ func TestFalseSuspectRecovers(t *testing.T) {
 		t.Error("Health counter block disagrees with the summed stats")
 	}
 }
+
+// TestCorruptionFalseSuspectRecovers mirrors the integrity suite's
+// corruption-strike arc through the full health state machine: a transient
+// flipper burst NACKs enough payloads to strike its rails into suspect and
+// on to quarantine, the burst disarms, and the first probe — probes are
+// control traffic, exempt from payload corruption — finds the rail
+// physically fine and reintegrates it. The answer never moves: every NACKed
+// payload was retransmitted clean by the HCA before the strike was even
+// booked.
+func TestCorruptionFalseSuspectRecovers(t *testing.T) {
+	base, err := RunConformance(OracleConfig{Seed: oracleSeed, Policy: core.RoundRobin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	transient := Merge("transient-flipper",
+		BitFlipPlan(20*sim.Microsecond, -1, 3, 0x5EED),
+		&Plan{Events: []Event{{At: 500 * sim.Microsecond, Kind: BitFlipEveryN, Node: -1, Port: -1, N: 0}}})
+	res, err := RunConformance(OracleConfig{
+		Seed: oracleSeed, Policy: core.RoundRobin, Plan: transient,
+		Integrity: adi.IntegrityVerify,
+		// One strike quarantines: the arc under test is a single flip driving
+		// suspect -> quarantine -> probe -> reintegrate end to end.
+		Reliability: &adi.ReliabilityConfig{Seed: oracleSeed, SuspectAfter: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if res.Digest != base.Digest {
+		t.Errorf("corruption strikes changed the answer: %#x vs %#x", res.Digest, base.Digest)
+	}
+	if res.IntegrityNacks == 0 {
+		t.Fatal("flipper burst never NACKed; injection not engaging")
+	}
+	if res.CorruptDeliveries != 0 {
+		t.Errorf("verify mode delivered %d corrupt payloads", res.CorruptDeliveries)
+	}
+	if res.RailSuspects == 0 {
+		t.Error("corruption strikes never turned a rail suspect")
+	}
+	if res.RailQuarantines == 0 {
+		t.Error("repeated corruption strikes never quarantined a rail")
+	}
+	if res.RailReintegrations == 0 {
+		t.Error("quarantined rail never reintegrated after the burst disarmed")
+	}
+}
+
+// TestPersistentFlipperQuarantined pins the complementary arc: a rail
+// population that never stops flipping keeps striking into quarantine, and
+// however often the (corruption-exempt) probes reintegrate it, the answer
+// still matches the fault-free baseline — integrity turns a corrupting
+// fabric into a slow fabric, never a wrong one.
+func TestPersistentFlipperQuarantined(t *testing.T) {
+	base, err := RunConformance(OracleConfig{Seed: oracleSeed, Policy: core.EvenStriping})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunConformance(OracleConfig{
+		Seed: oracleSeed, Policy: core.EvenStriping,
+		Plan:        BitFlipPlan(10*sim.Microsecond, -1, 3, 0xBADF),
+		Integrity:   adi.IntegrityVerify,
+		Reliability: &adi.ReliabilityConfig{Seed: oracleSeed, SuspectAfter: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if res.Digest != base.Digest {
+		t.Errorf("persistent flipper changed the answer: %#x vs %#x", res.Digest, base.Digest)
+	}
+	if res.RailQuarantines == 0 {
+		t.Errorf("persistent flipper never quarantined a rail (nacks=%d suspects=%d)",
+			res.IntegrityNacks, res.RailSuspects)
+	}
+	if res.IntegrityNacks < res.RailQuarantines {
+		t.Errorf("quarantines (%d) outnumber NACKs (%d); strikes are being double-booked",
+			res.RailQuarantines, res.IntegrityNacks)
+	}
+	if res.CorruptDeliveries != 0 {
+		t.Errorf("verify mode delivered %d corrupt payloads", res.CorruptDeliveries)
+	}
+}

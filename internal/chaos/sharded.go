@@ -99,6 +99,15 @@ func applyPorts(g *sim.Group, w *adi.World, ev Event, n int) {
 			port.AckDelay = ev.Pad
 		case ChunkLossEveryN:
 			port.ErrorEvery = ev.N
+		case BitFlipEveryN:
+			port.FlipEvery = ev.N
+			port.CorruptSeed = ev.Seed
+		case HeaderCorrupt:
+			port.HdrEvery = ev.N
+			port.CorruptSeed = ev.Seed
+		case RingTornWrite:
+			port.TornEvery = ev.N
+			port.CorruptSeed = ev.Seed
 		default:
 			panic(fmt.Sprintf("chaos: unknown event kind %v", ev.Kind))
 		}

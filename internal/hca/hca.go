@@ -89,6 +89,24 @@ type Port struct {
 	// (delayed completions at the responder).
 	AckDelay sim.Time
 
+	// Corruption plan (the chaos harness's integrity faults; DESIGN.md
+	// §17). Each knob corrupts every N-th payload descriptor posted
+	// through this port (0 disables); the shared counter advances once per
+	// payload descriptor regardless of which knobs are armed, so plans
+	// compose deterministically. CorruptSeed feeds the per-event byte/bit
+	// selection. Control traffic (probes, credits, RTS/CTS/FIN, atomics)
+	// never consults the plan — the model treats it as protected by the
+	// transport's VCRC, which keeps every corruption plan liveness-safe.
+	//
+	// FlipEvery flips one seeded bit of the payload (BitFlipEveryN);
+	// HdrEvery mangles the wire header of an envelope-bearing descriptor
+	// (HeaderCorrupt); TornEvery delivers a ring slot whose payload trails
+	// its doorbell (RingTornWrite; ring descriptors only).
+	FlipEvery   int64
+	HdrEvery    int64
+	TornEvery   int64
+	CorruptSeed uint64
+
 	// PadSched, when non-nil, is the precomputed LatencyPad timeline
 	// (sorted by At). Sharded chaos runs install it so that flows on OTHER
 	// shards evaluate this port's pad at any virtual time without reading
@@ -105,6 +123,53 @@ type Port struct {
 	Retransmits int64 // chunks retransmitted after injected errors
 
 	chunksSent int64 // error-injection counter
+	payloadWRs int64 // corruption-injection counter (payload descriptors posted)
+}
+
+// Corrupt describes the integrity fault the port's corruption plan assigns
+// to one payload descriptor. Rnd is the seeded draw the consumer derives
+// the byte offset and bit mask from; the zero value means "clean".
+type Corrupt struct {
+	Flip bool   // flip one bit of the payload
+	Hdr  bool   // mangle the wire header
+	Torn bool   // ring slot payload trails its doorbell
+	Rnd  uint64 // seeded draw for byte/bit selection
+}
+
+// CorruptNext evaluates the port's corruption plan against the next payload
+// descriptor posted through it. ring marks a descriptor that lands in an
+// RDMA eager ring slot (the only torn-write candidates); env marks one that
+// carries a wire header (the only header-corruption candidates). Called at
+// post time on the port's owning shard, exactly like Sched bookings, so the
+// counter sequence is identical serial and sharded.
+func (p *Port) CorruptNext(ring, env bool) Corrupt {
+	if p.FlipEvery == 0 && p.HdrEvery == 0 && p.TornEvery == 0 {
+		return Corrupt{}
+	}
+	p.payloadWRs++
+	c := Corrupt{Rnd: corruptMix(p.CorruptSeed ^ uint64(p.payloadWRs)*0x9E3779B97F4A7C15)}
+	switch {
+	case ring && p.TornEvery > 0 && p.payloadWRs%p.TornEvery == 0:
+		c.Torn = true
+	case p.FlipEvery > 0 && p.payloadWRs%p.FlipEvery == 0:
+		c.Flip = true
+	case env && p.HdrEvery > 0 && p.payloadWRs%p.HdrEvery == 0:
+		c.Hdr = true
+	default:
+		return Corrupt{}
+	}
+	return c
+}
+
+// corruptMix is splitmix64's finalizer: a cheap, well-mixed hash of the
+// (seed, counter) pair that makes flip positions deterministic per event.
+func corruptMix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
 }
 
 func newPort(name string, bus *gx.Bus, m *model.Params, net *fabric.Net) *Port {

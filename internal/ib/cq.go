@@ -16,6 +16,12 @@ const (
 	// even if the trailing ack was lost — exactly-once semantics, matching
 	// a Reliable Connection's responder-side duplicate suppression.
 	StatusFlushErr
+	// StatusIntegrityErr reports a payload work request rejected by the
+	// receiving HCA's ICRC-style check (mpi.Config.Integrity armed): the
+	// corrupt image was never placed, so the remote side is untouched and
+	// the requester must retransmit — the NAK of the integrity layer. Only
+	// the chaos harness's corruption plans can produce it.
+	StatusIntegrityErr
 )
 
 // CQE is a completion queue entry.
@@ -37,6 +43,20 @@ type CQE struct {
 	// AtomicOld is the pre-operation value returned by OpAtomicFAdd and
 	// OpAtomicCAS completions.
 	AtomicOld uint64
+
+	// Corruption taint (chaos integrity plans, verification off). On a
+	// receive completion it tells the consumer which corrupt image the wire
+	// delivered; on a send completion it echoes the taint back so audit
+	// mode can tally silent escapes at the endpoint that owns the stats.
+	// With verification armed these never reach a receive completion — the
+	// tainted placement is suppressed and the sender sees
+	// StatusIntegrityErr instead. FlipOff/FlipMask describe a single
+	// XORed payload byte; HdrTaint a mangled wire header; TornAt the
+	// instant a torn ring slot's payload settles (zero = consistent).
+	FlipOff  int
+	FlipMask byte
+	HdrTaint bool
+	TornAt   sim.Time
 }
 
 // CQ is a completion queue. Completions are pushed by the simulated

@@ -81,11 +81,21 @@ type Realm struct {
 	sharded bool
 	opMu    sync.Mutex
 	mrMu    sync.RWMutex
+
+	// integrity arms the receiving-HCA ICRC check: tainted payload
+	// placements are suppressed and the sender is NACKed with
+	// StatusIntegrityErr. Set once at world build (mpi.Config.Integrity),
+	// read-only during the run, so shards read it freely.
+	integrity bool
 }
 
 // EnableSharded switches the realm's shared structures to thread-safe mode
 // for a sharded engine group. Call before the run starts.
 func (r *Realm) EnableSharded() { r.sharded = true }
+
+// EnableIntegrity arms the ICRC-style placement check on every QP of the
+// realm (DESIGN.md §17). Call before the run starts.
+func (r *Realm) EnableIntegrity() { r.integrity = true }
 
 // bump increments a realm counter: atomically in sharded runs, plainly
 // otherwise.

@@ -1,6 +1,7 @@
 package ib
 
 import (
+	"ib12x/internal/buf"
 	"ib12x/internal/hca"
 	"ib12x/internal/sim"
 )
@@ -32,6 +33,29 @@ type SendWR struct {
 	// Ctx is an opaque protocol object delivered in the responder's CQE
 	// (simulation stand-in for header bytes in a bounce buffer).
 	Ctx any
+
+	// Payload marks a descriptor that carries MPI payload bytes: eager
+	// envelopes, ring slots, rendezvous and one-sided bulk stripes. Only
+	// payload descriptors consult the port's corruption plan and the
+	// ICRC-style verification; control traffic (credit updates, probes,
+	// RTS/CTS/FIN, atomics) is modeled as protected by the transport's
+	// VCRC and is never corrupted, which keeps corruption plans
+	// liveness-safe. Ring further marks a payload descriptor that lands in
+	// an RDMA eager ring slot — the only torn-write candidates.
+	Payload bool
+	Ring    bool
+
+	// NoCorrupt exempts a retransmission from the injection counters: a
+	// retry is a different wire traversal, so the NACK-recovery loop
+	// converges even under an every-descriptor corruption plan (a
+	// persistently bad rail is modeled by the counter striking fresh
+	// traffic until the health layer quarantines it).
+	NoCorrupt bool
+
+	// CRC is the capture-time payload checksum (buf.Sum over Data) carried
+	// on the wire when integrity verification is armed; zero when off. The
+	// receiving HCA model uses it to prove an injected fault detectable.
+	CRC uint32
 }
 
 // RecvWR is a receive-side work request. Buf may be nil to discard payload.
@@ -49,6 +73,14 @@ type message struct {
 	imm    uint64
 	hasImm bool
 	ctx    any
+
+	// Corruption taint carried to the receive completion (see CQE). The
+	// corrupt image is never materialized in sender-owned memory — the
+	// consumer applies the flip to its own receive-side copy.
+	flipOff  int
+	flipMask byte
+	hdr      bool
+	tornAt   sim.Time
 }
 
 // recvPool is the receive-buffer pool behind a QP or an SRQ: posted WRs plus
@@ -93,6 +125,11 @@ func deliver(msg message, wr RecvWR) {
 		HasImm: msg.hasImm,
 		Ctx:    msg.ctx,
 		Data:   msg.data,
+
+		FlipOff:  msg.flipOff,
+		FlipMask: msg.flipMask,
+		HdrTaint: msg.hdr,
+		TornAt:   msg.tornAt,
 	})
 }
 
@@ -316,6 +353,10 @@ func (q *QP) PostSend(wr SendWR) error {
 	o.imm, o.hasImm, o.ctx = wr.Imm, wr.HasImm, wr.Ctx
 	o.mr = mr
 	o.wrid, o.signaled = wr.WRID, wr.Signaled
+	o.crc = wr.CRC
+	if wr.Payload && !wr.NoCorrupt {
+		o.stampCorrupt(q.Port.CorruptNext(wr.Ring, wr.Ctx != nil))
+	}
 	o.stampFlush()
 	q.flow.SendCtx(wr.N, o, opDelivered, opAcked)
 	return nil
@@ -361,6 +402,83 @@ type wrOp struct {
 	hazardHeld  bool
 	captured    []byte
 	hasCaptured bool
+
+	// Integrity state: the capture-time checksum (verification armed), the
+	// corruption taint the port's plan assigned at post, and the verdict of
+	// the receiving HCA's check. integrityFail is written at delivery on
+	// the destination shard and read at ack on the source shard — the same
+	// causal hand-off as effected.
+	crc           uint32
+	flipOff       int
+	flipMask      byte
+	hdrTaint      bool
+	torn          bool
+	integrityFail bool
+}
+
+// stampCorrupt derives the descriptor's taint from the port's plan draw.
+// A flip picks one seeded byte and bit of the payload; a torn ring slot
+// additionally pre-computes the stale-tail image (last payload byte) that a
+// disarmed receiver consumes; a header fault carries the raw draw for the
+// receive side's seeded length mangling.
+func (o *wrOp) stampCorrupt(c hca.Corrupt) {
+	switch {
+	case c.Flip:
+		if len(o.data) > 0 {
+			o.flipOff = int(c.Rnd % uint64(len(o.data)))
+		}
+		o.flipMask = 1 << ((c.Rnd >> 8) % 8)
+	case c.Torn:
+		o.torn = true
+		if len(o.data) > 0 {
+			o.flipOff = len(o.data) - 1
+		}
+		o.flipMask = 1 << ((c.Rnd >> 8) % 8)
+	case c.Hdr:
+		o.hdrTaint = true
+		o.flipOff = int(c.Rnd & 0xFFFF)
+	}
+}
+
+// verifyTaint is the receiving-HCA check's self-check: the corrupt image
+// must provably disagree with the capture-time checksum while the clean
+// bytes still match it. Either failing is a model bug (a checksum that
+// cannot see the fault it is rejecting), never a simulated fault.
+func (o *wrOp) verifyTaint() {
+	if o.crc == 0 || len(o.data) == 0 {
+		return
+	}
+	if buf.Sum(o.data) != o.crc {
+		panic("ib: captured payload no longer matches its capture-time checksum")
+	}
+	if o.flipMask != 0 && buf.SumFlipped(o.data, o.flipOff, o.flipMask) == o.crc {
+		panic("ib: injected bit flip is invisible to the checksum")
+	}
+}
+
+// verifyRead is the read-response analogue: reads carry no capture-time
+// checksum (the responder's HCA computes it over the region as it streams),
+// so the self-check only proves the flip would have changed the source
+// bytes' checksum.
+func (o *wrOp) verifyRead() {
+	src := o.captured
+	if !o.hasCaptured && o.mr.Buf != nil {
+		k := o.n
+		if len(o.mr.Buf)-o.off < k {
+			k = len(o.mr.Buf) - o.off
+		}
+		src = o.mr.Buf[o.off : o.off+k]
+	}
+	if len(src) == 0 || o.flipMask == 0 {
+		return
+	}
+	off := o.flipOff
+	if off >= len(src) {
+		off = len(src) - 1
+	}
+	if buf.SumFlipped(src, off, o.flipMask) == buf.Sum(src) {
+		panic("ib: injected read flip is invisible to the checksum")
+	}
 }
 
 // lostAt reports whether the descriptor was flushed by a failure as of
@@ -450,11 +568,32 @@ func opDelivered(a any, t hca.Timing) {
 	if o.lostAt(t.InMemory) {
 		return
 	}
+	armed := q.realm.integrity
+	if armed && !o.torn && (o.flipMask != 0 || o.hdrTaint) {
+		// The receiving HCA's ICRC check rejects the corrupt image: nothing
+		// is placed, no receive completes, and the ack carries the NAK
+		// (StatusIntegrityErr at opAcked). effected stays false — exactly a
+		// lost chunk's footprint at the responder.
+		o.verifyTaint()
+		o.integrityFail = true
+		return
+	}
+	flipOff, flipMask, hdr := o.flipOff, o.flipMask, o.hdrTaint
+	var tornAt sim.Time
+	if o.torn && armed {
+		// Armed torn write: the doorbell outran the payload, but the slot
+		// format carries a consistency marker, so the bytes are merely late,
+		// not wrong. The slot settles shortly after placement; the ring
+		// consume guard re-polls until then and never sees the stale tail.
+		flipOff, flipMask = 0, 0
+		tornAt = t.InMemory + q.realm.M.TornSettle
+	}
 	o.effected = true
 	remote := q.remote
 	switch o.op {
 	case OpSend:
-		remote.arrive(message{qp: remote, data: o.data, n: o.n, imm: o.imm, hasImm: o.hasImm, ctx: o.ctx})
+		remote.arrive(message{qp: remote, data: o.data, n: o.n, imm: o.imm, hasImm: o.hasImm, ctx: o.ctx,
+			flipOff: flipOff, flipMask: flipMask, hdr: hdr})
 	case OpRDMAWrite:
 		if o.mr.Buf != nil && o.data != nil {
 			k := o.n
@@ -462,9 +601,15 @@ func opDelivered(a any, t hca.Timing) {
 				k = len(o.data)
 			}
 			copy(o.mr.Buf[o.off:o.off+k], o.data[:k])
+			if flipMask != 0 && flipOff < k {
+				// Disarmed flip (or stale torn tail) materializes in the
+				// receiver's memory only — sender-owned views stay intact.
+				o.mr.Buf[o.off+flipOff] ^= flipMask
+			}
 		}
 		if o.hasImm {
-			remote.arrive(message{qp: remote, n: o.n, imm: o.imm, hasImm: true, ctx: o.ctx})
+			remote.arrive(message{qp: remote, n: o.n, imm: o.imm, hasImm: true, ctx: o.ctx,
+				flipOff: flipOff, flipMask: flipMask, hdr: hdr, tornAt: tornAt})
 		}
 	}
 }
@@ -474,13 +619,37 @@ func opDelivered(a any, t hca.Timing) {
 func opAcked(a any, _ hca.Timing) {
 	o := a.(*wrOp)
 	q := o.q
+	if o.integrityFail && !q.lost(o.epoch) {
+		// NAK Invalid-ICRC: the requester HCA retransmits autonomously —
+		// a transport-level retry below the verbs layer, exempt from further
+		// corruption (a transient flip does not repeat) and alive even when
+		// the consumer never polls again. A signaled WR surfaces one
+		// informational StatusIntegrityErr CQE per rejection so software can
+		// tally it and strike the rail; the completion callback semantics
+		// ride the eventual success CQE of the same WRID.
+		if o.signaled {
+			q.CQ.push(CQE{QPN: q.QPN, WRID: o.wrid, Op: o.op, Status: StatusIntegrityErr, Bytes: o.n})
+		}
+		o.integrityFail = false
+		o.flipOff, o.flipMask, o.hdrTaint, o.torn = 0, 0, false, false
+		q.flow.SendCtx(o.n, o, opDelivered, opAcked)
+		return
+	}
+	o.integrityFail = false // rail died before the retry: the flush wins
 	q.outstanding--
 	st := StatusSuccess
 	if q.lost(o.epoch) && !o.effected {
 		st = StatusFlushErr
 	}
 	if o.signaled {
-		q.CQ.push(CQE{QPN: q.QPN, WRID: o.wrid, Op: o.op, Status: st, Bytes: o.n})
+		e := CQE{QPN: q.QPN, WRID: o.wrid, Op: o.op, Status: st, Bytes: o.n}
+		if st == StatusSuccess && !q.realm.integrity && (o.flipMask != 0 || o.hdrTaint) {
+			// Disarmed taint echo: the receiver of a stripe has no receive
+			// completion to see the corruption on, so audit mode reads it off
+			// the sender's success CQE.
+			e.FlipOff, e.FlipMask, e.HdrTaint = o.flipOff, o.flipMask, o.hdrTaint
+		}
+		q.CQ.push(e)
 	}
 	q.realm.putOp(o)
 }
@@ -496,6 +665,9 @@ func (q *QP) postRead(wr SendWR, mr *MR) {
 	o.data, o.n, o.off = wr.Data, wr.N, wr.RemoteOff
 	o.mr = mr
 	o.wrid, o.signaled = wr.WRID, wr.Signaled
+	if wr.Payload && !wr.NoCorrupt {
+		o.stampCorrupt(q.Port.CorruptNext(false, false))
+	}
 	o.stampFlush()
 	o.raiseHazard()
 	q.flow.SendCtx(0, o, readReqDelivered, nil)
@@ -549,6 +721,20 @@ func readRespDelivered(a any, t hca.Timing) {
 		o.flushRead() // response lost in flight; no local memory was touched
 		return
 	}
+	if q.realm.integrity && o.flipMask != 0 {
+		// The requester's HCA ICRC check rejects the corrupt read response:
+		// local memory is untouched and the transport re-issues the read
+		// autonomously, exempt from further corruption. One informational
+		// StatusIntegrityErr CQE per rejection lets software tally it; the
+		// op itself stays in flight until the clean response lands.
+		o.verifyRead()
+		if o.signaled {
+			q.CQ.push(CQE{QPN: q.QPN, WRID: o.wrid, Op: OpRDMARead, Status: StatusIntegrityErr, Bytes: o.n})
+		}
+		o.flipOff, o.flipMask = 0, 0
+		q.flow.SendCtx(0, o, readReqDelivered, nil)
+		return
+	}
 	if o.hasCaptured {
 		copy(o.data[:len(o.captured)], o.captured)
 	} else if o.data != nil && o.mr.Buf != nil {
@@ -558,9 +744,24 @@ func readRespDelivered(a any, t hca.Timing) {
 		}
 		copy(o.data[:k], o.mr.Buf[o.off:o.off+k])
 	}
+	if o.flipMask != 0 && o.data != nil {
+		off := o.flipOff
+		if off >= len(o.data) {
+			off = len(o.data) - 1
+		}
+		if off >= 0 {
+			// Disarmed read flip materializes in the requester's local copy
+			// only — the responder's region is never touched.
+			o.data[off] ^= o.flipMask
+		}
+	}
 	q.outstanding--
 	if o.signaled {
-		q.CQ.push(CQE{QPN: q.QPN, WRID: o.wrid, Op: OpRDMARead, Status: StatusSuccess, Bytes: o.n})
+		e := CQE{QPN: q.QPN, WRID: o.wrid, Op: OpRDMARead, Status: StatusSuccess, Bytes: o.n}
+		if o.flipMask != 0 {
+			e.FlipOff, e.FlipMask = o.flipOff, o.flipMask
+		}
+		q.CQ.push(e)
 	}
 	o.dropHazard()
 	q.realm.putOp(o)

@@ -148,6 +148,23 @@ type Params struct {
 	HdrCacheSlots      int
 	HdrCompressedBytes int
 
+	// ---- End-to-end integrity (adi.IntegrityVerify; DESIGN.md §17) ----
+
+	// ChecksumCost is the fixed host cost to start one ICRC-style checksum
+	// pass (descriptor setup, cache warm-up); ChecksumRate is the streaming
+	// rate of the checksum loop, bytes/s. Charged once at capture time on
+	// the sender and once per verification at the receiver when
+	// mpi.Config.Integrity arms verification; the zero-value integrity mode
+	// never touches either constant.
+	ChecksumCost sim.Time
+	ChecksumRate float64
+
+	// TornSettle is how long an RDMA eager ring slot whose doorbell raced
+	// ahead of its payload stays inconsistent: a receiver that polls the
+	// slot inside this window sees the torn image and must re-poll. Only
+	// the chaos harness's RingTornWrite plan produces such slots.
+	TornSettle sim.Time
+
 	// ---- Intra-node shared memory channel ----
 
 	// ShmemLatency is the one-way small-message latency through the
@@ -199,6 +216,10 @@ func Default() *Params {
 		RingPollCost:       150 * sim.Nanosecond,
 		HdrCacheSlots:      64,
 		HdrCompressedBytes: 16,
+
+		ChecksumCost: 60 * sim.Nanosecond,
+		ChecksumRate: 6.0e9,
+		TornSettle:   400 * sim.Nanosecond,
 
 		ShmemLatency: 350 * sim.Nanosecond,
 		ShmemRate:    4.0e9,

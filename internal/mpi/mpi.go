@@ -89,6 +89,12 @@ type Config struct {
 	// already covers the buffer. nil (the default) keeps registration
 	// free, matching all historical digests.
 	RegCache *regcache.Config
+	// Integrity selects the end-to-end payload checksum mode (DESIGN.md
+	// §17): adi.IntegrityOff (default, historical digests), IntegrityAudit
+	// (checksums carried for self-checking, corruption still delivered and
+	// tallied), or IntegrityVerify (capture/verify checksum charges, corrupt
+	// placements suppressed at the receiving HCA, NACK-driven retransmit).
+	Integrity adi.IntegrityMode
 	// BufAudit arms allocation-site tagging on the payload pool so a
 	// BufLive leak report names the owning protocol path.
 	BufAudit bool
@@ -287,6 +293,7 @@ func (c Config) adiOptions() adi.Options {
 		Trace:      c.Trace,
 		FaultEvery: c.FaultEvery,
 		RegCache:   c.RegCache,
+		Integrity:  c.Integrity,
 	}
 }
 

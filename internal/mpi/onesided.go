@@ -45,7 +45,10 @@ func (c *Comm) WinCreate(buf []byte, n int) *Win {
 	mine := make([]byte, 4)
 	mine[0], mine[1], mine[2], mine[3] = byte(rkey), byte(rkey>>8), byte(rkey>>16), byte(rkey>>24)
 	all := make([]byte, 4*c.Size())
-	c.Allgather(mine, 4, all)
+	// The rkeys are protocol metadata: a corrupted one would wedge or crash
+	// the run, so the exchange is shielded from payload-corruption plans
+	// (liveness-safe chaos by construction; see adi.Shielded).
+	c.ep.Shielded(func() { c.Allgather(mine, 4, all) })
 	w.keys = make([]uint32, c.Size())
 	for r := range w.keys {
 		b := all[4*r:]
@@ -180,7 +183,8 @@ func (w *Win) Fence() {
 		w.sentCounted[j] = 0
 	}
 	recvB := make([]byte, 8*p)
-	c.Alltoall(sendB, 8, recvB)
+	// Shielded: a flipped count would make WaitWindowOps wait forever.
+	c.ep.Shielded(func() { c.Alltoall(sendB, 8, recvB) })
 	for j := 0; j < p; j++ {
 		w.expected += int64(getU64f(recvB[8*j:]))
 	}

@@ -58,6 +58,15 @@ const (
 	KindRingWrap
 	KindHdrHit
 	KindEagerFallback
+
+	// Integrity layer (mpi.Config.Integrity; DESIGN.md §17): a failed
+	// ICRC-style check NACKing a payload work request back to the sender,
+	// a corrupted payload delivered to the application with verification
+	// off (the audit trail of silent escapes), and a ring slot re-polled
+	// after the torn-write guard caught an inconsistent consistency marker.
+	KindIntegrityNack
+	KindCorruptDeliver
+	KindTornRepoll
 )
 
 func (k Kind) String() string {
@@ -102,6 +111,12 @@ func (k Kind) String() string {
 		return "HDRHIT"
 	case KindEagerFallback:
 		return "FALLBACK"
+	case KindIntegrityNack:
+		return "NACK"
+	case KindCorruptDeliver:
+		return "CORRUPT"
+	case KindTornRepoll:
+		return "TORNPOLL"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
