@@ -21,7 +21,7 @@ vet:
 check: vet test race fuzz cover
 
 race:
-	$(GO) test -race ./internal/sim/... ./internal/adi/... ./internal/core/... ./internal/mpi/... ./internal/chaos/... ./internal/buf/... ./internal/harness/... ./internal/regcache/...
+	$(GO) test -race ./internal/sim/... ./internal/adi/... ./internal/core/... ./internal/mpi/... ./internal/chaos/... ./internal/buf/... ./internal/harness/... ./internal/regcache/... ./internal/fabric/... ./internal/topo/...
 	$(GO) test -race -run 'TestLaneColl|TestEagerLatencyTable' ./internal/bench/
 
 # Self-healing soak: the full chaos conformance matrix with the rail
@@ -54,6 +54,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzRegCacheLRU -fuzztime=$(FUZZTIME) ./internal/regcache
 	$(GO) test -run='^$$' -fuzz=FuzzShardMerge -fuzztime=$(FUZZTIME) ./internal/sim
 	$(GO) test -run='^$$' -fuzz=FuzzChunkChecksum -fuzztime=$(FUZZTIME) ./internal/buf
+	$(GO) test -run='^$$' -fuzz=FuzzRouteTable -fuzztime=$(FUZZTIME) ./internal/fabric
 
 # Statement-coverage floor over the deterministic-simulation core. The gate
 # fails when coverage drops below COVERAGE.txt; re-record the floor with
@@ -63,7 +64,7 @@ fuzz:
 cover:
 	@prof=$$(mktemp -t ib12x-cover-XXXXXX.out); \
 	trap 'rm -f $$prof' EXIT; \
-	$(GO) test -coverprofile=$$prof ./internal/core ./internal/adi ./internal/sim ./internal/chaos ./internal/buf ./internal/harness ./internal/regcache && \
+	$(GO) test -coverprofile=$$prof ./internal/core ./internal/adi ./internal/sim ./internal/chaos ./internal/buf ./internal/harness ./internal/regcache ./internal/fabric ./internal/topo && \
 	$(GO) run ./cmd/covergate -profile $$prof -floor COVERAGE.txt
 
 # One testing.B benchmark per paper figure, plus ablations.

@@ -16,6 +16,7 @@ import (
 	"ib12x/internal/adi"
 	"ib12x/internal/bench"
 	"ib12x/internal/core"
+	"ib12x/internal/fabric"
 	"ib12x/internal/model"
 	"ib12x/internal/mpi"
 	"ib12x/internal/sim"
@@ -421,6 +422,38 @@ func BenchmarkFig06Integrity(b *testing.B) {
 		}
 		strp, err = bench.UniBandwidth(bench.Setup{QPs: 4, Policy: core.EvenStriping, Integrity: adi.IntegrityVerify},
 			sizes, window, bwIters, bwWarm)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportSeries(b, []string{"orig_peak", "epc_peak", "striping_16K", "epc_16K"},
+		[]float64{orig[1], epc[1], strp[0], epc[0]}, "MBps_virtual")
+}
+
+// BenchmarkFig06ThreeTier repeats the Figure 6 uni-directional bandwidth
+// sweep over a routed 1:1 three-tier tree (2 nodes, 1 per leaf, 2 spines,
+// adaptive selection) instead of the flat switch. The virtual-time metrics
+// must match flat Fig06 within noise (the trunks are not oversubscribed);
+// the host-side allocs/op is gated by perfgate against BenchmarkFig06UniBW —
+// the per-chunk route walk books lanes in place and must not allocate.
+func BenchmarkFig06ThreeTier(b *testing.B) {
+	sizes := []int{16 * 1024, 1 << 20}
+	tree := func(qps int, policy core.Kind) bench.Setup {
+		return bench.Setup{QPs: qps, Policy: policy,
+			NodesPerSwitch: 1, Tiers: 3, SpinesPerPod: 2, Routing: fabric.RouteAdaptive}
+	}
+	var orig, epc, strp []float64
+	for i := 0; i < b.N; i++ {
+		var err error
+		orig, err = bench.UniBandwidth(tree(1, core.Original), sizes, window, bwIters, bwWarm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		epc, err = bench.UniBandwidth(tree(4, core.EPC), sizes, window, bwIters, bwWarm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		strp, err = bench.UniBandwidth(tree(4, core.EvenStriping), sizes, window, bwIters, bwWarm)
 		if err != nil {
 			b.Fatal(err)
 		}

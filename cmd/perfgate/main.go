@@ -44,6 +44,11 @@
 // unprotected Fig06 run: checksum capture and verification must stay
 // allocation-free per payload.
 //
+// The routing row (BenchmarkFig06ThreeTier, the Fig06 sweep over a routed
+// 1:1 three-tier tree with adaptive selection) gates the same way against
+// the flat Fig06 run: the per-chunk route walk and its lane bookings must
+// stay allocation-free.
+//
 // The sharded-engine rows (BenchmarkFig06UniBWSharded and the
 // BenchmarkShardScale256 serial/sharded pair) have no seed baseline; the
 // 256-node pair is instead compared against itself, and the gate requires
@@ -155,6 +160,21 @@ const (
 	integrityBaseBench     = "BenchmarkFig06UniBW"
 )
 
+// Routing row: the Figure 6 sweep over a routed 1:1 three-tier tree with
+// adaptive path selection. No seed baseline (the seed had a flat switch);
+// the row gates against the flat Fig06 run — its allocs/op must stay
+// within a small slack (plus absolute headroom for the per-world switch
+// graph) of BenchmarkFig06UniBW's, so the per-chunk route walk and lane
+// bookings stay allocation-free.
+var routingBenches = []string{"BenchmarkFig06ThreeTier"}
+
+const (
+	routingAllocSlackPct = 10
+	routingAllocHeadroom = 512
+	routingBench         = "BenchmarkFig06ThreeTier"
+	routingBaseBench     = "BenchmarkFig06UniBW"
+)
+
 // Result is one benchmark measurement. With -samples > 1 the fields are
 // means across samples, NsStddev carries the ns/op spread, and NsMin the
 // fastest sample — the least noise-inflated wall-clock estimate, which
@@ -255,7 +275,7 @@ func main() {
 			name, cur.NsPerOp, spread, seed.NsPerOp, pct(cur.NsPerOp, seed.NsPerOp),
 			cur.AllocsPerOp, seed.AllocsPerOp, pct(float64(cur.AllocsPerOp), float64(seed.AllocsPerOp)))
 	}
-	for _, name := range append(append(append(laneBenches, eagerBenches...), integrityBenches...), shardBenches...) {
+	for _, name := range append(append(append(append(laneBenches, eagerBenches...), integrityBenches...), routingBenches...), shardBenches...) {
 		cur, ok := current[name]
 		if !ok {
 			fmt.Printf("%-30s (missing)\n", name)
@@ -345,12 +365,27 @@ func main() {
 			integrityNote = fmt.Sprintf("; integrity allocs/op %d within %d%%+%d of Fig06 %d",
 				ig.AllocsPerOp, integrityAllocSlackPct, integrityAllocHeadroom, fb.AllocsPerOp)
 		}
+		routingNote := ""
+		rt, okT := current[routingBench]
+		rb, okB := current[routingBaseBench]
+		switch budget := rb.AllocsPerOp + rb.AllocsPerOp*routingAllocSlackPct/100 + routingAllocHeadroom; {
+		case !okT || !okB:
+			fmt.Fprintln(os.Stderr, "perfgate: routing row missing from output")
+			failed = true
+		case rt.AllocsPerOp > budget:
+			fmt.Fprintf(os.Stderr, "perfgate: %s allocs/op %d exceeds the budget %d (%s %d + %d%% + %d): the route walk is allocating per chunk\n",
+				routingBench, rt.AllocsPerOp, budget, routingBaseBench, rb.AllocsPerOp, routingAllocSlackPct, routingAllocHeadroom)
+			failed = true
+		default:
+			routingNote = fmt.Sprintf("; three-tier allocs/op %d within %d%%+%d of Fig06 %d",
+				rt.AllocsPerOp, routingAllocSlackPct, routingAllocHeadroom, rb.AllocsPerOp)
+		}
 		if failed {
 			os.Exit(1)
 		}
-		fmt.Printf("gate OK: Fig06 holds ns/op -%.0f%% and allocs/op -%.0f%%; Fig04/07/08 hold allocs/op -%.0f%% vs seed%s%s%s\n",
+		fmt.Printf("gate OK: Fig06 holds ns/op -%.0f%% and allocs/op -%.0f%%; Fig04/07/08 hold allocs/op -%.0f%% vs seed%s%s%s%s\n",
 			gates["BenchmarkFig06UniBW"].nsFloor*100, gates["BenchmarkFig06UniBW"].allocFloor*100,
-			gates["BenchmarkFig04LargeLatency"].allocFloor*100, shardNote, eagerNote, integrityNote)
+			gates["BenchmarkFig04LargeLatency"].allocFloor*100, shardNote, eagerNote, integrityNote, routingNote)
 	}
 }
 
@@ -402,7 +437,7 @@ func runBenchmarks(benchtime string, samples, shards int) (map[string]Result, er
 			cells = append(cells, cell{name, s})
 		}
 	}
-	for _, name := range append(append(laneBenches, eagerBenches...), integrityBenches...) {
+	for _, name := range append(append(append(laneBenches, eagerBenches...), integrityBenches...), routingBenches...) {
 		for s := 0; s < samples; s++ {
 			cells = append(cells, cell{name, s})
 		}
@@ -446,7 +481,7 @@ func runBenchmarks(benchtime string, samples, shards int) (map[string]Result, er
 		}
 		results[name] = agg
 	}
-	for _, name := range append(append(append(benchNames(), laneBenches...), eagerBenches...), integrityBenches...) {
+	for _, name := range append(append(append(append(benchNames(), laneBenches...), eagerBenches...), integrityBenches...), routingBenches...) {
 		var rs []Result
 		for i, c := range cells {
 			if c.bench == name {

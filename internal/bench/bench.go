@@ -10,10 +10,12 @@ package bench
 import (
 	"ib12x/internal/adi"
 	"ib12x/internal/core"
+	"ib12x/internal/fabric"
 	"ib12x/internal/model"
 	"ib12x/internal/mpi"
 	"ib12x/internal/regcache"
 	"ib12x/internal/sim"
+	"ib12x/internal/topo"
 )
 
 // Setup selects the configuration under test.
@@ -32,9 +34,16 @@ type Setup struct {
 	EagerProto adi.EagerProto
 
 	// NodesPerSwitch/TrunkRate select the two-level fat-tree fabric
-	// (0 = the paper's single switch / 1:1 trunks).
+	// (0 = the paper's single switch / 1:1 trunks). Tiers = 3 with
+	// SpinesPerPod upgrades it to the routed three-tier tree, Dragonfly
+	// selects the dragonfly fabric, and Routing picks static D-mod-K vs
+	// adaptive path selection on the routed shapes (OversubscriptionTable).
 	NodesPerSwitch int
 	TrunkRate      float64
+	Tiers          int
+	SpinesPerPod   int
+	Dragonfly      topo.Dragonfly
+	Routing        fabric.Routing
 
 	// Chaos, when non-nil, arms a fault plan against every run of the
 	// setup; Reliability arms the self-healing rail layer. Together they
@@ -75,6 +84,10 @@ func (s Setup) Config() mpi.Config {
 		EagerProto:     s.EagerProto,
 		NodesPerSwitch: s.NodesPerSwitch,
 		TrunkRate:      s.TrunkRate,
+		Tiers:          s.Tiers,
+		SpinesPerPod:   s.SpinesPerPod,
+		Dragonfly:      s.Dragonfly,
+		Routing:        s.Routing,
 		Chaos:          s.Chaos,
 		Reliability:    s.Reliability,
 		RegCache:       s.RegCache,

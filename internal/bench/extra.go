@@ -4,11 +4,14 @@ import (
 	"fmt"
 
 	"ib12x/internal/adi"
+	"ib12x/internal/chaos"
 	"ib12x/internal/core"
+	"ib12x/internal/fabric"
 	"ib12x/internal/model"
 	"ib12x/internal/mpi"
 	"ib12x/internal/sim"
 	"ib12x/internal/stats"
+	"ib12x/internal/topo"
 )
 
 // Supplementary experiments beyond the paper's figures: the rest of the
@@ -275,20 +278,26 @@ func RendezvousTable(o FigOpts) (*stats.Table, error) {
 	return t, nil
 }
 
-// OversubscriptionTable sweeps fat-tree trunk oversubscription on a
-// 16-node bisection exchange (every rank pairs across the spine) — the
-// "scalability issues for large scale clusters" axis of the conclusions.
+// OversubscriptionTable sweeps routed-fabric oversubscription on a
+// bisection shift exchange — the "scalability issues for large scale
+// clusters" axis of the conclusions. Rows 1/2/4 are three-tier fat trees
+// (16 nodes, 4 per leaf, SpinesPerPod 4/2/1 → 1:1, 2:1, 4:1 at the leaf);
+// row 8 is a dragonfly (2 groups × 2 routers × 2 nodes, 2 global lanes,
+// trunks at half rate). Each shape runs static D-mod-K vs adaptive
+// least-loaded routing, clean and with spine/global plane 0 degraded to a
+// quarter of its rate — the qualitative adaptive-routing win of
+// Maglione-Mathey et al. "flat" is the single-switch reference the 1:1
+// clean adaptive cell must sit within noise of.
 func OversubscriptionTable(o FigOpts) (*stats.Table, error) {
 	o = o.defaults()
 	t := &stats.Table{
-		Title:  "Supplementary: fat-tree trunk oversubscription, 16 nodes x 4/leaf, 1MB bisection exchange (EPC 4QP)",
-		XLabel: "Oversub", Unit: "us/iter",
+		Title:  "Supplementary: routed-fabric oversubscription, 1MB shift exchange (EPC 4QP); rows 1/2/4: 16-node three-tier tree, row 8: 8-node dragonfly 2gx2r; degraded = plane 0 at 25% rate",
+		XLabel: "Oversub", Unit: "MB/s",
 	}
-	linkRate := model.Default().LinkRawRate
-	for _, over := range []int{1, 2, 4, 8} {
-		s := Setup{QPs: 4, Policy: core.EPC, Nodes: 16, NodesPerSwitch: 4, TrunkRate: linkRate * 4 / float64(over)}
+	run := func(s Setup) (float64, error) {
 		var worst sim.Time
-		_, err := mpi.Run(s.Config(), func(c *mpi.Comm) {
+		cfg := s.Config()
+		_, err := mpi.Run(cfg, func(c *mpi.Comm) {
 			p := c.Size()
 			peer := (c.Rank() + p/2) % p
 			c.Barrier()
@@ -303,9 +312,49 @@ func OversubscriptionTable(o FigOpts) (*stats.Table, error) {
 			}
 		})
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		t.Add("bisection exchange", over, worst.Micros()/float64(o.BWIters))
+		sent := float64(o.BWIters) * float64(cfg.Nodes*cfg.ProcsPerNode) * float64(1<<20)
+		return sent / worst.Seconds() / 1e6, nil
+	}
+	flat, err := run(Setup{QPs: 4, Policy: core.EPC, Nodes: 16})
+	if err != nil {
+		return nil, err
+	}
+	t.Add("flat", 1, flat)
+	link := model.Default().LinkRawRate
+	shapes := []struct {
+		x   int
+		set func(*Setup)
+	}{
+		{1, func(s *Setup) { s.Nodes, s.NodesPerSwitch, s.Tiers, s.SpinesPerPod = 16, 4, 3, 4 }},
+		{2, func(s *Setup) { s.Nodes, s.NodesPerSwitch, s.Tiers, s.SpinesPerPod = 16, 4, 3, 2 }},
+		{4, func(s *Setup) { s.Nodes, s.NodesPerSwitch, s.Tiers, s.SpinesPerPod = 16, 4, 3, 1 }},
+		{8, func(s *Setup) {
+			s.Nodes, s.NodesPerSwitch = 8, 2
+			s.Dragonfly = topo.Dragonfly{Groups: 2, RoutersPerGroup: 2, GlobalLinks: 2}
+			s.TrunkRate = link / 2
+		}},
+	}
+	for _, routing := range []fabric.Routing{fabric.RouteStatic, fabric.RouteAdaptive} {
+		for _, degraded := range []bool{false, true} {
+			name := routing.String() + " clean"
+			if degraded {
+				name = routing.String() + " degraded"
+			}
+			for _, sh := range shapes {
+				s := Setup{QPs: 4, Policy: core.EPC, Routing: routing}
+				sh.set(&s)
+				if degraded {
+					s.Chaos = chaos.DegradedTrunk(0, sim.Second, 0, 0.25)
+				}
+				v, err := run(s)
+				if err != nil {
+					return nil, err
+				}
+				t.Add(name, sh.x, v)
+			}
+		}
 	}
 	return t, nil
 }

@@ -63,6 +63,14 @@ const (
 	// guard re-polls until the slot settles; disarmed receivers read the
 	// stale tail.
 	RingTornWrite
+	// TrunkDegrade throttles one fault plane of a routed fabric (spine
+	// plane of a three-tier tree, global-link index of a dragonfly; Port
+	// carries the plane index) to Factor × its built rate. Booked backlog
+	// keeps its departure times; adaptive routing sees the new rate at
+	// the next selection. No-op on flat and legacy fabrics.
+	TrunkDegrade
+	// TrunkRestore returns the plane to its built rate.
+	TrunkRestore
 )
 
 func (k EventKind) String() string {
@@ -87,6 +95,10 @@ func (k EventKind) String() string {
 		return "HEADER_CORRUPT"
 	case RingTornWrite:
 		return "RING_TORN_WRITE"
+	case TrunkDegrade:
+		return "TRUNK_DEGRADE"
+	case TrunkRestore:
+		return "TRUNK_RESTORE"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -181,6 +193,10 @@ func (p *Plan) apply(eng *sim.Engine, w *adi.World, ev Event) {
 		p.eachPort(w, ev, func(port *hca.Port) { port.HdrEvery = ev.N; port.CorruptSeed = ev.Seed })
 	case RingTornWrite:
 		p.eachPort(w, ev, func(port *hca.Port) { port.TornEvery = ev.N; port.CorruptSeed = ev.Seed })
+	case TrunkDegrade:
+		w.Cluster.Net.DegradePlane(ev.Port, ev.Factor)
+	case TrunkRestore:
+		w.Cluster.Net.RestorePlane(ev.Port)
 	default:
 		panic(fmt.Sprintf("chaos: unknown event kind %v", ev.Kind))
 	}
@@ -254,6 +270,19 @@ func DegradedLink(from, until sim.Time, node, port int, factor float64, pad sim.
 		Events: []Event{
 			{At: from, Kind: LinkDegrade, Node: node, Port: port, Factor: factor, Pad: pad},
 			{At: until, Kind: LinkRestore, Node: node, Port: port},
+		},
+	}
+}
+
+// DegradedTrunk throttles one fault plane of a routed fabric (spine plane
+// / global-link index) to factor of its built rate between from and until.
+// On flat and legacy fabrics the plan arms but changes nothing.
+func DegradedTrunk(from, until sim.Time, plane int, factor float64) *Plan {
+	return &Plan{
+		Name: fmt.Sprintf("degraded-trunk-plane%d", plane),
+		Events: []Event{
+			{At: from, Kind: TrunkDegrade, Node: -1, Port: plane, Factor: factor},
+			{At: until, Kind: TrunkRestore, Node: -1, Port: plane},
 		},
 	}
 }

@@ -9,10 +9,12 @@ import (
 
 	"ib12x/internal/adi"
 	"ib12x/internal/core"
+	"ib12x/internal/fabric"
 	"ib12x/internal/mpi"
 	"ib12x/internal/regcache"
 	"ib12x/internal/sim"
 	"ib12x/internal/stats"
+	"ib12x/internal/topo"
 	"ib12x/internal/trace"
 )
 
@@ -42,6 +44,20 @@ type OracleConfig struct {
 	ProcsPerNode int // default 2
 	QPsPerPort   int // default 4 rails
 	Deadline     sim.Time
+
+	// Fabric shape beyond the flat default (mpi.Config fields of the same
+	// names): a two-level fat tree (NodesPerSwitch alone), the routed
+	// three-tier tree (Tiers = 3 with SpinesPerPod) or dragonfly
+	// (Dragonfly.Groups > 0), with Routing picking static vs adaptive
+	// path selection. The workload's payload digest is topology- and
+	// routing-invariant — routes move bytes in time, never in content or
+	// matching order — so every cell must still match the flat baseline.
+	NodesPerSwitch int
+	TrunkRate      float64
+	Tiers          int
+	SpinesPerPod   int
+	Dragonfly      topo.Dragonfly
+	Routing        fabric.Routing
 	// Shards runs the workload on a sharded engine group (mpi.Config.Shards).
 	// Every digest must be byte-identical to the serial run's.
 	Shards int
@@ -206,17 +222,23 @@ func RunConformance(cfg OracleConfig) (*RunResult, error) {
 	viols := make([][]string, size)
 
 	mcfg := mpi.Config{
-		Nodes:        cfg.Nodes,
-		ProcsPerNode: cfg.ProcsPerNode,
-		QPsPerPort:   cfg.QPsPerPort,
-		Policy:       cfg.Policy,
-		PolicyImpl:   cfg.PolicyImpl,
-		EagerProto:   cfg.EagerProto,
-		Trace:        rec,
-		Deadline:     cfg.Deadline,
-		Shards:       cfg.Shards,
-		CollAlg:      cfg.CollAlg,
-		Integrity:    cfg.Integrity,
+		Nodes:          cfg.Nodes,
+		ProcsPerNode:   cfg.ProcsPerNode,
+		QPsPerPort:     cfg.QPsPerPort,
+		Policy:         cfg.Policy,
+		PolicyImpl:     cfg.PolicyImpl,
+		EagerProto:     cfg.EagerProto,
+		Trace:          rec,
+		Deadline:       cfg.Deadline,
+		Shards:         cfg.Shards,
+		CollAlg:        cfg.CollAlg,
+		Integrity:      cfg.Integrity,
+		NodesPerSwitch: cfg.NodesPerSwitch,
+		TrunkRate:      cfg.TrunkRate,
+		Tiers:          cfg.Tiers,
+		SpinesPerPod:   cfg.SpinesPerPod,
+		Dragonfly:      cfg.Dragonfly,
+		Routing:        cfg.Routing,
 	}
 	if cfg.Plan != nil {
 		mcfg.Chaos = cfg.Plan

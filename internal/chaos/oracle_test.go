@@ -5,7 +5,9 @@ import (
 	"testing"
 
 	"ib12x/internal/core"
+	"ib12x/internal/fabric"
 	"ib12x/internal/harness"
+	"ib12x/internal/model"
 	"ib12x/internal/sim"
 )
 
@@ -290,7 +292,9 @@ func TestGeneratedPlansConverge(t *testing.T) {
 // payload digest, protocol trace digest, and elapsed virtual time — at
 // every shard count, with zero invariant violations. Shard counts above the
 // topology's unit count clamp (topo.ShardPlan), so the 8-way sweep runs on
-// an 8-node fabric where all 8 shards are real.
+// an 8-node fabric where all 8 shards are real. The third sweep row runs
+// the same matrix on a routed three-tier tree (adaptive), where shards map
+// to pods and every trunk booking crosses the deferred-barrier path.
 func TestShardedSerialIdentical(t *testing.T) {
 	type cell struct {
 		plan   *Plan
@@ -302,13 +306,24 @@ func TestShardedSerialIdentical(t *testing.T) {
 			cells = append(cells, cell{plan, kind})
 		}
 	}
-	matrix := func(nodes, shards int) []*RunResult {
+	threeTier := func(c *OracleConfig) {
+		c.NodesPerSwitch = 1
+		c.Tiers = 3
+		c.SpinesPerPod = 2
+		c.TrunkRate = model.Default().LinkRawRate / 4
+		c.Routing = fabric.RouteAdaptive
+	}
+	matrix := func(nodes, shards int, shape func(*OracleConfig)) []*RunResult {
 		t.Helper()
 		res, err := harness.Map(cells, func(c cell) (*RunResult, error) {
-			return RunConformance(OracleConfig{
+			cfg := OracleConfig{
 				Seed: oracleSeed, Policy: c.policy, Plan: c.plan,
 				Nodes: nodes, Shards: shards,
-			})
+			}
+			if shape != nil {
+				shape(&cfg)
+			}
+			return RunConformance(cfg)
 		})
 		if err != nil {
 			t.Fatalf("nodes=%d shards=%d: %v", nodes, shards, err)
@@ -318,13 +333,15 @@ func TestShardedSerialIdentical(t *testing.T) {
 	for _, sweep := range []struct {
 		nodes  int
 		shards []int
+		shape  func(*OracleConfig)
 	}{
 		{nodes: 4, shards: []int{1, 2, 4}},
 		{nodes: 8, shards: []int{8}},
+		{nodes: 4, shards: []int{2}, shape: threeTier},
 	} {
-		serial := matrix(sweep.nodes, 0)
+		serial := matrix(sweep.nodes, 0, sweep.shape)
 		for _, shards := range sweep.shards {
-			sharded := matrix(sweep.nodes, shards)
+			sharded := matrix(sweep.nodes, shards, sweep.shape)
 			for i, res := range sharded {
 				ref := serial[i]
 				for _, v := range res.Violations {

@@ -55,6 +55,23 @@ func (p *Plan) ArmSharded(g *sim.Group, w *adi.World) {
 					}
 				})
 			}
+		case TrunkDegrade, TrunkRestore:
+			// Fabric planes are shared by every shard, and all routed-graph
+			// lane bookings are deferred to the window barrier where they
+			// apply in serial posting-key order. The mutation defers the
+			// same way — its setup-phase key slots it before runtime events
+			// of the same instant, exactly where the serial apply sits. One
+			// application only (shard 0), like the serial switch arm.
+			ctx := g.Ctx(0)
+			postShard(g, 0, ev.At, func() {
+				ctx.Engine().DeferOrdered(func() {
+					if ev.Kind == TrunkDegrade {
+						w.Cluster.Net.DegradePlane(ev.Port, ev.Factor)
+					} else {
+						w.Cluster.Net.RestorePlane(ev.Port)
+					}
+				})
+			})
 		default:
 			for n := 0; n < nodes; n++ {
 				if ev.Node >= 0 && ev.Node != n {

@@ -121,6 +121,10 @@ type Net struct {
 
 	nodesPerLeaf int
 	up, down     []Lane // per-leaf trunk lanes toward/from the spine
+
+	// g, when non-nil, replaces the two-level model with a routed switch
+	// graph (three-tier fat tree or dragonfly — see route.go).
+	g *graph
 }
 
 // NewSingleSwitch builds the flat fabric of the paper's testbed.

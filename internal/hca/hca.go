@@ -122,8 +122,9 @@ type Port struct {
 	RnrWaits    int64 // messages that arrived before a receive was posted
 	Retransmits int64 // chunks retransmitted after injected errors
 
-	chunksSent int64 // error-injection counter
-	payloadWRs int64 // corruption-injection counter (payload descriptors posted)
+	chunksSent int64  // error-injection counter
+	payloadWRs int64  // corruption-injection counter (payload descriptors posted)
+	flowSeq    uint64 // flows created from this port (routed-fabric key salt)
 }
 
 // Corrupt describes the integrity fault the port's corruption plan assigns
@@ -263,6 +264,13 @@ type Flow struct {
 	busy       bool               // a WQE is waiting for / holding the engine stage
 	pending    sim.Ring[flowItem] // WQEs queued behind the in-order rule
 	xpool      []*xfer            // recycled per-WQE pipeline states
+
+	// routeKey identifies this flow to the routed fabric's path selection:
+	// the D-mod-K hash input (static) and the tie-break salt (adaptive).
+	// Derived from (src node, dst node, per-port flow ordinal) at world
+	// build, which is single-threaded in every mode, so it is identical
+	// serial and sharded.
+	routeKey uint64
 }
 
 // flowItem carries one WQE's completion callbacks in closure-free form: ctx
@@ -309,6 +317,8 @@ func (p *Port) NewFlow(eng *sim.Engine, dst *Port) *Flow {
 	}
 	f.eng = f.srcCtx.Engine()
 	f.dstEng = f.dstCtx.Engine()
+	p.flowSeq++
+	f.routeKey = corruptMix(uint64(p.Node)<<40 ^ uint64(dst.Node)<<20 ^ p.flowSeq)
 	return f
 }
 
@@ -494,6 +504,33 @@ func (f *Flow) txChunkSend(x *xfer, n int) {
 	lat := net.OneWay() + f.src.LatencyPad + f.dst.padAt(now)
 	first := txStart + lat
 	last := leaves + lat
+	if net.Routed() {
+		if !net.CrossSwitch(f.src.Node, f.dst.Node) {
+			f.eng.PostCallTo(f.dstCtx, last, stageRx, x, int64(n), int64(first), wire)
+			return
+		}
+		// Switch-graph walk: the fabric routes and books every trunk hop
+		// under this flow's key, charging the legacy per-hop recurrence.
+		// Spine/core/global lanes carry traffic from many shards (and
+		// adaptive selection reads their load), so in a sharded run the
+		// WHOLE path booking — selection included — is deferred to the
+		// window barrier, where deferred ops apply in serial posting-key
+		// order; lane state and every adaptive choice then match the
+		// serial run bit-exactly. The rx event's stub is reserved here to
+		// keep this node's sequence stream serial-identical.
+		if f.eng.Sharded() {
+			stub := f.eng.ReserveStub()
+			e, inFirst, inLast := f.eng, first, last
+			f.eng.DeferOrdered(func() {
+				df, dl := net.BookPath(f.src.Node, f.dst.Node, f.routeKey, inFirst, inLast, wire, lat)
+				e.PostCallStubTo(stub, f.dstCtx, dl, stageRx, x, int64(n), int64(df), wire)
+			})
+			return
+		}
+		first, last = net.BookPath(f.src.Node, f.dst.Node, f.routeKey, first, last, wire, lat)
+		f.eng.PostCallTo(f.dstCtx, last, stageRx, x, int64(n), int64(first), wire)
+		return
+	}
 	if net.CrossLeaf(f.src.Node, f.dst.Node) {
 		// Two extra hops through the spine; the shared trunk lanes of
 		// both leaves carry (and possibly throttle) the chunk. The uplink

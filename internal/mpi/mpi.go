@@ -19,6 +19,7 @@ import (
 
 	"ib12x/internal/adi"
 	"ib12x/internal/core"
+	"ib12x/internal/fabric"
 	"ib12x/internal/model"
 	"ib12x/internal/regcache"
 	"ib12x/internal/sim"
@@ -108,6 +109,14 @@ type Config struct {
 	// trunk bandwidth (0 = 1:1 with the link rate).
 	NodesPerSwitch int
 	TrunkRate      float64
+	// Tiers = 3 (with SpinesPerPod) selects the routed three-tier fat
+	// tree; Dragonfly selects the routed dragonfly fabric; Routing picks
+	// static D-mod-K vs adaptive path selection on either (topo.Spec has
+	// the full shape semantics). Zero values keep the historical fabrics.
+	Tiers        int
+	SpinesPerPod int
+	Dragonfly    topo.Dragonfly
+	Routing      fabric.Routing
 	// Shards splits the discrete-event engine into per-shard engines (one
 	// per node, or per leaf switch on a fat tree; clamped to the topology's
 	// unit count) synchronized by conservative lookahead on the fabric's
@@ -195,6 +204,10 @@ func Run(cfg Config, body func(c *Comm)) (*Report, error) {
 		QPsPerPort:     cfg.QPsPerPort,
 		NodesPerSwitch: cfg.NodesPerSwitch,
 		TrunkRate:      cfg.TrunkRate,
+		Tiers:          cfg.Tiers,
+		SpinesPerPod:   cfg.SpinesPerPod,
+		Dragonfly:      cfg.Dragonfly,
+		Routing:        cfg.Routing,
 	}
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -237,11 +250,12 @@ func Run(cfg Config, body func(c *Comm)) (*Report, error) {
 // shard engine under conservative-lookahead synchronization.
 func runSharded(cfg Config, spec topo.Spec, body func(c *Comm)) (*Report, error) {
 	shardOf, shards := spec.ShardPlan(cfg.Shards)
-	// The lookahead bound is the fabric's minimum cross-node latency: every
-	// cross-shard event chain pays at least one wire traversal
-	// (fabric.Net.OneWay(), built from this same model constant; trunk hops
-	// only add to it).
-	g := sim.NewGroup(shardOf, shards, cfg.Model.WireLatency)
+	// The lookahead bound is the fabric's minimum cross-shard latency:
+	// every cross-shard event chain pays at least one wire traversal
+	// (fabric.Net.OneWay(), built from this same model constant; routed
+	// fabrics shard by pod/group and their trunk hops only add to it —
+	// see topo.Spec.ShardLookahead).
+	g := sim.NewGroup(shardOf, shards, spec.ShardLookahead(cfg.Model))
 	world := adi.NewWorldSharded(g, shardOf, cfg.Model, spec, cfg.adiOptions())
 	rep := newReport(world, spec.Size())
 	if cfg.Reliability != nil {

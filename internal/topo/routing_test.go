@@ -1,0 +1,142 @@
+package topo
+
+import (
+	"testing"
+
+	"ib12x/internal/fabric"
+	"ib12x/internal/model"
+)
+
+func TestSpecValidateRoutedShapes(t *testing.T) {
+	base := Spec{Nodes: 8, ProcsPerNode: 1, HCAsPerNode: 1, PortsPerHCA: 1, QPsPerPort: 1}
+	good := []func(*Spec){
+		func(s *Spec) { s.Tiers = 3; s.NodesPerSwitch = 2; s.SpinesPerPod = 2 },
+		func(s *Spec) { s.Tiers = 2; s.NodesPerSwitch = 2 },
+		func(s *Spec) { s.Dragonfly = Dragonfly{Groups: 2, RoutersPerGroup: 4, GlobalLinks: 1} },
+		func(s *Spec) {
+			s.NodesPerSwitch = 2
+			s.Dragonfly = Dragonfly{Groups: 2, RoutersPerGroup: 2, GlobalLinks: 2}
+		},
+		func(s *Spec) { s.Dragonfly = Dragonfly{Groups: 1, RoutersPerGroup: 8} }, // local-only group
+	}
+	for i, set := range good {
+		s := base
+		set(&s)
+		if err := s.Validate(); err != nil {
+			t.Errorf("good[%d]: %v", i, err)
+		}
+	}
+	bad := []func(*Spec){
+		func(s *Spec) { s.Tiers = 1 },
+		func(s *Spec) { s.Tiers = 4 },
+		func(s *Spec) { s.Tiers = 3 },                       // no NodesPerSwitch
+		func(s *Spec) { s.Tiers = 3; s.NodesPerSwitch = 2 }, // no SpinesPerPod
+		func(s *Spec) {
+			s.Tiers = 3
+			s.NodesPerSwitch = 2
+			s.SpinesPerPod = 2
+			s.Dragonfly = Dragonfly{Groups: 2, RoutersPerGroup: 2, GlobalLinks: 1}
+		}, // mutually exclusive
+		func(s *Spec) { s.Dragonfly = Dragonfly{Groups: 2} },                                     // no routers
+		func(s *Spec) { s.Dragonfly = Dragonfly{Groups: 2, RoutersPerGroup: 4} },                 // no global links
+		func(s *Spec) { s.Dragonfly = Dragonfly{Groups: 2, RoutersPerGroup: 2, GlobalLinks: 1} }, // capacity 4 < 8 nodes
+	}
+	for i, set := range bad {
+		s := base
+		set(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad[%d]: Validate accepted %+v", i, s)
+		}
+	}
+}
+
+// TestShardPlanRoutedShapes is the property test for pod/group sharding:
+// for every shape and requested shard count, every node maps to exactly
+// one shard, nodes of the same pod/group never split across shards, shard
+// ids are contiguous from 0 and non-decreasing in node order, and the
+// effective count is clamped to [1, units].
+func TestShardPlanRoutedShapes(t *testing.T) {
+	shapes := []struct {
+		name  string
+		spec  Spec
+		units int
+	}{
+		{"tree3-16n", Spec{Nodes: 16, ProcsPerNode: 1, HCAsPerNode: 1, PortsPerHCA: 1, QPsPerPort: 1,
+			Tiers: 3, NodesPerSwitch: 2, SpinesPerPod: 2}, 4}, // 8 leaves / 2 per pod → 4 pods
+		{"tree3-ragged", Spec{Nodes: 10, ProcsPerNode: 1, HCAsPerNode: 1, PortsPerHCA: 1, QPsPerPort: 1,
+			Tiers: 3, NodesPerSwitch: 2, SpinesPerPod: 2}, 3}, // 5 leaves → 3 pods
+		{"dragonfly-12n", Spec{Nodes: 12, ProcsPerNode: 1, HCAsPerNode: 1, PortsPerHCA: 1, QPsPerPort: 1,
+			NodesPerSwitch: 2, Dragonfly: Dragonfly{Groups: 3, RoutersPerGroup: 2, GlobalLinks: 1}}, 3},
+		{"dragonfly-ragged", Spec{Nodes: 5, ProcsPerNode: 1, HCAsPerNode: 1, PortsPerHCA: 1, QPsPerPort: 1,
+			Dragonfly: Dragonfly{Groups: 3, RoutersPerGroup: 2, GlobalLinks: 1}}, 3},
+	}
+	for _, sh := range shapes {
+		t.Run(sh.name, func(t *testing.T) {
+			if err := sh.spec.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if got := sh.spec.ShardUnits(); got != sh.units {
+				t.Fatalf("ShardUnits = %d, want %d", got, sh.units)
+			}
+			unitSize := sh.spec.shardUnitSize()
+			for req := -1; req <= sh.units+3; req++ {
+				plan, eff := sh.spec.ShardPlan(req)
+				if len(plan) != sh.spec.Nodes {
+					t.Fatalf("req=%d: plan covers %d nodes, want %d", req, len(plan), sh.spec.Nodes)
+				}
+				if eff < 1 || eff > sh.units {
+					t.Fatalf("req=%d: effective count %d outside [1,%d]", req, eff, sh.units)
+				}
+				// Contiguous blocks of ceil(units/eff) units can use fewer
+				// shards than requested (4 units over 3 shards = two blocks
+				// of 2), so eff may undershoot req but never exceed it.
+				if req >= 1 && eff > req {
+					t.Fatalf("req=%d yielded %d shards", req, eff)
+				}
+				seen := make([]bool, eff)
+				prev := 0
+				for n, s := range plan {
+					if s < 0 || s >= eff {
+						t.Fatalf("req=%d: node %d on shard %d of %d", req, n, s, eff)
+					}
+					if s != prev && s != prev+1 {
+						t.Fatalf("req=%d: shard ids not contiguous at node %d (%d after %d)", req, n, s, prev)
+					}
+					if s != plan[n/unitSize*unitSize] {
+						t.Fatalf("req=%d: node %d splits its pod/group across shards", req, n)
+					}
+					seen[s] = true
+					prev = s
+				}
+				for s, ok := range seen {
+					if !ok {
+						t.Fatalf("req=%d: shard %d owns no nodes", req, s)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestBuildRoutedShapes(t *testing.T) {
+	m := model.Default()
+	tree := Build(Spec{Nodes: 8, ProcsPerNode: 1, HCAsPerNode: 1, PortsPerHCA: 1, QPsPerPort: 1,
+		Tiers: 3, NodesPerSwitch: 2, SpinesPerPod: 2, Routing: fabric.RouteAdaptive}, m)
+	if !tree.Net.Routed() || tree.Net.Planes() != 2 {
+		t.Fatalf("three-tier build: Routed=%v Planes=%d", tree.Net.Routed(), tree.Net.Planes())
+	}
+	if tree.Net.CrossSwitch(0, 1) || !tree.Net.CrossSwitch(1, 2) {
+		t.Fatalf("three-tier switch assignment wrong")
+	}
+	df := Build(Spec{Nodes: 8, ProcsPerNode: 1, HCAsPerNode: 1, PortsPerHCA: 1, QPsPerPort: 1,
+		NodesPerSwitch: 2, Dragonfly: Dragonfly{Groups: 2, RoutersPerGroup: 2, GlobalLinks: 2}}, m)
+	if !df.Net.Routed() || df.Net.Planes() != 2 {
+		t.Fatalf("dragonfly build: Routed=%v Planes=%d", df.Net.Routed(), df.Net.Planes())
+	}
+	// Legacy shapes stay non-routed.
+	legacy := Build(Spec{Nodes: 8, ProcsPerNode: 1, HCAsPerNode: 1, PortsPerHCA: 1, QPsPerPort: 1,
+		NodesPerSwitch: 2}, m)
+	if legacy.Net.Routed() || !legacy.Net.CrossLeaf(1, 2) {
+		t.Fatalf("legacy fat tree changed shape")
+	}
+}

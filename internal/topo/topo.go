@@ -14,6 +14,7 @@ import (
 	"ib12x/internal/gx"
 	"ib12x/internal/hca"
 	"ib12x/internal/model"
+	"ib12x/internal/sim"
 )
 
 // Spec declares a cluster shape. The paper's testbed is 2 nodes × 4 procs,
@@ -31,6 +32,44 @@ type Spec struct {
 	// rate, i.e. a 1:1 trunk).
 	NodesPerSwitch int
 	TrunkRate      float64
+
+	// Tiers = 3 upgrades the fat tree to the routed three-tier fabric:
+	// leaves grouped SpinesPerPod to a pod, SpinesPerPod spines per pod,
+	// SpinesPerPod cores, per-switch path selection (fabric.NewThreeTier).
+	// NodesPerSwitch then sets the leaf radix and TrunkRate every
+	// inter-switch lane. 0/2 keep the legacy shapes.
+	Tiers        int
+	SpinesPerPod int
+
+	// Dragonfly, when Groups > 0, selects the dragonfly fabric instead
+	// (mutually exclusive with Tiers = 3). NodesPerSwitch doubles as
+	// nodes-per-router (0 = 1).
+	Dragonfly Dragonfly
+
+	// Routing picks static D-mod-K vs adaptive path selection on routed
+	// fabrics (ignored by flat and two-level shapes).
+	Routing fabric.Routing
+}
+
+// Dragonfly shapes the dragonfly fabric: Groups of RoutersPerGroup routers
+// (all-to-all locally), GlobalLinks parallel lanes per ordered group pair.
+// The zero value means "not a dragonfly".
+type Dragonfly struct {
+	Groups          int
+	RoutersPerGroup int
+	GlobalLinks     int
+}
+
+// routeSeed fixes the deterministic tie-break seed of routed fabrics; runs
+// replay bit-identically because it never varies.
+const routeSeed = 0x12b51ab12b51ab
+
+// nodesPerRouter reports the dragonfly leaf radix (NodesPerSwitch, min 1).
+func (s Spec) nodesPerRouter() int {
+	if s.NodesPerSwitch > 0 {
+		return s.NodesPerSwitch
+	}
+	return 1
 }
 
 // Validate reports whether the spec is well-formed.
@@ -47,21 +86,61 @@ func (s Spec) Validate() error {
 	case s.QPsPerPort < 1:
 		return fmt.Errorf("topo: QPsPerPort = %d, need ≥ 1", s.QPsPerPort)
 	}
+	if s.Tiers != 0 && s.Tiers != 2 && s.Tiers != 3 {
+		return fmt.Errorf("topo: Tiers = %d, need 0 (flat/legacy), 2, or 3", s.Tiers)
+	}
+	if s.Dragonfly.Groups > 0 {
+		d := s.Dragonfly
+		switch {
+		case s.Tiers == 3:
+			return fmt.Errorf("topo: Dragonfly and Tiers = 3 are mutually exclusive")
+		case d.RoutersPerGroup < 1:
+			return fmt.Errorf("topo: Dragonfly.RoutersPerGroup = %d, need ≥ 1", d.RoutersPerGroup)
+		case d.GlobalLinks < 1 && d.Groups > 1:
+			return fmt.Errorf("topo: Dragonfly.GlobalLinks = %d, need ≥ 1", d.GlobalLinks)
+		}
+		if room := d.Groups * d.RoutersPerGroup * s.nodesPerRouter(); s.Nodes > room {
+			return fmt.Errorf("topo: %d nodes exceed dragonfly capacity %d", s.Nodes, room)
+		}
+	} else if s.Tiers == 3 {
+		switch {
+		case s.NodesPerSwitch < 1:
+			return fmt.Errorf("topo: Tiers = 3 needs NodesPerSwitch ≥ 1")
+		case s.SpinesPerPod < 1:
+			return fmt.Errorf("topo: Tiers = 3 needs SpinesPerPod ≥ 1")
+		}
+	}
 	return nil
 }
 
 // Size reports the total number of ranks.
 func (s Spec) Size() int { return s.Nodes * s.ProcsPerNode }
 
+// shardUnitSize reports how many consecutive nodes form one sharding unit:
+// a pod in a three-tier tree, a group in a dragonfly, a leaf in the legacy
+// fat tree, a single node under the flat switch.
+func (s Spec) shardUnitSize() int {
+	if s.Dragonfly.Groups > 0 {
+		return s.Dragonfly.RoutersPerGroup * s.nodesPerRouter()
+	}
+	if s.Tiers == 3 {
+		return s.SpinesPerPod * s.NodesPerSwitch
+	}
+	if s.NodesPerSwitch > 0 {
+		return s.NodesPerSwitch
+	}
+	return 1
+}
+
 // ShardUnits reports the natural sharding granularity of the topology for
 // the parallel DES engine: per node under a single switch (nodes share no
 // fabric state but the wire, which the lookahead covers), per leaf switch
-// in a fat tree (each leaf's trunk lanes stay owned by one shard).
+// in a two-level fat tree, per pod in a three-tier tree, per group in a
+// dragonfly — the routed fabrics still share spine/core/global lanes
+// across shards, which the deferred-booking barrier order covers.
 func (s Spec) ShardUnits() int {
-	if s.NodesPerSwitch > 0 {
-		return (s.Nodes + s.NodesPerSwitch - 1) / s.NodesPerSwitch
-	}
-	return s.Nodes
+	per := s.shardUnitSize()
+	return (s.Nodes + per - 1) / per
 }
 
 // ShardPlan maps every node to a shard for the sharded DES engine: sharding
@@ -76,20 +155,31 @@ func (s Spec) ShardPlan(shards int) ([]int, int) {
 	if shards < 1 {
 		shards = 1
 	}
-	unitOf := func(n int) int { return n }
-	if s.NodesPerSwitch > 0 {
-		unitOf = func(n int) int { return n / s.NodesPerSwitch }
-	}
+	unitSize := s.shardUnitSize()
 	per := (units + shards - 1) / shards
 	out := make([]int, s.Nodes)
 	for n := range out {
-		sh := unitOf(n) / per
+		sh := n / unitSize / per
 		if sh >= shards {
 			sh = shards - 1
 		}
 		out[n] = sh
 	}
-	return out, shards
+	// Ragged unit counts can leave trailing blocks empty (4 units over 3
+	// shards = two blocks of 2); report the used count so no shard engine
+	// ever owns zero nodes. Assignment is monotone, so the last node has
+	// the highest shard id.
+	return out, out[len(out)-1] + 1
+}
+
+// ShardLookahead reports the conservative lookahead of the sharded DES
+// engine on this topology: the minimum virtual-time distance any event can
+// cross a shard boundary in. Every cross-shard interaction pays at least
+// one wire hop — data chunks pay OneWay per fabric hop and RC acks pay
+// exactly one OneWay — so the bound is the single-hop wire latency on
+// every shape; deeper routed fabrics only add hops, never shorten one.
+func (s Spec) ShardLookahead(m *model.Params) sim.Time {
+	return m.WireLatency
 }
 
 // Rails reports the number of rails between any inter-node process pair.
@@ -125,12 +215,24 @@ func Build(spec Spec, m *model.Params) *Cluster {
 	if err := spec.Validate(); err != nil {
 		panic(err)
 	}
+	trunk := spec.TrunkRate
+	if trunk == 0 {
+		trunk = m.LinkRawRate
+	}
 	net := fabric.NewSingleSwitch(m.WireLatency)
-	if spec.NodesPerSwitch > 0 {
-		trunk := spec.TrunkRate
-		if trunk == 0 {
-			trunk = m.LinkRawRate
+	switch {
+	case spec.Dragonfly.Groups > 0:
+		d := spec.Dragonfly
+		glinks := d.GlobalLinks
+		if glinks < 1 {
+			glinks = 1
 		}
+		net = fabric.NewDragonfly(m.WireLatency, d.Groups, d.RoutersPerGroup,
+			spec.nodesPerRouter(), glinks, trunk, spec.Routing, routeSeed)
+	case spec.Tiers == 3:
+		net = fabric.NewThreeTier(m.WireLatency, spec.Nodes, spec.NodesPerSwitch,
+			spec.SpinesPerPod, trunk, spec.Routing, routeSeed)
+	case spec.NodesPerSwitch > 0:
 		net = fabric.NewFatTree(m.WireLatency, spec.Nodes, spec.NodesPerSwitch, trunk)
 	}
 	c := &Cluster{Spec: spec, Model: m, Net: net}
